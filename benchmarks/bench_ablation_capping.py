@@ -1,0 +1,41 @@
+"""A1 — Ablation (Sec 5/6): static per-job power caps at predicted+15%.
+
+The paper argues a static cap at 15% above the predicted per-node power
+is safe because temporal variance is low. The ablation sweeps the
+headroom and reports how often jobs would be throttled and how much
+provisioned power the cap frees.
+"""
+
+from conftest import fmt_pct
+
+from repro.policy import StaticCapPolicy, evaluate_capping
+
+
+def test_ablation_static_capping(benchmark, report, emmy_full):
+    outcome = benchmark(evaluate_capping, emmy_full, StaticCapPolicy(headroom=0.15))
+
+    sweep_rows = []
+    for headroom in (0.05, 0.10, 0.15, 0.25):
+        o = evaluate_capping(emmy_full, StaticCapPolicy(headroom=headroom))
+        sweep_rows.append(
+            (f"headroom {fmt_pct(headroom)}: throttled node-minutes",
+             "rare at 15%", fmt_pct(o.throttled_node_minute_fraction))
+        )
+
+    rows = [
+        ("jobs never throttled (15% headroom)", "large share",
+         fmt_pct(outcome.frac_jobs_unthrottled)),
+        ("throttled node-minute fraction", "minimal",
+         fmt_pct(outcome.throttled_node_minute_fraction)),
+        ("mean energy clipped from throttled jobs", "negligible",
+         fmt_pct(outcome.mean_energy_clipped_fraction)),
+        ("provisioned power saved vs TDP", ">0",
+         fmt_pct(outcome.provisioned_power_saved_fraction)),
+        *sweep_rows,
+    ]
+    report("A1", "static power-capping ablation", rows)
+
+    assert outcome.frac_jobs_unthrottled > 0.35
+    assert outcome.throttled_node_minute_fraction < 0.08
+    assert outcome.mean_energy_clipped_fraction < 0.02
+    assert outcome.provisioned_power_saved_fraction > 0.10

@@ -1,0 +1,57 @@
+"""A4 — Ablation: feature contribution and deployment-order prediction.
+
+Two questions the paper's random-split protocol leaves open:
+
+1. How much does each pre-execution feature contribute? (RQ8's basis:
+   user alone → + nodes → + walltime.)
+2. Does the accuracy survive *deployment order* — training only on the
+   past, predicting the future (prequential evaluation)?
+"""
+
+import numpy as np
+from conftest import fmt_pct
+
+from repro.ml import DecisionTreeRegressor, FeatureSpec, evaluate_models, evaluate_online
+
+
+def test_ablation_features_and_online(benchmark, report, emmy_full):
+    specs = {
+        "user only": FeatureSpec(numeric_columns=()),
+        "user + nodes": FeatureSpec(numeric_columns=("nodes",)),
+        "user + nodes + walltime": FeatureSpec(),
+    }
+    summaries = {}
+    for label, spec in specs.items():
+        results = evaluate_models(
+            emmy_full.jobs,
+            {"BDT": lambda: DecisionTreeRegressor(min_samples_leaf=3)},
+            n_repeats=2,
+            feature_spec=spec,
+        )
+        summaries[label] = results["BDT"].summary
+
+    online = benchmark.pedantic(
+        evaluate_online, args=(emmy_full.jobs,), rounds=1, iterations=1
+    )
+
+    rows = [
+        (f"BDT features: {label}", "accuracy grows with each feature",
+         f"{fmt_pct(s.frac_below_10pct)} <10% (mean {fmt_pct(s.mean)})")
+        for label, s in summaries.items()
+    ]
+    rows += [
+        ("online hierarchical-mean (<10%)", "usable in deployment order",
+         fmt_pct(online.summary.frac_below_10pct)),
+        ("online median error", "-", fmt_pct(online.summary.median)),
+        ("online learning curve (first/last decile)", "-",
+         f"{fmt_pct(float(online.learning_curve[0]))} / "
+         f"{fmt_pct(float(online.learning_curve[-1]))}"),
+    ]
+    report("A4", "feature ablation + prequential evaluation", rows)
+
+    u = summaries["user only"].frac_below_10pct
+    un = summaries["user + nodes"].frac_below_10pct
+    unw = summaries["user + nodes + walltime"].frac_below_10pct
+    assert un > u + 0.02           # nodes add real signal (Fig 13a)
+    assert unw > un - 0.01         # walltime never hurts, usually helps
+    assert online.summary.frac_below_10pct > 0.6

@@ -1,0 +1,68 @@
+"""A5 — Ablation: power-capped scheduling cost curve.
+
+Sections 3/6 argue the system can be capped near its observed draw. The
+missing number is the *scheduling* cost: if the batch system enforces a
+power budget at admission (using predicted job power + 15% headroom),
+how much queueing delay does each budget level add? The sweep shows the
+knee: caps above the observed draw (~70% of TDP on Emmy) are free, caps
+below it trade power for wait time.
+"""
+
+from conftest import BENCH_SEED, fmt_pct
+
+from repro.cluster import get_spec
+from repro.policy import evaluate_power_capped_scheduling
+from repro.units import DAY
+from repro.workload import WorkloadGenerator, default_params
+
+
+def _job_stream():
+    spec = get_spec("emmy")
+    params = default_params("emmy", num_users=60, horizon_s=21 * DAY)
+    generator = WorkloadGenerator(params, 140, seed=BENCH_SEED)
+    return generator.generate(), 140, spec.node_tdp_watts
+
+
+def test_ablation_power_capped_scheduling(benchmark, report):
+    jobs, num_nodes, tdp = _job_stream()
+
+    outcome_085 = benchmark.pedantic(
+        evaluate_power_capped_scheduling,
+        args=(jobs, num_nodes, tdp),
+        kwargs={"budget_fraction": 0.85},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    outcomes = {0.85: outcome_085}
+    for frac in (1.0, 0.70, 0.60):
+        outcomes[frac] = evaluate_power_capped_scheduling(
+            jobs, num_nodes, tdp, budget_fraction=frac
+        )
+    for frac in sorted(outcomes, reverse=True):
+        o = outcomes[frac]
+        rows.append(
+            (f"budget {fmt_pct(frac)} of TDP: added wait",
+             "knee at demand x (1+headroom)",
+             f"+{o.wait_penalty_s / 3600:.1f} h mean wait, "
+             f"makespan +{fmt_pct(o.makespan_penalty)}, "
+             f"peak commitment {fmt_pct(o.peak_commitment_fraction)}")
+        )
+    report(
+        "A5",
+        "power-capped scheduling cost sweep (Emmy-like, 140 nodes)",
+        rows,
+        note="A budget at TDP is free. The knee sits at the workload's "
+        "aggregate demand times the 1.15 admission headroom (~0.85 of "
+        "TDP here, with offered load ~0.9 and mean draw ~0.72 TDP): the "
+        "predicted+15% charging the paper recommends is what the budget "
+        "must accommodate, not the raw draw. Below the knee, wait time "
+        "and makespan grow quickly — the cost side of harvesting "
+        "stranded power.",
+    )
+
+    assert outcomes[1.0].wait_penalty_s <= 60.0
+    assert outcomes[0.85].wait_penalty_s <= outcomes[0.60].wait_penalty_s
+    for o in outcomes.values():
+        assert o.peak_commitment_fraction <= 1.0 + 1e-9

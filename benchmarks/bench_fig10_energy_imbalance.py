@@ -1,0 +1,29 @@
+"""F10 — Fig 10: per-node energy imbalance across a job's nodes."""
+
+import numpy as np
+from conftest import fmt_pct
+
+from repro.analysis import spatial_summary
+from repro.stats.correlation import spearman
+
+
+def test_fig10_energy_imbalance(benchmark, report, emmy_full):
+    s = benchmark(spatial_summary, emmy_full)
+
+    # Paper: the imbalance correlates with the node count of the job.
+    traces = [t for t in emmy_full.traces.values() if t.num_nodes >= 2]
+    nodes = np.asarray([t.num_nodes for t in traces], dtype=float)
+    imbalance = np.asarray([t.energy_imbalance_fraction() for t in traces])
+    rho = spearman(nodes, imbalance)
+
+    rows = [
+        ("jobs with >15% node-energy diff", ">20%",
+         fmt_pct(s.frac_jobs_energy_imbalance_over_15pct)),
+        ("imbalance vs job size correlation", "positive (expected)",
+         f"rho={rho.statistic:.2f} (p={rho.pvalue:.2g})"),
+        ("multi-node jobs analyzed", "-", f"{s.n_jobs}"),
+    ]
+    report("F10", "node-energy imbalance PDF", rows)
+
+    assert s.frac_jobs_energy_imbalance_over_15pct > 0.15
+    assert rho.statistic > 0.1 and rho.pvalue < 0.01

@@ -1,0 +1,25 @@
+"""F11 — Fig 11: user-level node-hour and energy concentration."""
+
+from conftest import fmt_pct
+
+from repro.analysis import concentration_analysis
+
+
+def test_fig11_user_concentration(benchmark, report, emmy_full, meggie_full):
+    emmy = benchmark(concentration_analysis, emmy_full)
+    meggie = concentration_analysis(meggie_full)
+
+    rows = [
+        ("emmy top-20% node-hours share", "~85%", fmt_pct(emmy.node_hours_share)),
+        ("emmy top-20% energy share", "~85%", fmt_pct(emmy.energy_share)),
+        ("meggie top-20% node-hours share", "~85%", fmt_pct(meggie.node_hours_share)),
+        ("meggie top-20% energy share", "~85%", fmt_pct(meggie.energy_share)),
+        ("emmy top-set overlap", "~90%", fmt_pct(emmy.top_set_overlap)),
+        ("meggie top-set overlap", "~90%", fmt_pct(meggie.top_set_overlap)),
+    ]
+    report("F11", "user concentration", rows)
+
+    for c in (emmy, meggie):
+        assert 0.70 < c.node_hours_share <= 1.0
+        assert 0.70 < c.energy_share <= 1.0
+        assert c.top_set_overlap > 0.75

@@ -1,0 +1,33 @@
+"""F13 — Fig 13: variability inside (user, nodes) and (user, walltime)
+clusters — the basis of the pre-execution prediction result."""
+
+from conftest import fmt_pct
+
+from repro.analysis import cluster_variability, user_power_variability
+
+
+def test_fig13_cluster_variability(benchmark, report, emmy_full, meggie_full):
+    emmy_nodes = benchmark(cluster_variability, emmy_full, "nodes")
+    emmy_wall = cluster_variability(emmy_full, "walltime")
+    meggie_nodes = cluster_variability(meggie_full, "nodes")
+    meggie_wall = cluster_variability(meggie_full, "walltime")
+
+    rows = [
+        ("emmy (user,nodes) clusters sigma<10%", "61.7%",
+         fmt_pct(emmy_nodes.frac_below_10pct)),
+        ("meggie (user,nodes) clusters sigma<10%", "majority",
+         fmt_pct(meggie_nodes.frac_below_10pct)),
+        ("emmy (user,walltime) clusters sigma<10%", "majority",
+         fmt_pct(emmy_wall.frac_below_10pct)),
+        ("meggie (user,walltime) clusters sigma<10%", "majority",
+         fmt_pct(meggie_wall.frac_below_10pct)),
+        ("emmy bucket fractions " + "/".join(emmy_nodes.bucket_labels), "-",
+         "/".join(fmt_pct(f) for f in emmy_nodes.bucket_fractions)),
+    ]
+    report("F13", "cluster variability pies", rows)
+
+    # The collapse: clustering slashes per-user variability.
+    for ds, clusters in ((emmy_full, emmy_nodes), (meggie_full, meggie_nodes)):
+        user_cov = user_power_variability(ds).mean_cov
+        assert clusters.mean_cov < 0.5 * user_cov
+        assert clusters.frac_below_10pct > 0.5

@@ -1,0 +1,61 @@
+"""F14 — Fig 14: absolute prediction error of BDT, KNN, and FLDA.
+
+Paper headlines: BDT best (90% of predictions <10% error, 75% <5%);
+KNN close behind; FLDA weak on Emmy (half its predictions >10% error).
+"""
+
+import pytest
+from conftest import fmt_pct
+
+from repro.analysis import run_prediction
+
+N_REPEATS = 3  # the paper uses 10; 3 keeps the bench affordable
+
+
+@pytest.fixture(scope="module")
+def results(emmy_full, meggie_full):
+    return {
+        "emmy": run_prediction(emmy_full, n_repeats=N_REPEATS, seed=0),
+        "meggie": run_prediction(meggie_full, n_repeats=N_REPEATS, seed=0),
+    }
+
+
+def test_fig14_prediction_error(benchmark, report, emmy_full, results):
+    # Time one representative evaluation round (BDT on Emmy).
+    from repro.analysis.prediction import default_models
+
+    bdt_only = {"BDT": default_models()["BDT"]}
+    benchmark.pedantic(
+        run_prediction,
+        args=(emmy_full,),
+        kwargs={"models": bdt_only, "n_repeats": 1, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for system, res in results.items():
+        for name, r in res.items():
+            paper = {
+                ("BDT"): "75% <5%, 90% <10%",
+                ("KNN"): "worse than BDT",
+                ("FLDA"): "poor on emmy (50% >10% err)",
+            }[name]
+            rows.append(
+                (f"{system} {name}", paper,
+                 f"{fmt_pct(r.summary.frac_below_5pct)} <5%, "
+                 f"{fmt_pct(r.summary.frac_below_10pct)} <10% "
+                 f"(mean {fmt_pct(r.summary.mean)})")
+            )
+    report("F14", "pre-execution power prediction", rows)
+
+    for system, res in results.items():
+        bdt, knn, flda = res["BDT"].summary, res["KNN"].summary, res["FLDA"].summary
+        assert bdt.frac_below_10pct > knn.frac_below_10pct > flda.frac_below_10pct
+        assert bdt.frac_below_10pct > 0.80
+        assert bdt.frac_below_5pct > 0.60
+    # FLDA's linear boundaries fail hardest on the more diverse Emmy.
+    assert (
+        results["emmy"]["FLDA"].summary.frac_below_10pct
+        < results["emmy"]["BDT"].summary.frac_below_10pct - 0.15
+    )

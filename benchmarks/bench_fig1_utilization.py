@@ -1,0 +1,22 @@
+"""F1 — Fig 1: system utilization of Emmy and Meggie over 5 months."""
+
+from conftest import fmt_pct
+
+from repro.analysis import system_utilization
+
+
+def test_fig1_system_utilization(benchmark, report, emmy_full, meggie_full):
+    emmy = benchmark(system_utilization, emmy_full)
+    meggie = system_utilization(meggie_full)
+
+    rows = [
+        ("emmy mean system utilization", "87%", fmt_pct(emmy.mean)),
+        ("meggie mean system utilization", "80%", fmt_pct(meggie.mean)),
+        ("emmy peak utilization", "~100%", fmt_pct(emmy.peak)),
+        ("both systems 'often more than 80%'", "yes",
+         "yes" if emmy.mean > 0.8 and meggie.mean > 0.75 else "no"),
+    ]
+    report("F1", "system utilization (5 months)", rows)
+
+    assert 0.80 < emmy.mean < 0.95
+    assert 0.72 < meggie.mean < 0.90

@@ -1,0 +1,25 @@
+"""F2 — Fig 2: power consumption vs. provisioned power (stranded power)."""
+
+from conftest import fmt_pct
+
+from repro.analysis import power_utilization
+
+
+def test_fig2_power_utilization(benchmark, report, emmy_full, meggie_full):
+    emmy = benchmark(power_utilization, emmy_full)
+    meggie = power_utilization(meggie_full)
+
+    rows = [
+        ("emmy mean power utilization", "69%", fmt_pct(emmy.mean)),
+        ("meggie mean power utilization", "51%", fmt_pct(meggie.mean)),
+        ("emmy peak power (never exceeds)", "85%", fmt_pct(emmy.peak)),
+        ("meggie peak power (never exceeds)", "70%", fmt_pct(meggie.peak)),
+        ("stranded power >30% on meggie", "yes",
+         "yes" if meggie.stranded_fraction > 0.30 else "no"),
+        ("emmy stranded fraction", "31%", fmt_pct(emmy.stranded_fraction)),
+    ]
+    report("F2", "power utilization and stranded power", rows)
+
+    assert emmy.mean < 0.80 and meggie.mean < 0.70
+    assert emmy.peak < 0.95
+    assert meggie.stranded_fraction > 0.30

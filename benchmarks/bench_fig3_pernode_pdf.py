@@ -1,0 +1,30 @@
+"""F3 — Fig 3: PDFs of per-node power consumption of all jobs."""
+
+from conftest import fmt_pct, fmt_w
+
+from repro.analysis import per_node_power_distribution
+
+
+def test_fig3_per_node_power_pdf(benchmark, report, emmy_full, meggie_full):
+    emmy = benchmark(per_node_power_distribution, emmy_full)
+    meggie = per_node_power_distribution(meggie_full)
+
+    rows = [
+        ("emmy mean per-node power", "149 W (71% TDP)",
+         f"{fmt_w(emmy.mean_watts)} ({fmt_pct(emmy.mean_tdp_fraction)} TDP)"),
+        ("emmy std", "39 W (26% of mean)",
+         f"{fmt_w(emmy.std_watts)} ({fmt_pct(emmy.std_over_mean)} of mean)"),
+        ("meggie mean per-node power", "114 W (59% TDP)",
+         f"{fmt_w(meggie.mean_watts)} ({fmt_pct(meggie.mean_tdp_fraction)} TDP)"),
+        ("meggie std", "20 W (18% of mean)",
+         f"{fmt_w(meggie.std_watts)} ({fmt_pct(meggie.std_over_mean)} of mean)"),
+        ("emmy jobs analyzed", "~48k", f"{emmy.n_jobs}"),
+        ("meggie jobs analyzed", "~36k", f"{meggie.n_jobs}"),
+    ]
+    report("F3", "per-node power PDFs", rows)
+
+    # Shape checks: well below TDP, Emmy higher and wider than Meggie.
+    assert 0.60 < emmy.mean_tdp_fraction < 0.80
+    assert 0.50 < meggie.mean_tdp_fraction < 0.68
+    assert emmy.mean_tdp_fraction > meggie.mean_tdp_fraction
+    assert emmy.std_over_mean > meggie.std_over_mean

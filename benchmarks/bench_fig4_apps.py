@@ -1,0 +1,40 @@
+"""F4 — Fig 4: key applications' per-node power on both systems.
+
+Headlines: every app draws less (in watts) on Meggie — by up to ~25% —
+and the power *ranking* flips across systems (MD-0 vs FASTEST).
+"""
+
+import numpy as np
+from conftest import fmt_pct, fmt_w
+
+from repro.analysis import app_power_comparison
+
+
+def test_fig4_app_comparison(benchmark, report, emmy_full, meggie_full):
+    comp = benchmark(
+        app_power_comparison, {"emmy": emmy_full, "meggie": meggie_full}
+    )
+
+    rows = []
+    for i, app in enumerate(comp.apps):
+        emmy_w, meggie_w = comp.mean_watts[i]
+        rows.append(
+            (f"{app} (emmy -> meggie)", "lower on meggie",
+             f"{fmt_w(emmy_w)} -> {fmt_w(meggie_w)}")
+        )
+    rows += [
+        ("max relative drop", "up to ~25%", fmt_pct(comp.max_relative_drop())),
+        ("ranking flips across systems", "yes",
+         "yes" if comp.rankings_differ() else "no"),
+        ("emmy ranking", "MD-0 above FASTEST",
+         " > ".join(comp.ranking("emmy"))),
+        ("meggie ranking", "FASTEST above MD-0",
+         " > ".join(comp.ranking("meggie"))),
+    ]
+    report("F4", "per-application cross-system power", rows)
+
+    assert np.all(comp.mean_watts[:, 0] > comp.mean_watts[:, 1])
+    assert comp.rankings_differ()
+    emmy_rank, meggie_rank = comp.ranking("emmy"), comp.ranking("meggie")
+    assert emmy_rank.index("md0") < emmy_rank.index("fastest")
+    assert meggie_rank.index("fastest") < meggie_rank.index("md0")

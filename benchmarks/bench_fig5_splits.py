@@ -1,0 +1,35 @@
+"""F5 — Fig 5: per-node power by job length/size (median splits)."""
+
+from conftest import fmt_pct
+
+from repro.analysis import split_analysis
+
+
+def test_fig5_median_splits(benchmark, report, emmy_full, meggie_full):
+    emmy_len = benchmark(split_analysis, emmy_full, "length")
+    emmy_size = split_analysis(emmy_full, "size")
+    meggie_len = split_analysis(meggie_full, "length")
+    meggie_size = split_analysis(meggie_full, "size")
+
+    def fmt(split):
+        return (
+            f"{fmt_pct(split.low.mean_tdp_fraction)} -> "
+            f"{fmt_pct(split.high.mean_tdp_fraction)} of TDP"
+        )
+
+    rows = [
+        ("emmy short->long", "65% -> 75% of TDP", fmt(emmy_len)),
+        ("emmy small->large", "65% -> 76% of TDP", fmt(emmy_size)),
+        ("meggie short->long", "57% -> 61% of TDP", fmt(meggie_len)),
+        ("meggie small->large", "56% -> 62% of TDP", fmt(meggie_size)),
+        ("emmy long jobs less variable", "yes",
+         "yes" if emmy_len.high.std_tdp_fraction < emmy_len.low.std_tdp_fraction else "no"),
+        ("emmy large jobs less variable", "yes",
+         "yes" if emmy_size.high.std_tdp_fraction < emmy_size.low.std_tdp_fraction else "no"),
+    ]
+    report("F5", "length/size median splits", rows)
+
+    for split in (emmy_len, emmy_size, meggie_len, meggie_size):
+        assert split.high.mean_tdp_fraction > split.low.mean_tdp_fraction
+    assert emmy_len.high.std_tdp_fraction < emmy_len.low.std_tdp_fraction
+    assert emmy_size.high.std_tdp_fraction < emmy_size.low.std_tdp_fraction

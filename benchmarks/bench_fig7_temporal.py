@@ -1,0 +1,31 @@
+"""F7 — Fig 7: temporal power-consumption CDFs (metrics of Fig 6).
+
+The paper instruments Emmy's key applications for one month; its
+headline: temporal variance is *limited* (mean σ_t/µ ≈ 11%, mean peak
+overshoot ≈ 10–12%, most jobs never spend time >10% above their mean).
+"""
+
+from conftest import fmt_pct
+
+from repro.analysis import temporal_summary
+
+
+def test_fig7_temporal_cdfs(benchmark, report, emmy_full):
+    t = benchmark(temporal_summary, emmy_full)
+
+    rows = [
+        ("mean temporal sigma/mean", "11%", fmt_pct(t.mean_temporal_cov)),
+        ("mean peak overshoot (7a)", "10-12%", fmt_pct(t.mean_peak_overshoot)),
+        ("80th pct of overshoot (7a)", "<= ~12%",
+         fmt_pct(t.overshoot_at_percentile(0.8))),
+        ("mean runtime >10% above mean (7b)", "10%",
+         fmt_pct(t.mean_frac_time_above_10pct)),
+        ("jobs spending ~0% above (7b)", ">70%", fmt_pct(t.frac_jobs_never_above)),
+        ("instrumented jobs", "selected key apps", f"{t.n_jobs}"),
+    ]
+    report("F7", "temporal variance CDFs", rows)
+
+    assert t.mean_temporal_cov < 0.20          # "limited temporal variance"
+    assert 0.05 < t.mean_peak_overshoot < 0.20
+    assert t.frac_jobs_never_above > 0.5
+    assert t.mean_frac_time_above_10pct < 0.20

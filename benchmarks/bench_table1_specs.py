@@ -1,0 +1,20 @@
+"""T1 — Table 1: system specifications (consistency check + build cost)."""
+
+from repro.cluster import EMMY, MEGGIE, Cluster
+
+
+def test_table1_specs(benchmark, report):
+    cluster = benchmark(Cluster.from_name, "emmy", 0)
+    assert cluster.num_nodes == 560
+
+    rows = [
+        ("emmy nodes", 560, EMMY.num_nodes),
+        ("emmy node TDP", "210 W", f"{EMMY.node_tdp_watts:.0f} W"),
+        ("emmy batch system", "Torque/Maui", EMMY.batch_system),
+        ("meggie nodes", 728, MEGGIE.num_nodes),
+        ("meggie node TDP", "195 W", f"{MEGGIE.node_tdp_watts:.0f} W"),
+        ("meggie batch system", "Slurm", MEGGIE.batch_system),
+        ("emmy LINPACK", "191 TF / 170 kW", f"{EMMY.linpack_tflops:.0f} TF / {EMMY.linpack_power_kw:.0f} kW"),
+        ("meggie LINPACK", "472 TF / 210 kW", f"{MEGGIE.linpack_tflops:.0f} TF / {MEGGIE.linpack_power_kw:.0f} kW"),
+    ]
+    report("T1", "Table 1 system specifications", rows)

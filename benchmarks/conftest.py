@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper at full
+machine scale (560-node Emmy, 728-node Meggie, 152-day window), prints a
+paper-vs-measured comparison, and writes the same text to
+``benchmarks/results/<exp>.txt``. pytest-benchmark times the analysis
+step (not dataset generation, which is shared per session).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import comparison_text
+from repro.telemetry import JobDataset, generate_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def emmy_full() -> JobDataset:
+    """The full 5-month Emmy configuration (paper scale)."""
+    return generate_dataset("emmy", seed=BENCH_SEED, max_traces=1500)
+
+
+@pytest.fixture(scope="session")
+def meggie_full() -> JobDataset:
+    """The full 5-month Meggie configuration (paper scale)."""
+    return generate_dataset("meggie", seed=BENCH_SEED, max_traces=1500)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that renders, prints, and persists one comparison."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(exp_id: str, title: str, rows, note: str | None = None) -> str:
+        text = comparison_text(f"{exp_id}: {title}", rows, note=note)
+        print(text)
+        (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+        return text
+
+    return _report
+
+
+def fmt_pct(x: float) -> str:
+    return f"{100 * x:.1f}%"
+
+
+def fmt_w(x: float) -> str:
+    return f"{x:.0f} W"

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: generate a scaled-down Emmy trace and tour every analysis.
+
+Runs in a few seconds. For the paper-scale reproduction of each figure
+and table, see the ``benchmarks/`` harness.
+
+Usage::
+
+    python examples/quickstart.py [seed]
+"""
+
+import sys
+
+import repro
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+
+    # A 1/8-scale Emmy over two weeks; same generative model as the full
+    # configuration, fewer nodes and users.
+    dataset = repro.generate_dataset(
+        "emmy",
+        seed=seed,
+        num_nodes=70,
+        num_users=40,
+        horizon_s=14 * 86400,
+        max_traces=300,
+    )
+    print(f"generated {dataset.num_jobs} jobs on {dataset.spec.name} "
+          f"({dataset.spec.num_nodes} nodes, {len(dataset.traces)} instrumented)")
+
+    # Section 3 — system-level utilization and stranded power.
+    util = repro.system_utilization(dataset)
+    power = repro.power_utilization(dataset)
+    print(f"\nsystem utilization: {util.mean:.1%} "
+          f"(power: {power.mean:.1%}, stranded: {power.stranded_fraction:.1%})")
+
+    # Section 4 — job-level power characteristics.
+    dist = repro.per_node_power_distribution(dataset)
+    print(f"per-node power: {dist.mean_watts:.0f} W "
+          f"= {dist.mean_tdp_fraction:.0%} of TDP "
+          f"(sigma/mean {dist.std_over_mean:.0%})")
+
+    corr = repro.feature_power_correlations(dataset)
+    print(f"Spearman power vs length {corr['job_length'].statistic:+.2f}, "
+          f"vs size {corr['job_size'].statistic:+.2f}")
+
+    temporal = repro.temporal_summary(dataset)
+    spatial = repro.spatial_summary(dataset)
+    print(f"temporal: peak only {temporal.mean_peak_overshoot:.0%} above mean; "
+          f"spatial: node spread {spatial.mean_spread_fraction:.0%} of power")
+
+    # Section 5 — users and prediction.
+    conc = repro.concentration_analysis(dataset)
+    print(f"top 20% of users consume {conc.node_hours_share:.0%} node-hours "
+          f"and {conc.energy_share:.0%} energy (overlap {conc.top_set_overlap:.0%})")
+
+    results = repro.run_prediction(dataset, n_repeats=3, seed=seed)
+    print("\npre-execution power prediction (user, nodes, walltime):")
+    for name, result in results.items():
+        s = result.summary
+        print(f"  {name:5s} {s.frac_below_5pct:5.1%} of predictions <5% error, "
+              f"{s.frac_below_10pct:5.1%} <10%")
+
+
+if __name__ == "__main__":
+    main()

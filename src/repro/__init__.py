@@ -1,0 +1,74 @@
+"""repro — reproduction of *"What does Power Consumption Behavior of HPC
+Jobs Reveal?"* (Patel et al., IPDPS 2020).
+
+The package has four layers:
+
+1. **Substrates** — :mod:`repro.cluster` (machines, RAPL),
+   :mod:`repro.workload` (generative job model), :mod:`repro.scheduler`
+   (FCFS + EASY backfill), :mod:`repro.telemetry` (monitoring + dataset
+   assembly), :mod:`repro.frames` (columnar tables), :mod:`repro.stats`,
+   :mod:`repro.ml` (CART / KNN / FLDA from scratch).
+2. **Analyses** — :mod:`repro.analysis`, one function per paper
+   figure/table.
+3. **Policies** — :mod:`repro.policy`, the paper's implications turned
+   into simulators (power capping, over-provisioning, pricing).
+4. **Harness** — ``benchmarks/`` regenerate every figure/table;
+   ``examples/`` show the public API.
+
+Quickstart
+----------
+>>> from repro import generate_dataset, per_node_power_distribution
+>>> ds = generate_dataset("emmy", seed=7, num_nodes=40, num_users=20,
+...                       horizon_s=3 * 86400)
+>>> dist = per_node_power_distribution(ds)
+>>> 0.3 < dist.mean_tdp_fraction < 1.0
+True
+"""
+
+from repro._version import __version__
+from repro.analysis import (
+    app_power_comparison,
+    cluster_variability,
+    concentration_analysis,
+    feature_power_correlations,
+    per_node_power_distribution,
+    power_utilization,
+    run_prediction,
+    spatial_summary,
+    split_analysis,
+    system_utilization,
+    temporal_summary,
+    user_power_variability,
+)
+from repro.cluster import EMMY, MEGGIE, Cluster, SystemSpec, get_spec
+from repro.frames import Table
+from repro.telemetry import JobDataset, generate_dataset
+from repro.workload import WorkloadGenerator, default_params
+
+__all__ = [
+    "__version__",
+    # substrates
+    "SystemSpec",
+    "EMMY",
+    "MEGGIE",
+    "get_spec",
+    "Cluster",
+    "Table",
+    "WorkloadGenerator",
+    "default_params",
+    "JobDataset",
+    "generate_dataset",
+    # analyses
+    "system_utilization",
+    "power_utilization",
+    "per_node_power_distribution",
+    "app_power_comparison",
+    "feature_power_correlations",
+    "split_analysis",
+    "temporal_summary",
+    "spatial_summary",
+    "concentration_analysis",
+    "user_power_variability",
+    "cluster_variability",
+    "run_prediction",
+]

@@ -1,0 +1,186 @@
+"""Section 4 (static part) — job-level power characteristics (RQ3–RQ4).
+
+Fig 3: PDFs of per-node power across all jobs of a system.
+Fig 4: per-application cross-system comparison (ranking flip).
+Table 2: Spearman correlations of job length/size with per-node power.
+Fig 5: median splits (short/long, small/large) with mean ± std as %TDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.frames import Table
+from repro.stats.binning import HistogramPDF, histogram_pdf
+from repro.stats.correlation import CorrelationResult, spearman
+from repro.telemetry.dataset import JobDataset
+from repro.workload.applications import KEY_APPS
+
+__all__ = [
+    "PowerDistribution",
+    "per_node_power_distribution",
+    "AppPowerComparison",
+    "app_power_comparison",
+    "feature_power_correlations",
+    "SplitAnalysis",
+    "split_analysis",
+]
+
+
+@dataclass(frozen=True)
+class PowerDistribution:
+    """Fig 3 for one system."""
+
+    system: str
+    mean_watts: float
+    std_watts: float
+    mean_tdp_fraction: float
+    std_over_mean: float
+    pdf: HistogramPDF
+    n_jobs: int
+
+
+def per_node_power_distribution(dataset: JobDataset, bins: int | None = 60) -> PowerDistribution:
+    """Distribution of per-node power over all jobs (RQ3 / Fig 3)."""
+    power = dataset.jobs["pernode_power_w"]
+    if len(power) == 0:
+        raise AnalysisError("dataset has no jobs")
+    mean = float(power.mean())
+    std = float(power.std())
+    return PowerDistribution(
+        system=dataset.spec.name,
+        mean_watts=mean,
+        std_watts=std,
+        mean_tdp_fraction=mean / dataset.spec.node_tdp_watts,
+        std_over_mean=std / mean,
+        pdf=histogram_pdf(power, bins=bins),
+        n_jobs=len(power),
+    )
+
+
+@dataclass(frozen=True)
+class AppPowerComparison:
+    """Fig 4: mean per-node power of key apps on each system."""
+
+    apps: tuple[str, ...]
+    systems: tuple[str, ...]
+    mean_watts: np.ndarray  # shape (apps, systems)
+
+    def ranking(self, system: str) -> list[str]:
+        """App names ordered by descending power on one system."""
+        j = self.systems.index(system)
+        order = np.argsort(self.mean_watts[:, j], kind="stable")[::-1]
+        return [self.apps[i] for i in order]
+
+    def rankings_differ(self) -> bool:
+        """The paper's headline: does the power ranking flip across systems?"""
+        rankings = [self.ranking(s) for s in self.systems]
+        return any(r != rankings[0] for r in rankings[1:])
+
+    def max_relative_drop(self) -> float:
+        """Largest per-app relative power difference between systems."""
+        lo = self.mean_watts.min(axis=1)
+        hi = self.mean_watts.max(axis=1)
+        return float(np.max((hi - lo) / hi))
+
+    def as_table(self) -> Table:
+        cols: dict[str, object] = {"app": list(self.apps)}
+        for j, system in enumerate(self.systems):
+            cols[f"{system}_watts"] = self.mean_watts[:, j]
+        return Table(cols)
+
+
+def app_power_comparison(
+    datasets: Mapping[str, JobDataset], apps: Sequence[str] = KEY_APPS
+) -> AppPowerComparison:
+    """RQ4 / Fig 4 across two (or more) systems."""
+    if not datasets:
+        raise AnalysisError("need at least one dataset")
+    systems = tuple(datasets)
+    means = np.empty((len(apps), len(systems)))
+    for j, system in enumerate(systems):
+        jobs = datasets[system].jobs
+        for i, app in enumerate(apps):
+            mask = jobs["app"] == app
+            if not np.any(mask):
+                raise AnalysisError(f"system {system!r} ran no {app!r} jobs")
+            means[i, j] = jobs["pernode_power_w"][mask].mean()
+    return AppPowerComparison(apps=tuple(apps), systems=systems, mean_watts=means)
+
+
+def feature_power_correlations(dataset: JobDataset) -> dict[str, CorrelationResult]:
+    """Table 2: Spearman of runtime and node count vs per-node power."""
+    jobs = dataset.jobs
+    power = jobs["pernode_power_w"]
+    return {
+        "job_length": spearman(jobs["runtime_s"], power),
+        "job_size": spearman(jobs["nodes"], power),
+    }
+
+
+@dataclass(frozen=True)
+class SplitGroup:
+    """One half of a median split."""
+
+    label: str
+    n_jobs: int
+    mean_tdp_fraction: float
+    std_tdp_fraction: float
+
+
+@dataclass(frozen=True)
+class SplitAnalysis:
+    """Fig 5 for one split dimension on one system."""
+
+    system: str
+    dimension: str  # "length" or "size"
+    low: SplitGroup  # short / small
+    high: SplitGroup  # long / large
+
+    @property
+    def high_minus_low(self) -> float:
+        return self.high.mean_tdp_fraction - self.low.mean_tdp_fraction
+
+
+def split_analysis(dataset: JobDataset, dimension: str) -> SplitAnalysis:
+    """Median split by runtime ("length") or node count ("size")."""
+    jobs = dataset.jobs
+    if dimension == "length":
+        values = jobs["runtime_s"].astype(float)
+        labels = ("short", "long")
+    elif dimension == "size":
+        values = jobs["nodes"].astype(float)
+        labels = ("small", "large")
+    else:
+        raise AnalysisError(f"dimension must be 'length' or 'size', got {dimension!r}")
+    if len(values) < 2:
+        raise AnalysisError("need at least 2 jobs for a median split")
+    power_frac = jobs["pernode_power_w"] / dataset.spec.node_tdp_watts
+    median = float(np.median(values))
+    low_mask = values <= median
+    high_mask = ~low_mask
+    if not np.any(high_mask):  # all values equal: split at the median rank
+        order = np.argsort(values, kind="stable")
+        low_mask = np.zeros(len(values), dtype=bool)
+        low_mask[order[: len(values) // 2]] = True
+        high_mask = ~low_mask
+
+    def group(label: str, mask: np.ndarray) -> SplitGroup:
+        sel = power_frac[mask]
+        return SplitGroup(
+            label=label,
+            n_jobs=int(mask.sum()),
+            mean_tdp_fraction=float(sel.mean()),
+            std_tdp_fraction=float(sel.std()),
+        )
+
+    return SplitAnalysis(
+        system=dataset.spec.name,
+        dimension=dimension,
+        low=group(labels[0], low_mask),
+        high=group(labels[1], high_mask),
+    )

@@ -1,0 +1,59 @@
+"""Section 5 — pre-execution power prediction (RQ9; Figs 14–15).
+
+Wires the paper's three models and evaluation protocol onto a dataset's
+job table. Features: user id, number of nodes, requested walltime —
+everything available *before* the job starts (actual runtime is
+deliberately excluded, as in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import AnalysisError
+from repro.ml import (
+    DecisionTreeRegressor,
+    FLDARegressor,
+    KNNRegressor,
+    PredictionResult,
+    evaluate_models,
+)
+from repro.telemetry.dataset import JobDataset
+
+__all__ = ["default_models", "run_prediction"]
+
+
+def default_models() -> dict[str, Callable[[], object]]:
+    """The paper's three models (Fig 14), best-performing first.
+
+    * **BDT** — CART with the user as a native categorical feature;
+      shallow leaves resolve down to job classes.
+    * **KNN** — k=5 with every feature treated numerically (user id
+      included), so nearby (nodes, walltime) jobs of *other* users bleed
+      in — exactly the failure mode the paper diagnoses for KNN.
+    * **FLDA** — 10 power classes, linear boundaries.
+    """
+    return {
+        "BDT": lambda: DecisionTreeRegressor(min_samples_leaf=3),
+        "KNN": lambda: KNNRegressor(k=5, use_categorical=False, weighting="uniform"),
+        "FLDA": lambda: FLDARegressor(n_bins=10),
+    }
+
+
+def run_prediction(
+    dataset: JobDataset,
+    models: Mapping[str, Callable[[], object]] | None = None,
+    n_repeats: int = 10,
+    seed: int = 0,
+) -> dict[str, PredictionResult]:
+    """Run the full Fig 14/15 evaluation on one dataset."""
+    if dataset.num_jobs < 50:
+        raise AnalysisError(
+            f"prediction evaluation needs a reasonable job count, got {dataset.num_jobs}"
+        )
+    return evaluate_models(
+        dataset.jobs,
+        models or default_models(),
+        n_repeats=n_repeats,
+        seed=seed,
+    )

@@ -1,0 +1,60 @@
+"""Plain-text rendering of analysis results.
+
+The benchmark harness prints paper-vs-measured rows through
+:func:`comparison_text`; :func:`format_table` renders any
+:class:`~repro.frames.table.Table` with aligned columns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.frames import Table
+
+__all__ = ["format_table", "comparison_text"]
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, (float, np.floating)):
+        return f"{float(value):.4g}"
+    return str(value)
+
+
+def format_table(table: Table, max_rows: int = 50) -> str:
+    """Monospace rendering with a header rule and aligned columns."""
+    names = table.column_names
+    if not names:
+        return "(empty table)"
+    shown = table.head(max_rows)
+    rows = [[_render_cell(shown[n][i]) for n in names] for i in range(len(shown))]
+    widths = [
+        max(len(n), *(len(r[j]) for r in rows)) if rows else len(n)
+        for j, n in enumerate(names)
+    ]
+    header = "  ".join(n.ljust(w) for n, w in zip(names, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows)
+    suffix = "" if len(table) <= max_rows else f"\n… ({len(table) - max_rows} more rows)"
+    return "\n".join(x for x in (header, rule, body) if x) + suffix
+
+
+def comparison_text(
+    title: str, rows: Sequence[tuple[str, object, object]], note: str | None = None
+) -> str:
+    """Render (label, paper value, measured value) rows for a bench.
+
+    Values may be strings (pre-formatted) or numbers.
+    """
+    table = Table(
+        {
+            "metric": [label for label, _, _ in rows],
+            "paper": [_render_cell(p) for _, p, _ in rows],
+            "measured": [_render_cell(m) for _, _, m in rows],
+        }
+    )
+    text = f"\n== {title} ==\n{format_table(table)}"
+    if note:
+        text += f"\nnote: {note}"
+    return text

@@ -1,0 +1,64 @@
+"""Section 4 (dynamic, spatial) — RQ5's spatial half (Figs 8–10).
+
+Fig 9a: CDF of the average spatial spread (W) per job.
+Fig 9b: CDF of the spread as a fraction of per-node power.
+Fig 9c: CDF of the fraction of runtime the spread exceeds its average.
+Fig 10: PDF of the (max−min)/min node-energy difference per job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.stats.binning import HistogramPDF, histogram_pdf
+from repro.stats.distributions import ECDF
+from repro.telemetry.dataset import JobDataset
+
+__all__ = ["SpatialSummary", "spatial_summary"]
+
+
+@dataclass(frozen=True)
+class SpatialSummary:
+    """Per-instrumented-job spatial metrics with their distributions."""
+
+    system: str
+    n_jobs: int
+    mean_spread_watts: float
+    max_spread_watts: float
+    spread_cdf: ECDF
+    mean_spread_fraction: float
+    spread_fraction_cdf: ECDF
+    mean_frac_time_above_avg_spread: float
+    frac_time_cdf: ECDF
+    energy_imbalance_pdf: HistogramPDF
+    # Fig 10 headline: share of jobs with >15% node-energy difference.
+    frac_jobs_energy_imbalance_over_15pct: float
+
+
+def spatial_summary(dataset: JobDataset, bins: int | None = 40) -> SpatialSummary:
+    """Compute Figs 9–10 from the instrumented traces (multi-node only)."""
+    traces = [t for t in dataset.traces.values() if t.num_nodes >= 2]
+    if not traces:
+        raise AnalysisError(
+            "dataset has no multi-node instrumented traces; raise max_traces"
+        )
+    spreads = np.asarray([t.avg_spatial_spread() for t in traces])
+    fractions = np.asarray([t.spatial_spread_fraction() for t in traces])
+    time_above = np.asarray([t.fraction_time_spread_above_average() for t in traces])
+    imbalance = np.asarray([t.energy_imbalance_fraction() for t in traces])
+    return SpatialSummary(
+        system=dataset.spec.name,
+        n_jobs=len(traces),
+        mean_spread_watts=float(spreads.mean()),
+        max_spread_watts=float(spreads.max()),
+        spread_cdf=ECDF(spreads),
+        mean_spread_fraction=float(fractions.mean()),
+        spread_fraction_cdf=ECDF(fractions),
+        mean_frac_time_above_avg_spread=float(time_above.mean()),
+        frac_time_cdf=ECDF(time_above),
+        energy_imbalance_pdf=histogram_pdf(imbalance, bins=bins),
+        frac_jobs_energy_imbalance_over_15pct=float(np.mean(imbalance > 0.15)),
+    )

@@ -1,0 +1,128 @@
+"""Spatial diagnostics: straggler nodes and fleet-wide variability.
+
+The paper's Section 4 ends asking for "new production tools that focus
+on heterogeneous spatial power consumption characteristics". Two such
+tools:
+
+* :func:`straggler_nodes` — within one job, flag nodes whose mean power
+  deviates from the job's node-median by more than a threshold
+  (workload-imbalance victims or hot chips);
+* :func:`estimate_node_factors` — across many instrumented jobs, recover
+  each *physical* node's manufacturing-variability factor from its
+  average relative power residual. On simulated data this estimate can
+  be validated against the cluster's ground-truth factors — the test
+  suite does exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.telemetry.dataset import JobDataset
+from repro.telemetry.trace import JobPowerTrace
+
+__all__ = ["StragglerReport", "straggler_nodes", "NodeFactorEstimate",
+           "estimate_node_factors"]
+
+
+@dataclass(frozen=True)
+class StragglerReport:
+    """Per-job spatial outlier summary."""
+
+    job_id: int
+    node_means: np.ndarray  # mean watts per allocated node (job order)
+    relative_deviation: np.ndarray  # node mean / node-median − 1
+    outlier_mask: np.ndarray  # |deviation| > threshold
+
+    @property
+    def num_outliers(self) -> int:
+        return int(self.outlier_mask.sum())
+
+    @property
+    def worst_deviation(self) -> float:
+        return float(np.max(np.abs(self.relative_deviation)))
+
+
+def straggler_nodes(trace: JobPowerTrace, threshold: float = 0.10) -> StragglerReport:
+    """Flag nodes deviating more than ``threshold`` from the node median."""
+    if threshold <= 0:
+        raise AnalysisError("threshold must be positive")
+    means = trace.matrix.mean(axis=1)
+    median = float(np.median(means))
+    if median <= 0:
+        raise AnalysisError(f"job {trace.job_id}: non-positive median node power")
+    deviation = means / median - 1.0
+    return StragglerReport(
+        job_id=trace.job_id,
+        node_means=means,
+        relative_deviation=deviation,
+        outlier_mask=np.abs(deviation) > threshold,
+    )
+
+
+@dataclass(frozen=True)
+class NodeFactorEstimate:
+    """Fleet-wide per-node power-factor estimates."""
+
+    node_ids: np.ndarray
+    factors: np.ndarray  # estimated multiplicative factor (mean ≈ 1)
+    observations: np.ndarray  # jobs contributing per node
+
+    def factor_of(self, node_id: int) -> float:
+        idx = np.flatnonzero(self.node_ids == node_id)
+        if len(idx) == 0:
+            raise AnalysisError(f"node {node_id} was never observed")
+        return float(self.factors[idx[0]])
+
+
+def estimate_node_factors(
+    dataset: JobDataset, min_observations: int = 3
+) -> NodeFactorEstimate:
+    """Estimate per-node variability factors from instrumented traces.
+
+    For each instrumented multi-node job, a node's *relative* power
+    (node mean / job node-mean) isolates the static node effect from the
+    job's own power level; averaging those ratios per physical node over
+    many jobs averages away the per-job workload imbalance.
+
+    Requires the dataset's traces to carry node identity — the job table
+    does not record allocations, so this uses the scheduler's node ids
+    stored alongside each trace.
+    """
+    if min_observations < 1:
+        raise AnalysisError("min_observations must be >= 1")
+    if not dataset.traces:
+        raise AnalysisError("dataset has no instrumented traces")
+    if not dataset.trace_allocations:
+        raise AnalysisError(
+            "dataset lacks trace allocations (regenerate with this version)"
+        )
+
+    num_nodes = dataset.spec.num_nodes
+    ratio_sum = np.zeros(num_nodes)
+    counts = np.zeros(num_nodes, dtype=np.int64)
+    for job_id, trace in dataset.traces.items():
+        node_ids = dataset.trace_allocations.get(job_id)
+        if node_ids is None or trace.num_nodes < 2:
+            continue
+        means = trace.matrix.mean(axis=1)
+        ratios = means / means.mean()
+        ratio_sum[node_ids] += ratios
+        counts[node_ids] += 1
+
+    observed = counts >= min_observations
+    if not np.any(observed):
+        raise AnalysisError(
+            f"no node observed >= {min_observations} times; lower the threshold"
+        )
+    factors = ratio_sum[observed] / counts[observed]
+    # Normalize: factors are identifiable only up to a constant.
+    factors = factors / factors.mean()
+    return NodeFactorEstimate(
+        node_ids=np.flatnonzero(observed),
+        factors=factors,
+        observations=counts[observed],
+    )

@@ -1,0 +1,84 @@
+"""Section 3 — system-level utilization and power trends (RQ1–RQ2).
+
+Fig 1: system utilization = active nodes / total nodes, per minute.
+Fig 2: power utilization = total node power / total provisioned TDP.
+The gap between the two is the paper's *stranded power*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.telemetry.dataset import JobDataset
+from repro.units import MINUTE
+
+__all__ = ["UtilizationSummary", "system_utilization", "power_utilization"]
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """One utilization timeline with its headline statistics."""
+
+    kind: str  # "system" or "power"
+    series: np.ndarray  # per-minute fraction of capacity in [0, 1]
+    mean: float
+    peak: float
+    minimum: float
+
+    @property
+    def stranded_fraction(self) -> float:
+        """1 − mean utilization: the capacity paid for but unused."""
+        return 1.0 - self.mean
+
+    def daily_means(self) -> np.ndarray:
+        """Day-averaged series (Figs 1–2 plot at this granularity)."""
+        per_day = 24 * 60
+        n_days = len(self.series) // per_day
+        if n_days == 0:
+            return np.asarray([self.series.mean()])
+        return self.series[: n_days * per_day].reshape(n_days, per_day).mean(axis=1)
+
+
+def _horizon_slice(dataset: JobDataset) -> slice:
+    """Restrict timelines to the observation window."""
+    return slice(0, int(np.ceil(dataset.horizon_s / MINUTE)))
+
+
+def system_utilization(dataset: JobDataset) -> UtilizationSummary:
+    """RQ1 / Fig 1: fraction of nodes executing a job, per minute."""
+    series = dataset.active_nodes[_horizon_slice(dataset)] / dataset.spec.num_nodes
+    if len(series) == 0:
+        raise AnalysisError("dataset has an empty timeline")
+    return UtilizationSummary(
+        kind="system",
+        series=series,
+        mean=float(series.mean()),
+        peak=float(series.max()),
+        minimum=float(series.min()),
+    )
+
+
+def power_utilization(dataset: JobDataset, include_idle: bool = True) -> UtilizationSummary:
+    """RQ2 / Fig 2: drawn power as a fraction of provisioned (TDP) power.
+
+    ``include_idle`` adds the baseline draw of unallocated nodes — they
+    are powered on and their RAPL domains never read zero, which is how
+    the real monitoring sees the machine.
+    """
+    sl = _horizon_slice(dataset)
+    power = (
+        dataset.total_power_watts()[sl] if include_idle else dataset.job_power_watts[sl]
+    )
+    series = power / dataset.spec.total_tdp_watts
+    if len(series) == 0:
+        raise AnalysisError("dataset has an empty timeline")
+    return UtilizationSummary(
+        kind="power",
+        series=series,
+        mean=float(series.mean()),
+        peak=float(series.max()),
+        minimum=float(series.min()),
+    )

@@ -1,0 +1,162 @@
+"""Section 5 — user-level analysis (RQ6–RQ8; Figs 11–13).
+
+Fig 11: a small user fraction consumes most node-hours and energy, and
+the two top sets overlap heavily.
+Fig 12: per-user variability of per-node power is high.
+Fig 13: clustering a user's jobs by node count or by requested walltime
+collapses that variability — the basis of the prediction result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.frames import Table
+from repro.stats.concentration import lorenz_curve, overlap_fraction, top_share
+from repro.stats.distributions import ECDF
+from repro.telemetry.dataset import JobDataset
+
+__all__ = [
+    "user_totals",
+    "ConcentrationSummary",
+    "concentration_analysis",
+    "UserVariability",
+    "user_power_variability",
+    "ClusterVariability",
+    "cluster_variability",
+]
+
+# Fig 13's standard-deviation buckets (as fraction of the cluster mean).
+VARIABILITY_BUCKETS: tuple[tuple[float, float, str], ...] = (
+    (0.0, 0.10, "<10%"),
+    (0.10, 0.20, "10-20%"),
+    (0.20, 0.30, "20-30%"),
+    (0.30, 0.40, "30-40%"),
+    (0.40, np.inf, ">40%"),
+)
+
+
+def user_totals(dataset: JobDataset) -> Table:
+    """Per-user node-hours, energy, and job count."""
+    return dataset.jobs.group_by("user").agg(
+        node_hours=("node_hours", "sum"),
+        energy_j=("energy_j", "sum"),
+        n_jobs=("job_id", "count"),
+    )
+
+
+@dataclass(frozen=True)
+class ConcentrationSummary:
+    """Fig 11 for one system."""
+
+    system: str
+    n_users: int
+    top_fraction: float
+    node_hours_share: float
+    energy_share: float
+    top_set_overlap: float
+    node_hours_curve: tuple[np.ndarray, np.ndarray]
+    energy_curve: tuple[np.ndarray, np.ndarray]
+
+
+def concentration_analysis(
+    dataset: JobDataset, top_fraction: float = 0.2
+) -> ConcentrationSummary:
+    """RQ6 / Fig 11: consumption share of the top ``top_fraction`` users."""
+    totals = user_totals(dataset)
+    if len(totals) < 2:
+        raise AnalysisError("concentration analysis needs at least 2 users")
+    node_hours = totals["node_hours"]
+    energy = totals["energy_j"]
+    users = totals["user"]
+    return ConcentrationSummary(
+        system=dataset.spec.name,
+        n_users=len(totals),
+        top_fraction=top_fraction,
+        node_hours_share=top_share(node_hours, top_fraction),
+        energy_share=top_share(energy, top_fraction),
+        top_set_overlap=overlap_fraction(users, node_hours, energy, top_fraction),
+        node_hours_curve=lorenz_curve(node_hours),
+        energy_curve=lorenz_curve(energy),
+    )
+
+
+@dataclass(frozen=True)
+class UserVariability:
+    """Fig 12 for one system: per-user σ/µ of per-node power."""
+
+    system: str
+    n_users: int
+    mean_cov: float
+    median_cov: float
+    cov_cdf: ECDF
+
+
+def _group_cov(power: np.ndarray) -> float:
+    return float(power.std() / power.mean())
+
+
+def user_power_variability(dataset: JobDataset, min_jobs: int = 2) -> UserVariability:
+    """RQ7 / Fig 12: variability of per-node power among a user's jobs."""
+    grouped = dataset.jobs.group_by("user")
+    sizes = grouped.sizes()
+    covs = grouped.apply("pernode_power_w", _group_cov)
+    covs = covs[sizes >= min_jobs]
+    if len(covs) == 0:
+        raise AnalysisError(f"no users with >= {min_jobs} jobs")
+    return UserVariability(
+        system=dataset.spec.name,
+        n_users=len(covs),
+        mean_cov=float(covs.mean()),
+        median_cov=float(np.median(covs)),
+        cov_cdf=ECDF(covs),
+    )
+
+
+@dataclass(frozen=True)
+class ClusterVariability:
+    """Fig 13 (one pie): cluster-level σ/µ bucketed into ranges."""
+
+    system: str
+    cluster_by: str
+    n_clusters: int
+    bucket_labels: tuple[str, ...]
+    bucket_fractions: np.ndarray
+    mean_cov: float
+
+    @property
+    def frac_below_10pct(self) -> float:
+        """Fig 13's headline share (e.g. 61.7% on Emmy by-nodes)."""
+        return float(self.bucket_fractions[0])
+
+
+def cluster_variability(
+    dataset: JobDataset, cluster_by: str = "nodes", min_jobs: int = 2
+) -> ClusterVariability:
+    """RQ8 / Fig 13: cluster jobs by (user, nodes) or (user, walltime)."""
+    if cluster_by == "nodes":
+        key = "nodes"
+    elif cluster_by == "walltime":
+        key = "req_walltime_s"
+    else:
+        raise AnalysisError(f"cluster_by must be 'nodes' or 'walltime', got {cluster_by!r}")
+    grouped = dataset.jobs.group_by("user", key)
+    sizes = grouped.sizes()
+    covs = grouped.apply("pernode_power_w", _group_cov)
+    covs = covs[sizes >= min_jobs]
+    if len(covs) == 0:
+        raise AnalysisError(f"no clusters with >= {min_jobs} jobs")
+    fractions = np.asarray(
+        [np.mean((covs >= lo) & (covs < hi)) for lo, hi, _ in VARIABILITY_BUCKETS]
+    )
+    return ClusterVariability(
+        system=dataset.spec.name,
+        cluster_by=cluster_by,
+        n_clusters=len(covs),
+        bucket_labels=tuple(label for _, _, label in VARIABILITY_BUCKETS),
+        bucket_fractions=fractions,
+        mean_cov=float(covs.mean()),
+    )

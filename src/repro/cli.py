@@ -1,0 +1,218 @@
+"""Command-line interface: ``repro-power`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``  — run the pipeline for one system and write the job-level
+                dataset (CSV or NPZ).
+``analyze``   — run every analysis on a generated (or loaded) dataset
+                and print paper-style summaries.
+``predict``   — run the Fig 14/15 prediction evaluation.
+``specs``     — print Table 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-power",
+        description="HPC power-consumption characterization toolkit "
+        "(IPDPS 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--system", choices=("emmy", "meggie"), default="emmy")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--num-nodes", type=int, default=None,
+                       help="scale-down node count (default: full system)")
+        p.add_argument("--num-users", type=int, default=None)
+        p.add_argument("--horizon-days", type=float, default=None,
+                       help="trace length in days (default: 152, the paper's 5 months)")
+        p.add_argument("--max-traces", type=int, default=2000)
+
+    gen = sub.add_parser("generate", help="generate a dataset and write it out")
+    add_scale_args(gen)
+    gen.add_argument("--out", type=Path, required=True,
+                     help="output path (.csv or .npz)")
+
+    ana = sub.add_parser("analyze", help="run all analyses and print summaries")
+    add_scale_args(ana)
+
+    pred = sub.add_parser("predict", help="run the prediction evaluation (Figs 14-15)")
+    add_scale_args(pred)
+    pred.add_argument("--repeats", type=int, default=10)
+
+    figs = sub.add_parser("figures", help="render every paper figure as SVG")
+    add_scale_args(figs)
+    figs.add_argument("--out-dir", type=Path, required=True)
+    figs.add_argument("--both-systems", action="store_true",
+                      help="render emmy AND meggie (enables Fig 4)")
+    figs.add_argument("--repeats", type=int, default=3)
+
+    rep = sub.add_parser("report", help="write a full markdown characterization report")
+    add_scale_args(rep)
+    rep.add_argument("--out", type=Path, required=True, help="output .md path")
+    rep.add_argument("--repeats", type=int, default=3)
+    rep.add_argument("--no-prediction", action="store_true")
+
+    sub.add_parser("specs", help="print the Table 1 system specifications")
+    return parser
+
+
+def _make_dataset(args: argparse.Namespace):
+    from repro.telemetry import generate_dataset
+
+    horizon = int(args.horizon_days * 86400) if args.horizon_days else None
+    return generate_dataset(
+        system=args.system,
+        seed=args.seed,
+        num_nodes=args.num_nodes,
+        num_users=args.num_users,
+        horizon_s=horizon,
+        max_traces=args.max_traces,
+    )
+
+
+def _cmd_specs() -> int:
+    from repro.analysis.report import format_table
+    from repro.cluster import EMMY, MEGGIE
+    from repro.frames import Table
+
+    fields = (
+        "num_nodes", "node_tdp_watts", "processor", "microarchitecture",
+        "process_node_nm", "memory_type", "interconnect", "topology",
+        "batch_system", "linpack_tflops", "linpack_power_kw",
+    )
+    table = Table(
+        {
+            "field": list(fields),
+            "emmy": [str(getattr(EMMY, f)) for f in fields],
+            "meggie": [str(getattr(MEGGIE, f)) for f in fields],
+        }
+    )
+    print(format_table(table))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.telemetry.schema import save_jobs_csv, save_jobs_npz
+
+    dataset = _make_dataset(args)
+    out: Path = args.out
+    if out.suffix == ".csv":
+        save_jobs_csv(dataset.jobs, out)
+    elif out.suffix == ".npz":
+        save_jobs_npz(dataset.jobs, out)
+    else:
+        print(f"error: unsupported output suffix {out.suffix!r} (use .csv or .npz)",
+              file=sys.stderr)
+        return 2
+    print(f"wrote {dataset.num_jobs} jobs ({dataset.spec.name}) to {out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro import analysis
+
+    ds = _make_dataset(args)
+    util = analysis.system_utilization(ds)
+    power = analysis.power_utilization(ds)
+    dist = analysis.per_node_power_distribution(ds)
+    corr = analysis.feature_power_correlations(ds)
+    conc = analysis.concentration_analysis(ds)
+    var = analysis.user_power_variability(ds)
+    clus = analysis.cluster_variability(ds, "nodes")
+
+    print(f"system: {ds.spec.name}  jobs: {ds.num_jobs}  traces: {len(ds.traces)}")
+    print(f"system utilization (Fig 1): mean {util.mean:.1%}")
+    print(f"power utilization (Fig 2):  mean {power.mean:.1%}  "
+          f"(stranded {power.stranded_fraction:.1%})")
+    print(f"per-node power (Fig 3): {dist.mean_watts:.0f} W "
+          f"({dist.mean_tdp_fraction:.0%} of TDP), sigma/mean {dist.std_over_mean:.0%}")
+    print("Table 2 Spearman: "
+          f"length {corr['job_length'].statistic:.2f} "
+          f"(p={corr['job_length'].pvalue:.2g}), "
+          f"size {corr['job_size'].statistic:.2f} "
+          f"(p={corr['job_size'].pvalue:.2g})")
+    print(f"user concentration (Fig 11): top 20% -> "
+          f"{conc.node_hours_share:.0%} node-hours, {conc.energy_share:.0%} energy, "
+          f"overlap {conc.top_set_overlap:.0%}")
+    print(f"per-user power CoV (Fig 12): mean {var.mean_cov:.0%}")
+    print(f"(user, nodes) clusters with sigma<10% (Fig 13): "
+          f"{clus.frac_below_10pct:.1%} of {clus.n_clusters}")
+    if ds.traces:
+        temporal = analysis.temporal_summary(ds)
+        spatial = analysis.spatial_summary(ds)
+        print(f"temporal (Fig 7): mean overshoot {temporal.mean_peak_overshoot:.0%}, "
+              f"mean time>10% {temporal.mean_frac_time_above_10pct:.0%}")
+        print(f"spatial (Fig 9): mean spread {spatial.mean_spread_watts:.0f} W "
+              f"({spatial.mean_spread_fraction:.0%} of per-node power)")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.analysis import run_prediction
+
+    ds = _make_dataset(args)
+    results = run_prediction(ds, n_repeats=args.repeats, seed=args.seed)
+    print(f"system: {ds.spec.name}  jobs: {ds.num_jobs}  repeats: {args.repeats}")
+    for name, result in results.items():
+        s = result.summary
+        print(f"{name:5s}  mean {s.mean:6.1%}  <5% err: {s.frac_below_5pct:5.1%}  "
+              f"<10% err: {s.frac_below_10pct:5.1%}  (n={s.n})")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.viz import render_all_figures
+
+    datasets = {args.system: _make_dataset(args)}
+    if args.both_systems:
+        other = "meggie" if args.system == "emmy" else "emmy"
+        args.system = other
+        datasets[other] = _make_dataset(args)
+    paths = render_all_figures(datasets, args.out_dir, n_repeats=args.repeats)
+    print(f"wrote {len(paths)} figures to {args.out_dir}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import full_report
+
+    ds = _make_dataset(args)
+    text = full_report(
+        ds, include_prediction=not args.no_prediction, n_repeats=args.repeats
+    )
+    args.out.write_text(text)
+    print(f"wrote report for {ds.spec.name} ({ds.num_jobs} jobs) to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "specs":
+        return _cmd_specs()
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Machine models of the two production clusters the paper studies.
+
+:mod:`repro.cluster.specs` encodes Table 1 verbatim; the rest of the
+subpackage turns those specs into simulatable objects: nodes with
+manufacturing variability, a RAPL measurement model with one-minute
+averaged sampling, and a LINPACK reference workload.
+"""
+
+from repro.cluster.linpack import linpack_power_draw
+from repro.cluster.node import Node, build_nodes
+from repro.cluster.rapl import RaplModel, RaplSample
+from repro.cluster.specs import EMMY, MEGGIE, SystemSpec, get_spec, known_systems
+from repro.cluster.system import Cluster
+from repro.cluster.variability import VariabilityModel
+
+__all__ = [
+    "SystemSpec",
+    "EMMY",
+    "MEGGIE",
+    "get_spec",
+    "known_systems",
+    "Node",
+    "build_nodes",
+    "Cluster",
+    "VariabilityModel",
+    "RaplModel",
+    "RaplSample",
+    "linpack_power_draw",
+]

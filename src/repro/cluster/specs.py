@@ -1,0 +1,128 @@
+"""System specifications — Table 1 of the paper, as data.
+
+Two medium-scale production clusters at FAU/RRZE:
+
+* **Emmy** — 560 nodes, dual-socket Intel Xeon E5-2660 v2 (IvyBridge,
+  22 nm), 210 W node TDP (CPU+DRAM), Torque/Maui, QDR InfiniBand.
+* **Meggie** — 728 nodes, dual-socket Intel Xeon E5-2630 v4 (Broadwell,
+  14 nm), 195 W node TDP, Slurm, OmniPath.
+
+The paper's Sec. 2 text says Emmy "consists of 568 compute nodes" while
+Table 1 lists 560; we follow Table 1 (the table is what every subsequent
+per-system computation in the paper uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterError
+
+__all__ = ["SystemSpec", "EMMY", "MEGGIE", "get_spec", "known_systems"]
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Static description of one cluster (Table 1 row set)."""
+
+    name: str
+    num_nodes: int
+    node_tdp_watts: float
+    processor: str
+    microarchitecture: str
+    process_node_nm: int
+    sockets_per_node: int
+    cores_per_socket: int
+    memory_gb: int
+    memory_type: str
+    interconnect: str
+    topology: str
+    batch_system: str
+    smt_enabled: bool
+    turbo_enabled: bool
+    linpack_tflops: float
+    linpack_power_kw: float
+    inflow_temperature_c: tuple[float, float]
+    # Fraction of node power drawn by DRAM under a memory-heavy load;
+    # used by the RAPL model to split PKG vs DRAM domains.
+    dram_power_fraction: float = 0.18
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ClusterError(f"{self.name}: num_nodes must be positive")
+        if self.node_tdp_watts <= 0:
+            raise ClusterError(f"{self.name}: node TDP must be positive")
+        if not 0 <= self.dram_power_fraction < 1:
+            raise ClusterError(f"{self.name}: dram_power_fraction must be in [0, 1)")
+
+    @property
+    def total_tdp_watts(self) -> float:
+        """Provisioned (worst-case) power of all compute nodes."""
+        return self.num_nodes * self.node_tdp_watts
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.sockets_per_node * self.cores_per_socket
+
+    @property
+    def linpack_node_power_watts(self) -> float:
+        """Measured LINPACK draw divided across nodes."""
+        return self.linpack_power_kw * 1e3 / self.num_nodes
+
+
+EMMY = SystemSpec(
+    name="emmy",
+    num_nodes=560,
+    node_tdp_watts=210.0,
+    processor="2x Intel Xeon E5-2660 v2",
+    microarchitecture="IvyBridge",
+    process_node_nm=22,
+    sockets_per_node=2,
+    cores_per_socket=10,
+    memory_gb=64,
+    memory_type="DDR3-1600",
+    interconnect="Mellanox QDR InfiniBand",
+    topology="fat-tree",
+    batch_system="torque",
+    smt_enabled=True,
+    turbo_enabled=True,
+    linpack_tflops=191.0,
+    linpack_power_kw=170.0,
+    inflow_temperature_c=(26.0, 28.0),
+)
+
+MEGGIE = SystemSpec(
+    name="meggie",
+    num_nodes=728,
+    node_tdp_watts=195.0,
+    processor="2x Intel Xeon E5-2630 v4",
+    microarchitecture="Broadwell",
+    process_node_nm=14,
+    sockets_per_node=2,
+    cores_per_socket=10,
+    memory_gb=64,
+    memory_type="DDR4-2133",
+    interconnect="100 GBit Intel OmniPath",
+    topology="1:2 blocking",
+    batch_system="slurm",
+    smt_enabled=False,
+    turbo_enabled=True,
+    linpack_tflops=472.0,
+    linpack_power_kw=210.0,
+    inflow_temperature_c=(28.0, 30.0),
+)
+
+_REGISTRY: dict[str, SystemSpec] = {EMMY.name: EMMY, MEGGIE.name: MEGGIE}
+
+
+def known_systems() -> list[str]:
+    """Names of the built-in system specs."""
+    return sorted(_REGISTRY)
+
+
+def get_spec(name: str) -> SystemSpec:
+    """Look up a built-in spec by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ClusterError(f"unknown system {name!r}; known: {known_systems()}") from None

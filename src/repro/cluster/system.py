@@ -1,0 +1,90 @@
+"""Whole-cluster container tying spec, nodes, and power accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.node import Node, build_nodes
+from repro.cluster.specs import SystemSpec, get_spec
+from repro.cluster.variability import VariabilityModel
+from repro.errors import ClusterError
+from repro.rng import RngFactory
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulatable cluster: spec + instantiated nodes.
+
+    Examples
+    --------
+    >>> c = Cluster.from_name("emmy", seed=1)
+    >>> c.num_nodes
+    560
+    >>> round(c.total_tdp_watts / 1e3)  # kW provisioned
+    118
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        seed: int = 0,
+        variability: VariabilityModel | None = None,
+        num_nodes: int | None = None,
+    ) -> None:
+        if num_nodes is not None:
+            if num_nodes <= 0:
+                raise ClusterError("num_nodes override must be positive")
+            # Scaled-down replica used by tests/benches: same per-node
+            # characteristics, fewer nodes.
+            spec = SystemSpec(
+                **{
+                    **{f: getattr(spec, f) for f in spec.__dataclass_fields__},
+                    "num_nodes": num_nodes,
+                }
+            )
+        self.spec = spec
+        rng = RngFactory(seed).get(f"cluster.{spec.name}.variability")
+        self.nodes: list[Node] = build_nodes(spec, rng, variability)
+        self._factors = np.asarray([n.power_factor for n in self.nodes])
+
+    @classmethod
+    def from_name(cls, name: str, seed: int = 0, num_nodes: int | None = None) -> "Cluster":
+        """Build a cluster from a built-in spec name ('emmy' / 'meggie')."""
+        return cls(get_spec(name), seed=seed, num_nodes=num_nodes)
+
+    # -- convenience accessors -------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def num_nodes(self) -> int:
+        return self.spec.num_nodes
+
+    @property
+    def node_tdp_watts(self) -> float:
+        return self.spec.node_tdp_watts
+
+    @property
+    def total_tdp_watts(self) -> float:
+        return self.spec.total_tdp_watts
+
+    @property
+    def power_factors(self) -> np.ndarray:
+        """Static variability multiplier per node (read-only view)."""
+        v = self._factors.view()
+        v.flags.writeable = False
+        return v
+
+    def node(self, node_id: int) -> Node:
+        if not 0 <= node_id < self.num_nodes:
+            raise ClusterError(f"node id {node_id} out of range [0, {self.num_nodes})")
+        return self.nodes[node_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster({self.name!r}, nodes={self.num_nodes}, "
+            f"tdp={self.node_tdp_watts:.0f}W/node)"
+        )

@@ -1,0 +1,52 @@
+"""Manufacturing variability across nodes.
+
+Process variation makes nominally identical CPUs draw measurably
+different power at the same work point — the paper cites this (together
+with workload imbalance) as the driver of its surprising spatial-variance
+findings, and prior work (Inadomi et al., SC'15; Acun et al., HPCA'19)
+reports chip-to-chip power differences of roughly 10–20% at the same
+frequency. We model each node as carrying a static multiplicative power
+factor drawn once per machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusterError
+
+__all__ = ["VariabilityModel"]
+
+
+@dataclass(frozen=True)
+class VariabilityModel:
+    """Static per-node power multipliers.
+
+    Parameters
+    ----------
+    sigma:
+        Standard deviation of the multiplicative factor (mean 1.0).
+        Default 0.03 ⇒ roughly ±6% spread across a large machine,
+        consistent with the published chip-variation range.
+    clip:
+        Factors are clipped to ``[1-clip, 1+clip]`` so a pathological
+        draw cannot exceed physical bounds.
+    """
+
+    sigma: float = 0.03
+    clip: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ClusterError("variability sigma must be >= 0")
+        if not 0 < self.clip <= 0.5:
+            raise ClusterError("variability clip must be in (0, 0.5]")
+
+    def draw_factors(self, num_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        """One multiplicative power factor per node (mean ≈ 1)."""
+        if num_nodes <= 0:
+            raise ClusterError("num_nodes must be positive")
+        factors = rng.normal(loc=1.0, scale=self.sigma, size=num_nodes)
+        return np.clip(factors, 1.0 - self.clip, 1.0 + self.clip)

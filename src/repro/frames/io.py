@@ -1,0 +1,91 @@
+"""CSV and NPZ persistence for :class:`~repro.frames.table.Table`.
+
+CSV is the interchange format the paper's Zenodo release uses; NPZ is
+the fast binary format used for intermediate artifacts. Both round-trip
+column order, and NPZ round-trips dtypes exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frames.column import is_string_dtype
+from repro.frames.table import Table
+
+__all__ = ["write_csv", "read_csv", "write_npz", "read_npz"]
+
+
+def write_csv(table: Table, path: str | os.PathLike) -> None:
+    """Write ``table`` to ``path`` with a header row."""
+    path = Path(path)
+    names = table.column_names
+    cols = [table[n] for n in names]
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        for i in range(len(table)):
+            writer.writerow([_render(col[i]) for col in cols])
+
+
+def _render(value) -> str:
+    if isinstance(value, (np.floating, float)):
+        return repr(float(value))
+    return str(value)
+
+
+def read_csv(path: str | os.PathLike) -> Table:
+    """Read a CSV written by :func:`write_csv` (or the Zenodo traces).
+
+    Column dtypes are inferred per column: int if every cell parses as
+    int, else float if every cell parses as float, else string.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return Table({})
+        raw: list[list[str]] = [[] for _ in header]
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise FrameError(
+                    f"{path}:{lineno}: expected {len(header)} fields, got {len(row)}"
+                )
+            for cell, bucket in zip(row, raw):
+                bucket.append(cell)
+    return Table({name: _infer(cells) for name, cells in zip(header, raw)})
+
+
+def _infer(cells: list[str]) -> np.ndarray:
+    try:
+        return np.asarray([int(c) for c in cells], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.asarray([float(c) for c in cells], dtype=float)
+    except ValueError:
+        pass
+    return np.asarray(cells, dtype=str)
+
+
+def write_npz(table: Table, path: str | os.PathLike) -> None:
+    """Write ``table`` to a compressed NPZ file preserving dtypes."""
+    arrays = {f"col::{n}": table[n] for n in table.column_names}
+    arrays["__order__"] = np.asarray(table.column_names, dtype=str)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def read_npz(path: str | os.PathLike) -> Table:
+    """Read a table written by :func:`write_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if "__order__" not in data:
+            raise FrameError(f"{path} is not a frames NPZ file (missing __order__)")
+        order = [str(n) for n in data["__order__"]]
+        return Table({n: data[f"col::{n}"] for n in order})

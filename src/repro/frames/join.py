@@ -1,0 +1,66 @@
+"""Hash-free vectorized joins on a single key column.
+
+Joins use sorted-merge semantics built from ``np.argsort`` and
+``np.searchsorted``; there is no per-row Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ColumnMismatchError, FrameError
+from repro.frames.table import Table
+
+__all__ = ["join"]
+
+
+def join(left: Table, right: Table, on: str, how: str = "inner", suffix: str = "_right") -> Table:
+    """Join two tables on one key column.
+
+    Parameters
+    ----------
+    on:
+        Key column name; must exist in both tables. The right table's key
+        values must be unique (the common accounting-record case:
+        enriching per-sample rows with per-job metadata).
+    how:
+        ``"inner"`` drops left rows without a match; ``"left"`` requires
+        every left key to be present on the right.
+    suffix:
+        Appended to right-hand column names that clash with left-hand
+        ones (other than the key).
+    """
+    if how not in ("inner", "left"):
+        raise FrameError(f"how must be 'inner' or 'left', got {how!r}")
+    if on not in left or on not in right:
+        raise ColumnMismatchError(f"join key {on!r} missing from one side")
+
+    rkeys = right[on]
+    if len(np.unique(rkeys)) != len(rkeys):
+        raise FrameError(f"right table key {on!r} must be unique")
+
+    order = np.argsort(rkeys, kind="stable")
+    sorted_keys = rkeys[order]
+    lkeys = left[on]
+    pos = np.searchsorted(sorted_keys, lkeys)
+    pos_clipped = np.clip(pos, 0, len(sorted_keys) - 1) if len(sorted_keys) else pos
+    matched = (
+        (pos < len(sorted_keys)) & (sorted_keys[pos_clipped] == lkeys)
+        if len(sorted_keys)
+        else np.zeros(len(lkeys), dtype=bool)
+    )
+
+    if how == "left" and not matched.all():
+        missing = np.unique(lkeys[~matched])[:5]
+        raise FrameError(f"left join: keys missing from right table, e.g. {missing.tolist()}")
+
+    left_rows = left if how == "left" else left.take(matched)
+    right_idx = order[pos_clipped[matched] if how == "inner" else pos_clipped]
+
+    out = left_rows.to_dict()
+    for name in right.column_names:
+        if name == on:
+            continue
+        out_name = name if name not in out else name + suffix
+        out[out_name] = right[name][right_idx]
+    return Table(out)

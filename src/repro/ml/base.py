@@ -1,0 +1,57 @@
+"""Estimator protocol shared by the prediction models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ModelError, NotFittedError
+
+__all__ = ["Estimator", "check_Xy"]
+
+
+def check_Xy(X, y=None) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate a feature matrix (and optional target) into float arrays."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ModelError(f"X must be 2-D, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise ModelError("X must contain at least one sample")
+    if np.any(~np.isfinite(X)):
+        raise ModelError("X contains non-finite values")
+    if y is None:
+        return X, None
+    y = np.asarray(y, dtype=float).ravel()
+    if y.shape[0] != X.shape[0]:
+        raise ModelError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if np.any(~np.isfinite(y)):
+        raise ModelError("y contains non-finite values")
+    return X, y
+
+
+class Estimator(ABC):
+    """fit/predict regressor interface.
+
+    ``categorical`` marks which feature columns hold category codes
+    (integers); models are free to exploit or ignore the distinction.
+    """
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before predict()")
+
+    @abstractmethod
+    def fit(self, X, y, categorical: tuple[int, ...] = ()) -> "Estimator":
+        """Learn from ``(X, y)``; returns self."""
+
+    @abstractmethod
+    def predict(self, X) -> np.ndarray:
+        """Predict targets for ``X``."""

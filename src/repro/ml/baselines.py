@@ -1,0 +1,126 @@
+"""Rule-based prediction baselines.
+
+Section 5 of the paper: "We did not find analytical, ad-hoc or
+rule-based approaches to work well for prediction." These are those
+approaches, implemented so the claim can be tested (ablation bench A3):
+
+* :class:`GlobalMeanBaseline` — predict the training-set mean power.
+* :class:`GroupMeanBaseline` — predict the mean of one feature group
+  (e.g. per-user mean), falling back to the global mean.
+* :class:`HierarchicalRuleBaseline` — the strongest rule: exact-match
+  lookup on (user, nodes, walltime), backing off to (user, nodes), then
+  (user), then global. This is what a site operator would build without
+  ML; the tree wins because its splits *generalize* across neighboring
+  configurations instead of memorizing exact tuples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.base import Estimator, check_Xy
+
+__all__ = ["GlobalMeanBaseline", "GroupMeanBaseline", "HierarchicalRuleBaseline"]
+
+
+class GlobalMeanBaseline(Estimator):
+    """Predicts the training mean for every job."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mean: float = 0.0
+
+    def fit(self, X, y, categorical: tuple[int, ...] = ()) -> "GlobalMeanBaseline":
+        _, y = check_Xy(X, y)
+        self._mean = float(y.mean())
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted()
+        X, _ = check_Xy(X)
+        return np.full(X.shape[0], self._mean)
+
+
+def _keys(X: np.ndarray, columns: tuple[int, ...]) -> list[tuple]:
+    return [tuple(row) for row in np.round(X[:, list(columns)], 9)]
+
+
+class GroupMeanBaseline(Estimator):
+    """Predicts the mean of one feature group (default: column 0, the user)."""
+
+    def __init__(self, group_columns: tuple[int, ...] = (0,)) -> None:
+        super().__init__()
+        if not group_columns:
+            raise ModelError("group_columns must not be empty")
+        self.group_columns = tuple(group_columns)
+        self._means: dict[tuple, float] = {}
+        self._global: float = 0.0
+
+    def fit(self, X, y, categorical: tuple[int, ...] = ()) -> "GroupMeanBaseline":
+        X, y = check_Xy(X, y)
+        bad = [c for c in self.group_columns if not 0 <= c < X.shape[1]]
+        if bad:
+            raise ModelError(f"group columns out of range: {bad}")
+        self._global = float(y.mean())
+        sums: dict[tuple, list[float]] = {}
+        for key, target in zip(_keys(X, self.group_columns), y):
+            sums.setdefault(key, []).append(float(target))
+        self._means = {k: float(np.mean(v)) for k, v in sums.items()}
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted()
+        X, _ = check_Xy(X)
+        return np.asarray(
+            [self._means.get(k, self._global) for k in _keys(X, self.group_columns)]
+        )
+
+
+class HierarchicalRuleBaseline(Estimator):
+    """Exact-match lookup with back-off over feature prefixes.
+
+    ``levels`` lists the column tuples to try in order; the first level
+    with a training match wins, else the global mean.
+    """
+
+    def __init__(
+        self, levels: tuple[tuple[int, ...], ...] = ((0, 1, 2), (0, 1), (0,))
+    ) -> None:
+        super().__init__()
+        if not levels:
+            raise ModelError("levels must not be empty")
+        self.levels = tuple(tuple(level) for level in levels)
+        self._tables: list[dict[tuple, float]] = []
+        self._global: float = 0.0
+
+    def fit(self, X, y, categorical: tuple[int, ...] = ()) -> "HierarchicalRuleBaseline":
+        X, y = check_Xy(X, y)
+        for level in self.levels:
+            bad = [c for c in level if not 0 <= c < X.shape[1]]
+            if bad:
+                raise ModelError(f"level columns out of range: {bad}")
+        self._global = float(y.mean())
+        self._tables = []
+        for level in self.levels:
+            sums: dict[tuple, list[float]] = {}
+            for key, target in zip(_keys(X, level), y):
+                sums.setdefault(key, []).append(float(target))
+            self._tables.append({k: float(np.mean(v)) for k, v in sums.items()})
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted()
+        X, _ = check_Xy(X)
+        out = np.full(X.shape[0], self._global)
+        resolved = np.zeros(X.shape[0], dtype=bool)
+        for level, table in zip(self.levels, self._tables):
+            keys = _keys(X, level)
+            for i, key in enumerate(keys):
+                if not resolved[i] and key in table:
+                    out[i] = table[key]
+                    resolved[i] = True
+        return out

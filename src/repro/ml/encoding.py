@@ -1,0 +1,96 @@
+"""Feature encoding from job tables to model matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.frames import Table
+
+__all__ = ["FeatureSpec", "encode_features", "CategoryEncoder"]
+
+
+class CategoryEncoder:
+    """Maps string categories to dense integer codes (fit on training data).
+
+    Unseen categories at transform time raise — the paper's protocol
+    guarantees validation users appear in training, so an unseen user is
+    a protocol violation, not a soft case.
+    """
+
+    def __init__(self) -> None:
+        self._categories: np.ndarray | None = None
+
+    def fit(self, values) -> "CategoryEncoder":
+        self._categories = np.unique(np.asarray(values, dtype=str))
+        return self
+
+    @property
+    def categories(self) -> np.ndarray:
+        if self._categories is None:
+            raise ModelError("encoder not fitted")
+        return self._categories
+
+    def transform(self, values) -> np.ndarray:
+        cats = self.categories
+        values = np.asarray(values, dtype=str)
+        codes = np.searchsorted(cats, values)
+        codes_clipped = np.clip(codes, 0, len(cats) - 1)
+        bad = cats[codes_clipped] != values
+        if np.any(bad):
+            raise ModelError(
+                f"unseen categories at transform time: {np.unique(values[bad])[:5].tolist()}"
+            )
+        return codes_clipped.astype(np.int64)
+
+    def fit_transform(self, values) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Which table columns feed the models.
+
+    The paper's pre-execution features: user id (categorical), number of
+    nodes, and requested walltime. ``log_transform`` applies log1p to the
+    numeric columns — node counts and walltimes are log-normally spread.
+    """
+
+    categorical_columns: tuple[str, ...] = ("user",)
+    numeric_columns: tuple[str, ...] = ("nodes", "req_walltime_s")
+    log_transform: bool = True
+
+    @property
+    def categorical_indices(self) -> tuple[int, ...]:
+        return tuple(range(len(self.categorical_columns)))
+
+
+def encode_features(
+    table: Table,
+    spec: FeatureSpec = FeatureSpec(),
+    encoders: dict[str, CategoryEncoder] | None = None,
+) -> tuple[np.ndarray, dict[str, CategoryEncoder]]:
+    """Build the feature matrix ``X`` from a job table.
+
+    Pass the returned ``encoders`` back in when encoding validation data
+    so category codes stay consistent with training.
+    """
+    fit_encoders = encoders is None
+    encoders = encoders or {}
+    columns: list[np.ndarray] = []
+    for name in spec.categorical_columns:
+        if fit_encoders:
+            encoders[name] = CategoryEncoder().fit(table[name])
+        columns.append(encoders[name].transform(table[name]).astype(float))
+    for name in spec.numeric_columns:
+        col = table[name].astype(float)
+        if spec.log_transform:
+            if np.any(col < 0):
+                raise ModelError(f"column {name!r} has negative values; cannot log")
+            col = np.log1p(col)
+        columns.append(col)
+    if not columns:
+        raise ModelError("feature spec selects no columns")
+    return np.column_stack(columns), encoders

@@ -1,0 +1,81 @@
+"""Prediction-error metrics (Figs 14–15).
+
+The paper's metric: "the absolute prediction error is the absolute value
+of the difference between the actual per-node power consumption and the
+predicted per-node power consumption as percent of the actual per-node
+power consumption."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.stats.distributions import ECDF
+
+__all__ = ["absolute_percentage_error", "error_summary", "per_group_error", "ErrorSummary"]
+
+
+def absolute_percentage_error(actual, predicted) -> np.ndarray:
+    """|actual − predicted| / actual, elementwise (as a fraction)."""
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if actual.shape != predicted.shape:
+        raise ValidationError(
+            f"shape mismatch: actual {actual.shape} vs predicted {predicted.shape}"
+        )
+    if np.any(actual <= 0):
+        raise ValidationError("actual values must be positive for percentage error")
+    return np.abs(actual - predicted) / actual
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Distributional summary of absolute percentage errors."""
+
+    mean: float
+    median: float
+    frac_below_5pct: float
+    frac_below_10pct: float
+    n: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "frac_below_5pct": self.frac_below_5pct,
+            "frac_below_10pct": self.frac_below_10pct,
+            "n": self.n,
+        }
+
+
+def error_summary(errors) -> ErrorSummary:
+    """Summarize an error sample the way Fig 14's text does."""
+    e = np.asarray(errors, dtype=float).ravel()
+    if e.size == 0:
+        raise ValidationError("error_summary requires a non-empty sample")
+    ecdf = ECDF(e)
+    return ErrorSummary(
+        mean=float(e.mean()),
+        median=float(np.median(e)),
+        frac_below_5pct=float(ecdf(0.05)),
+        frac_below_10pct=float(ecdf(0.10)),
+        n=int(e.size),
+    )
+
+
+def per_group_error(groups, errors) -> tuple[np.ndarray, np.ndarray]:
+    """Mean absolute error per group (Fig 15's per-user view).
+
+    Returns ``(group_ids, mean_errors)`` sorted by group id.
+    """
+    groups = np.asarray(groups)
+    e = np.asarray(errors, dtype=float)
+    if groups.shape != e.shape:
+        raise ValidationError("groups and errors must align")
+    ids, inverse = np.unique(groups, return_inverse=True)
+    sums = np.bincount(inverse, weights=e)
+    counts = np.bincount(inverse)
+    return ids, sums / counts

@@ -1,0 +1,143 @@
+"""Online (deployment-order) power prediction.
+
+The paper motivates "light-weight and easy to maintain/update" models:
+a production predictor sees jobs in submit order, must predict *before*
+each job runs, and learns from it afterwards. This module provides
+
+* :class:`OnlinePowerPredictor` — an incremental hierarchical-mean model
+  (exact (user, nodes, walltime) → (user, nodes) → user → global running
+  means) updated in O(1) per completed job, and
+* :func:`evaluate_online` — a prequential (predict-then-update) sweep
+  over a job table in submit order, the honest deployment evaluation the
+  random-split protocol approximates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.frames import Table
+from repro.ml.metrics import ErrorSummary, error_summary
+
+__all__ = ["OnlinePowerPredictor", "OnlineResult", "evaluate_online"]
+
+
+class _RunningMean:
+    __slots__ = ("count", "mean")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        self.mean += (value - self.mean) / self.count
+
+
+class OnlinePowerPredictor:
+    """Incremental hierarchical-mean predictor.
+
+    ``min_count`` is the evidence threshold: a level is trusted only
+    once it has seen that many jobs; otherwise the predictor backs off
+    to the next-coarser level.
+    """
+
+    def __init__(self, min_count: int = 1) -> None:
+        if min_count < 1:
+            raise ValidationError("min_count must be >= 1")
+        self.min_count = min_count
+        self._exact: dict[tuple, _RunningMean] = {}
+        self._user_nodes: dict[tuple, _RunningMean] = {}
+        self._user: dict[str, _RunningMean] = {}
+        self._global = _RunningMean()
+
+    @property
+    def jobs_seen(self) -> int:
+        return self._global.count
+
+    @staticmethod
+    def _key(user: str, nodes: int, walltime_s: int) -> tuple:
+        return (user, int(nodes), int(walltime_s))
+
+    def predict(self, user: str, nodes: int, walltime_s: int) -> float:
+        """Best available estimate before the job runs (NaN-free).
+
+        Returns the global mean when nothing has been observed yet, and
+        0.0 only for the very first job of the deployment.
+        """
+        for table, key in (
+            (self._exact, self._key(user, nodes, walltime_s)),
+            (self._user_nodes, (user, int(nodes))),
+            (self._user, user),
+        ):
+            stat = table.get(key)
+            if stat is not None and stat.count >= self.min_count:
+                return stat.mean
+        return self._global.mean
+
+    def observe(self, user: str, nodes: int, walltime_s: int, power_w: float) -> None:
+        """Fold one completed job into every level."""
+        if power_w <= 0:
+            raise ValidationError("observed power must be positive")
+        self._exact.setdefault(self._key(user, nodes, walltime_s), _RunningMean()).update(power_w)
+        self._user_nodes.setdefault((user, int(nodes)), _RunningMean()).update(power_w)
+        self._user.setdefault(user, _RunningMean()).update(power_w)
+        self._global.update(power_w)
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Prequential evaluation outcome."""
+
+    summary: ErrorSummary  # errors after the warmup window
+    warmup_jobs: int
+    errors: np.ndarray  # all post-warmup absolute fractional errors
+    # Learning curve: mean error per decile of the (post-warmup) stream.
+    learning_curve: np.ndarray
+
+
+def evaluate_online(
+    jobs: Table,
+    predictor: OnlinePowerPredictor | None = None,
+    warmup_fraction: float = 0.1,
+) -> OnlineResult:
+    """Predict-then-update sweep over ``jobs`` in submit order."""
+    if not 0 <= warmup_fraction < 1:
+        raise ValidationError("warmup_fraction must be in [0, 1)")
+    required = {"user", "nodes", "req_walltime_s", "submit_s", "pernode_power_w"}
+    missing = required - set(jobs.column_names)
+    if missing:
+        raise ValidationError(f"job table lacks columns {sorted(missing)}")
+    if len(jobs) < 10:
+        raise ValidationError("online evaluation needs at least 10 jobs")
+
+    predictor = predictor or OnlinePowerPredictor()
+    ordered = jobs.sort_by("submit_s")
+    users = ordered["user"]
+    nodes = ordered["nodes"]
+    walls = ordered["req_walltime_s"]
+    actual = ordered["pernode_power_w"].astype(float)
+
+    n = len(ordered)
+    warmup = int(warmup_fraction * n)
+    errors = np.empty(n - warmup)
+    for i in range(n):
+        predicted = predictor.predict(users[i], nodes[i], walls[i])
+        if i >= warmup:
+            if predicted <= 0:  # nothing observed yet: count as total miss
+                errors[i - warmup] = 1.0
+            else:
+                errors[i - warmup] = abs(actual[i] - predicted) / actual[i]
+        predictor.observe(users[i], nodes[i], walls[i], float(actual[i]))
+
+    deciles = np.array_split(errors, 10)
+    curve = np.asarray([chunk.mean() if len(chunk) else np.nan for chunk in deciles])
+    return OnlineResult(
+        summary=error_summary(errors),
+        warmup_jobs=warmup,
+        errors=errors,
+        learning_curve=curve,
+    )

@@ -1,0 +1,98 @@
+"""End-to-end prediction pipeline over a job table.
+
+Wraps feature encoding, the repeated-split protocol, and per-job /
+per-user error collection for any :class:`~repro.ml.base.Estimator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.frames import Table
+from repro.ml.encoding import FeatureSpec, encode_features
+from repro.ml.metrics import ErrorSummary, absolute_percentage_error, error_summary
+from repro.ml.split import repeated_splits
+
+__all__ = ["PredictionResult", "evaluate_models", "prediction_features"]
+
+TARGET_COLUMN = "pernode_power_w"
+
+
+def prediction_features(spec: FeatureSpec = FeatureSpec()) -> list[str]:
+    """The pre-execution feature columns the pipeline reads."""
+    return list(spec.categorical_columns) + list(spec.numeric_columns)
+
+
+@dataclass
+class PredictionResult:
+    """Pooled evaluation outcome of one model across all repeats."""
+
+    model_name: str
+    errors: np.ndarray  # pooled per-prediction absolute fractional errors
+    users: np.ndarray  # user of each pooled prediction
+    summary: ErrorSummary = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.errors.shape != self.users.shape:
+            raise ValidationError("errors and users must align")
+        self.summary = error_summary(self.errors)
+
+    def per_user_mean_error(self) -> tuple[np.ndarray, np.ndarray]:
+        """(user_ids, mean_error) — the Fig 15 distribution."""
+        from repro.ml.metrics import per_group_error
+
+        return per_group_error(self.users, self.errors)
+
+
+def evaluate_models(
+    jobs: Table,
+    models: Mapping[str, Callable[[], object]],
+    n_repeats: int = 10,
+    train_fraction: float = 0.8,
+    seed: int = 0,
+    feature_spec: FeatureSpec = FeatureSpec(),
+) -> dict[str, PredictionResult]:
+    """Run the paper's protocol for several models on one job table.
+
+    ``models`` maps display name → zero-arg factory returning a fresh
+    estimator (a fresh model is fitted per repeat).
+    """
+    if TARGET_COLUMN not in jobs:
+        raise ValidationError(f"job table lacks the target column {TARGET_COLUMN!r}")
+    for col in prediction_features(feature_spec):
+        if col not in jobs:
+            raise ValidationError(f"job table lacks feature column {col!r}")
+
+    y_all = jobs[TARGET_COLUMN].astype(float)
+    users_all = jobs["user"]
+    cat_idx = feature_spec.categorical_indices
+
+    results: dict[str, PredictionResult] = {}
+    splits = list(
+        repeated_splits(users_all, n_repeats=n_repeats, train_fraction=train_fraction, seed=seed)
+    )
+    for name, factory in models.items():
+        pooled_errors: list[np.ndarray] = []
+        pooled_users: list[np.ndarray] = []
+        for train_idx, val_idx in splits:
+            train_tbl = jobs.take(train_idx)
+            val_tbl = jobs.take(val_idx)
+            X_train, encoders = encode_features(train_tbl, feature_spec)
+            X_val, _ = encode_features(val_tbl, feature_spec, encoders=encoders)
+            model = factory()
+            model.fit(X_train, y_all[train_idx], categorical=cat_idx)
+            predictions = model.predict(X_val)
+            pooled_errors.append(
+                absolute_percentage_error(y_all[val_idx], predictions)
+            )
+            pooled_users.append(users_all[val_idx])
+        results[name] = PredictionResult(
+            model_name=name,
+            errors=np.concatenate(pooled_errors),
+            users=np.concatenate(pooled_users),
+        )
+    return results

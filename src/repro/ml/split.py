@@ -1,0 +1,90 @@
+"""Evaluation-protocol splits (Sec. 5 of the paper).
+
+The paper: "training data consists of 80% of randomly selected jobs and
+validation data consists of the remaining 20% … we repeat this process
+ten times … we ensure that the training data contains jobs from all the
+users which are present in the validation data."
+
+:func:`train_validation_split` implements one such split; any
+validation job whose user would otherwise be unseen in training is moved
+to the training side (users with a single job always train).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["train_validation_split", "repeated_splits"]
+
+
+def train_validation_split(
+    groups,
+    train_fraction: float = 0.8,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random split with the seen-group constraint.
+
+    Parameters
+    ----------
+    groups:
+        Per-row group labels (the user column).
+    train_fraction:
+        Target training share before the constraint repair.
+
+    Returns
+    -------
+    (train_idx, validation_idx):
+        Disjoint, exhaustive integer index arrays; every group present
+        in validation is guaranteed present in training.
+    """
+    groups = np.asarray(groups)
+    n = len(groups)
+    if n < 2:
+        raise ValidationError("need at least 2 rows to split")
+    if not 0 < train_fraction < 1:
+        raise ValidationError("train_fraction must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    perm = rng.permutation(n)
+    n_train = max(1, int(round(train_fraction * n)))
+    in_train = np.zeros(n, dtype=bool)
+    in_train[perm[:n_train]] = True
+
+    # Repair: for each group entirely in validation, move one (random)
+    # member to training.
+    val_groups = np.unique(groups[~in_train])
+    train_groups = set(np.unique(groups[in_train]).tolist())
+    for g in val_groups:
+        if g in train_groups:
+            continue
+        members = np.flatnonzero((groups == g) & ~in_train)
+        mover = members[int(rng.integers(0, len(members)))]
+        in_train[mover] = True
+
+    train_idx = np.flatnonzero(in_train)
+    val_idx = np.flatnonzero(~in_train)
+    if len(val_idx) == 0:
+        raise ValidationError(
+            "validation side is empty after the seen-group repair; "
+            "dataset too small for this train_fraction"
+        )
+    return train_idx, val_idx
+
+
+def repeated_splits(
+    groups,
+    n_repeats: int = 10,
+    train_fraction: float = 0.8,
+    seed: int = 0,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """The paper's ten random train/validation splits."""
+    if n_repeats < 1:
+        raise ValidationError("n_repeats must be >= 1")
+    root = np.random.SeedSequence(seed)
+    for child in root.spawn(n_repeats):
+        yield train_validation_split(
+            groups, train_fraction=train_fraction, rng=np.random.default_rng(child)
+        )

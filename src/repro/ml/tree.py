@@ -1,0 +1,256 @@
+"""CART regression tree — the paper's best model ("BDT").
+
+Splits minimize the sum of squared errors. Numeric features use the
+classic sorted-prefix scan; categorical features (the user id) use
+Breiman's optimal trick for regression: order the categories by their
+mean target within the node, then scan that ordering like a numeric
+feature. This gives the "first by user, then nodes, then walltime"
+hierarchical behavior the paper describes, without an O(2^k) subset
+search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.base import Estimator, check_Xy
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    prediction: float
+    feature: int = -1  # -1 ⇒ leaf
+    threshold: float = 0.0
+    left_categories: frozenset | None = None  # set ⇒ categorical split
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+@dataclass(frozen=True)
+class _Split:
+    feature: int
+    gain: float
+    threshold: float = 0.0
+    left_categories: frozenset | None = None
+
+
+class DecisionTreeRegressor(Estimator):
+    """Binary regression tree with native categorical splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap; ``None`` grows until leaves are pure or too small.
+    min_samples_split / min_samples_leaf:
+        Standard CART size guards.
+    min_gain:
+        Minimum SSE reduction to accept a split (absolute).
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_gain: float = 1e-12,
+    ) -> None:
+        super().__init__()
+        if max_depth is not None and max_depth < 1:
+            raise ModelError("max_depth must be >= 1 or None")
+        if min_samples_split < 2:
+            raise ModelError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ModelError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self._root: _Node | None = None
+        self._categorical: frozenset[int] = frozenset()
+        self._n_features = 0
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, X, y, categorical: tuple[int, ...] = ()) -> "DecisionTreeRegressor":
+        X, y = check_Xy(X, y)
+        self._n_features = X.shape[1]
+        bad = [c for c in categorical if not 0 <= c < self._n_features]
+        if bad:
+            raise ModelError(f"categorical indices out of range: {bad}")
+        self._categorical = frozenset(categorical)
+        self._root = self._build(X, y, depth=0)
+        self._fitted = True
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()))
+        if (
+            len(y) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.all(y == y[0])
+        ):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        mask = self._left_mask(X[:, split.feature], split)
+        node.feature = split.feature
+        node.threshold = split.threshold
+        node.left_categories = split.left_categories
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    @staticmethod
+    def _left_mask(col: np.ndarray, split: _Split) -> np.ndarray:
+        if split.left_categories is not None:
+            return np.isin(col, np.fromiter(split.left_categories, dtype=float))
+        return col <= split.threshold
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> _Split | None:
+        total_sse = float(((y - y.mean()) ** 2).sum())
+        best: _Split | None = None
+        for feature in range(self._n_features):
+            col = X[:, feature]
+            if feature in self._categorical:
+                cand = self._scan_categorical(col, y, total_sse, feature)
+            else:
+                cand = self._scan_numeric(col, y, total_sse, feature)
+            if cand is not None and (best is None or cand.gain > best.gain):
+                best = cand
+        if best is not None and best.gain < self.min_gain:
+            return None
+        return best
+
+    def _scan_numeric(
+        self, col: np.ndarray, y: np.ndarray, total_sse: float, feature: int
+    ) -> _Split | None:
+        order = np.argsort(col, kind="stable")
+        xs, ys = col[order], y[order]
+        gains, positions = _prefix_scan(xs, ys, total_sse, self.min_samples_leaf)
+        if gains is None:
+            return None
+        k = int(np.argmax(gains))
+        pos = positions[k]
+        threshold = (xs[pos - 1] + xs[pos]) / 2.0
+        return _Split(feature=feature, gain=float(gains[k]), threshold=threshold)
+
+    def _scan_categorical(
+        self, col: np.ndarray, y: np.ndarray, total_sse: float, feature: int
+    ) -> _Split | None:
+        codes = col.astype(np.int64)
+        if np.any(codes < 0):
+            raise ModelError("categorical codes must be non-negative")
+        counts = np.bincount(codes)
+        sums = np.bincount(codes, weights=y)
+        present = np.flatnonzero(counts)
+        if len(present) < 2:
+            return None
+        means = sums[present] / counts[present]
+        ordered = present[np.argsort(means, kind="stable")]
+        # Pseudo-numeric scan: replace codes by their rank in the mean
+        # ordering, then reuse the prefix scan with category boundaries.
+        rank_of = np.full(counts.size, -1, dtype=np.int64)
+        rank_of[ordered] = np.arange(len(ordered))
+        ranks = rank_of[codes].astype(float)
+        order = np.argsort(ranks, kind="stable")
+        xs, ys = ranks[order], y[order]
+        gains, positions = _prefix_scan(xs, ys, total_sse, self.min_samples_leaf)
+        if gains is None:
+            return None
+        k = int(np.argmax(gains))
+        pos = positions[k]
+        n_left_ranks = int(xs[pos - 1]) + 1
+        left_cats = frozenset(float(c) for c in ordered[:n_left_ranks])
+        return _Split(feature=feature, gain=float(gains[k]), left_categories=left_cats)
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted()
+        X, _ = check_Xy(X)
+        if X.shape[1] != self._n_features:
+            raise ModelError(
+                f"X has {X.shape[1]} features; tree was fitted with {self._n_features}"
+            )
+        out = np.empty(X.shape[0])
+        self._apply(self._root, X, np.arange(X.shape[0]), out)
+        return out
+
+    def _apply(self, node: _Node, X: np.ndarray, idx: np.ndarray, out: np.ndarray) -> None:
+        if node.is_leaf or len(idx) == 0:
+            out[idx] = node.prediction
+            return
+        split = _Split(
+            feature=node.feature,
+            gain=0.0,
+            threshold=node.threshold,
+            left_categories=node.left_categories,
+        )
+        mask = self._left_mask(X[idx, node.feature], split)
+        self._apply(node.left, X, idx[mask], out)
+        self._apply(node.right, X, idx[~mask], out)
+
+    # -- introspection ---------------------------------------------------------
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (leaf-only tree has depth 0)."""
+        self._require_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def num_leaves(self) -> int:
+        self._require_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)
+
+
+def _prefix_scan(
+    xs: np.ndarray, ys: np.ndarray, total_sse: float, min_leaf: int
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Best-gain scan over sorted (xs, ys).
+
+    Returns (gains, positions) over valid boundary positions ``pos``
+    (split between pos-1 and pos), or (None, None) when no valid
+    boundary exists.
+    """
+    n = len(ys)
+    if n < 2 * min_leaf:
+        return None, None
+    csum = np.cumsum(ys)
+    csum2 = np.cumsum(ys * ys)
+    total_sum, total_sum2 = csum[-1], csum2[-1]
+    positions = np.arange(1, n)
+    # Valid splits: respect leaf sizes and land on a value boundary.
+    valid = (positions >= min_leaf) & (positions <= n - min_leaf)
+    valid &= xs[positions] != xs[positions - 1]
+    positions = positions[valid]
+    if len(positions) == 0:
+        return None, None
+    nl = positions.astype(float)
+    nr = n - nl
+    sl, s2l = csum[positions - 1], csum2[positions - 1]
+    sr, s2r = total_sum - sl, total_sum2 - s2l
+    sse_left = s2l - sl * sl / nl
+    sse_right = s2r - sr * sr / nr
+    gains = total_sse - (sse_left + sse_right)
+    return gains, positions

@@ -1,0 +1,40 @@
+"""Power-management policies derived from the paper's implications.
+
+Section 6 argues that the characterization enables concrete mechanisms:
+
+* **static per-job power capping** at predicted-power + headroom
+  (:mod:`~repro.policy.capping`) — safe because temporal variance is low,
+* **hardware over-provisioning** under a system-wide power budget
+  (:mod:`~repro.policy.overprovision`) — profitable because of stranded
+  power, and
+* **power-aware pricing** (:mod:`~repro.policy.pricing`) — needed because
+  node-hours under-charge long/large (higher-power) jobs.
+
+These back the ablation benches (A1/A2 in DESIGN.md).
+"""
+
+from repro.policy.capping import CappingOutcome, StaticCapPolicy, evaluate_capping
+from repro.policy.energy import EnergyAccount, account_energy, user_bills
+from repro.policy.overprovision import OverprovisionOutcome, evaluate_overprovisioning
+from repro.policy.powersched import (
+    PowerAwareSimulator,
+    PowerSchedulingOutcome,
+    evaluate_power_capped_scheduling,
+)
+from repro.policy.pricing import PricingComparison, compare_pricing
+
+__all__ = [
+    "StaticCapPolicy",
+    "CappingOutcome",
+    "evaluate_capping",
+    "OverprovisionOutcome",
+    "evaluate_overprovisioning",
+    "PricingComparison",
+    "compare_pricing",
+    "PowerAwareSimulator",
+    "PowerSchedulingOutcome",
+    "evaluate_power_capped_scheduling",
+    "EnergyAccount",
+    "account_energy",
+    "user_bills",
+]

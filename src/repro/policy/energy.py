@@ -1,0 +1,110 @@
+"""Facility energy and cost accounting.
+
+Turns a dataset into the numbers an operations meeting needs: facility
+energy over the window (with PUE), the electricity bill, the bill share
+wasted on stranded provisioning, and per-user energy bills under
+node-hour vs energy-true charging (the Section 6 pricing discussion in
+currency rather than ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.frames import Table
+from repro.telemetry.dataset import JobDataset
+from repro.units import MINUTE, joules_to_kwh
+
+__all__ = ["EnergyAccount", "account_energy", "user_bills"]
+
+
+@dataclass(frozen=True)
+class EnergyAccount:
+    """Window-level energy/cost summary of one system."""
+
+    system: str
+    window_days: float
+    pue: float
+    price_per_kwh: float
+    # Energy actually drawn by compute nodes (jobs + idle floor), at the
+    # facility meter (× PUE).
+    facility_kwh: float
+    facility_cost: float
+    # What the facility would pay if provisioning were fully used (TDP).
+    provisioned_kwh: float
+    provisioned_cost: float
+    # Energy attributable to jobs alone.
+    job_kwh: float
+
+    @property
+    def stranded_cost(self) -> float:
+        """Bill difference between provisioned and drawn power."""
+        return self.provisioned_cost - self.facility_cost
+
+    @property
+    def idle_overhead_fraction(self) -> float:
+        """Share of drawn energy not attributable to jobs."""
+        drawn = self.facility_kwh / self.pue
+        if drawn <= 0:
+            raise PolicyError("no drawn energy in window")
+        return 1.0 - self.job_kwh / drawn
+
+
+def account_energy(
+    dataset: JobDataset, price_per_kwh: float = 0.25, pue: float = 1.25
+) -> EnergyAccount:
+    """Meter the window. ``price_per_kwh`` in your currency; PUE ≥ 1."""
+    if price_per_kwh <= 0:
+        raise PolicyError("price_per_kwh must be positive")
+    if pue < 1.0:
+        raise PolicyError("PUE cannot be below 1")
+    n_minutes = int(np.ceil(dataset.horizon_s / MINUTE))
+    drawn_j = float(dataset.total_power_watts()[:n_minutes].sum() * MINUTE)
+    job_j = float(dataset.job_power_watts[:n_minutes].sum() * MINUTE)
+    provisioned_j = dataset.spec.total_tdp_watts * n_minutes * MINUTE
+    facility_kwh = float(joules_to_kwh(drawn_j)) * pue
+    provisioned_kwh = float(joules_to_kwh(provisioned_j)) * pue
+    return EnergyAccount(
+        system=dataset.spec.name,
+        window_days=dataset.horizon_s / 86400.0,
+        pue=pue,
+        price_per_kwh=price_per_kwh,
+        facility_kwh=facility_kwh,
+        facility_cost=facility_kwh * price_per_kwh,
+        provisioned_kwh=provisioned_kwh,
+        provisioned_cost=provisioned_kwh * price_per_kwh,
+        job_kwh=float(joules_to_kwh(job_j)),
+    )
+
+
+def user_bills(
+    dataset: JobDataset, price_per_kwh: float = 0.25, pue: float = 1.25
+) -> Table:
+    """Per-user bills under node-hour-proportional vs energy-true charging.
+
+    The total bill (the facility's job-attributable cost) is identical
+    under both schemes; what differs is who pays it. The table's
+    ``delta`` column is each user's gain (+) or loss (−) when the site
+    switches from node-hour to energy-true charging.
+    """
+    account = account_energy(dataset, price_per_kwh=price_per_kwh, pue=pue)
+    pot = account.job_kwh * pue * price_per_kwh
+    totals = dataset.jobs.group_by("user").agg(
+        node_hours=("node_hours", "sum"),
+        energy_j=("energy_j", "sum"),
+        n_jobs=("job_id", "count"),
+    )
+    nh = totals["node_hours"].astype(float)
+    en = totals["energy_j"].astype(float)
+    bill_nh = pot * nh / nh.sum()
+    bill_energy = pot * en / en.sum()
+    return (
+        totals
+        .with_column("bill_node_hours", bill_nh)
+        .with_column("bill_energy_true", bill_energy)
+        .with_column("delta", bill_nh - bill_energy)
+        .sort_by("delta", descending=True)
+    )

@@ -1,0 +1,81 @@
+"""Hardware over-provisioning under a fixed facility power budget.
+
+Sections 3/6: because jobs draw well below TDP, a facility provisioned
+for ``N × TDP`` watts can host more than ``N`` nodes if it caps system
+power at the observed level — turning stranded power into throughput
+(the Patki/Sarood line of work the paper cites).
+
+:func:`evaluate_overprovisioning` answers: given this dataset's measured
+power profile, how many extra nodes fit in the original budget, and what
+throughput gain does that imply at the observed utilization?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.telemetry.dataset import JobDataset
+
+__all__ = ["OverprovisionOutcome", "evaluate_overprovisioning"]
+
+
+@dataclass(frozen=True)
+class OverprovisionOutcome:
+    """Sizing result for one system."""
+
+    system: str
+    original_nodes: int
+    budget_watts: float
+    # Per-node power level the sizing is based on (a high quantile of
+    # observed node draw, not TDP).
+    sizing_watts_per_node: float
+    supported_nodes: int
+    extra_nodes: int
+    # Relative node-capacity (≈ throughput) gain.
+    throughput_gain: float
+    # Probability that the observed historical draw, scaled to the new
+    # node count, would have exceeded the budget (requires capping).
+    budget_exceedance_fraction: float
+
+
+def evaluate_overprovisioning(
+    dataset: JobDataset, sizing_quantile: float = 0.99, safety_margin: float = 0.05
+) -> OverprovisionOutcome:
+    """Size an over-provisioned system inside the original power budget.
+
+    The per-node sizing level is the ``sizing_quantile`` of the observed
+    per-minute *average node draw* (total power / total nodes), inflated
+    by ``safety_margin``. The node count that fits is then
+    ``budget / sizing_level``.
+    """
+    if not 0 < sizing_quantile <= 1:
+        raise PolicyError("sizing_quantile must be in (0, 1]")
+    if safety_margin < 0:
+        raise PolicyError("safety_margin must be >= 0")
+    spec = dataset.spec
+    budget = spec.total_tdp_watts
+    node_draw = dataset.total_power_watts() / spec.num_nodes
+    if len(node_draw) == 0:
+        raise PolicyError("dataset has an empty power timeline")
+    sizing = float(np.quantile(node_draw, sizing_quantile)) * (1.0 + safety_margin)
+    if sizing <= 0:
+        raise PolicyError("observed node draw is zero; cannot size")
+    supported = int(budget / sizing)
+    supported = max(supported, spec.num_nodes)
+    # If history repeated on the bigger machine (same mix, proportionally
+    # more jobs), total draw scales with the node ratio.
+    scaled_draw = dataset.total_power_watts() * (supported / spec.num_nodes)
+    exceed = float(np.mean(scaled_draw > budget))
+    return OverprovisionOutcome(
+        system=spec.name,
+        original_nodes=spec.num_nodes,
+        budget_watts=budget,
+        sizing_watts_per_node=sizing,
+        supported_nodes=supported,
+        extra_nodes=supported - spec.num_nodes,
+        throughput_gain=supported / spec.num_nodes - 1.0,
+        budget_exceedance_fraction=exceed,
+    )

@@ -1,0 +1,66 @@
+"""Power-aware pricing analysis.
+
+Section 6: "job execution time and job size cannot be used as a proxy
+for fair pricing … longer-running and larger-size jobs tend to consume
+higher per-node power and hence have higher energy cost per node and per
+time unit." This module quantifies the mispricing: compare each job's
+node-hour-proportional charge against its energy-proportional charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.telemetry.dataset import JobDataset
+
+__all__ = ["PricingComparison", "compare_pricing"]
+
+
+@dataclass(frozen=True)
+class PricingComparison:
+    """Node-hour vs energy pricing over one dataset."""
+
+    system: str
+    n_jobs: int
+    # Per-job ratio energy_share / node_hour_share (1 = fair).
+    ratio: np.ndarray
+    # Fraction of jobs under-charged by node-hours by >10%.
+    frac_undercharged_10pct: float
+    # Fraction over-charged by >10%.
+    frac_overcharged_10pct: float
+    # Correlation of the ratio with job size (positive ⇒ big jobs
+    # subsidized by small ones under node-hour pricing).
+    ratio_vs_nodes_spearman: float
+
+    @property
+    def max_mispricing(self) -> float:
+        """Largest relative deviation from fair share."""
+        return float(np.max(np.abs(self.ratio - 1.0)))
+
+
+def compare_pricing(dataset: JobDataset) -> PricingComparison:
+    """Quantify node-hour mispricing against energy-true charging."""
+    from repro.stats.correlation import spearman
+
+    jobs = dataset.jobs
+    if len(jobs) < 3:
+        raise PolicyError("pricing comparison needs at least 3 jobs")
+    node_hours = jobs["node_hours"].astype(float)
+    energy = jobs["energy_j"].astype(float)
+    if np.any(node_hours <= 0) or np.any(energy <= 0):
+        raise PolicyError("jobs must have positive node-hours and energy")
+    nh_share = node_hours / node_hours.sum()
+    en_share = energy / energy.sum()
+    ratio = en_share / nh_share
+    rho = spearman(jobs["nodes"].astype(float), ratio).statistic
+    return PricingComparison(
+        system=dataset.spec.name,
+        n_jobs=len(jobs),
+        ratio=ratio,
+        frac_undercharged_10pct=float(np.mean(ratio > 1.10)),
+        frac_overcharged_10pct=float(np.mean(ratio < 0.90)),
+        ratio_vs_nodes_spearman=float(rho),
+    )

@@ -1,0 +1,21 @@
+"""Discrete-event batch-scheduler substrate.
+
+One engine models both of the paper's batch systems (Torque/Maui on
+Emmy, Slurm on Meggie): jobs arrive with a node count and a requested
+walltime, wait in a FIFO queue, and are placed by FCFS with EASY
+backfilling onto whole nodes (node access on both systems is
+job-exclusive). The engine produces start times and node allocations —
+the inputs the telemetry layer and the Fig 1 utilization analysis need.
+"""
+
+from repro.scheduler.accounting import accounting_table
+from repro.scheduler.job import ScheduledJob
+from repro.scheduler.simulator import SchedulerConfig, Simulator, simulate
+
+__all__ = [
+    "ScheduledJob",
+    "Simulator",
+    "SchedulerConfig",
+    "simulate",
+    "accounting_table",
+]

@@ -1,0 +1,41 @@
+"""Accounting records — what Torque/Slurm log about every job.
+
+The paper combines these records (submit/start/end, requested
+resources) with the monitoring data to build its job-level dataset; this
+module renders the scheduler output as a :class:`~repro.frames.table.Table`
+in that shape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.frames import Table
+from repro.scheduler.job import ScheduledJob
+
+__all__ = ["accounting_table"]
+
+
+def accounting_table(scheduled: Sequence[ScheduledJob]) -> Table:
+    """One row per job with the batch system's bookkeeping columns."""
+    jobs = list(scheduled)
+    return Table(
+        {
+            "job_id": np.asarray([j.spec.job_id for j in jobs], dtype=np.int64),
+            "user": np.asarray([j.spec.user_id for j in jobs], dtype=str),
+            "app": np.asarray([j.spec.app for j in jobs], dtype=str),
+            "system": np.asarray([j.spec.system for j in jobs], dtype=str),
+            "class_id": np.asarray([j.spec.class_id for j in jobs], dtype=np.int64),
+            "nodes": np.asarray([j.spec.nodes for j in jobs], dtype=np.int64),
+            "submit_s": np.asarray([j.spec.submit_s for j in jobs], dtype=np.int64),
+            "start_s": np.asarray([j.start_s for j in jobs], dtype=np.int64),
+            "end_s": np.asarray([j.end_s for j in jobs], dtype=np.int64),
+            "runtime_s": np.asarray([j.spec.runtime_s for j in jobs], dtype=np.int64),
+            "req_walltime_s": np.asarray(
+                [j.spec.req_walltime_s for j in jobs], dtype=np.int64
+            ),
+            "wait_s": np.asarray([j.wait_s for j in jobs], dtype=np.int64),
+        }
+    )

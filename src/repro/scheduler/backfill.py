@@ -1,0 +1,44 @@
+"""EASY backfilling.
+
+With the queue head blocked, compute the head's *shadow time* — the
+earliest instant enough nodes will be free assuming running jobs hold
+their nodes until their requested walltime ends — and the number of
+*extra* nodes spare at that instant. A queued job may jump the head iff
+it fits in the currently free nodes and either (a) its requested end is
+no later than the shadow time, or (b) it needs no more than the extra
+nodes. This is the classic EASY rule: backfilling never delays the head.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["shadow_time"]
+
+
+def shadow_time(
+    head_nodes: int,
+    free_now: int,
+    running_end_times: Sequence[int],
+    running_node_counts: Sequence[int],
+) -> tuple[int, int]:
+    """Return ``(shadow_t, extra_nodes)`` for a blocked queue head.
+
+    ``running_end_times`` are *requested* (walltime-limit) end times.
+    ``extra_nodes`` is how many nodes beyond the head's demand will be
+    free at the shadow time.
+    """
+    if free_now >= head_nodes:
+        raise ValueError("head is not blocked; shadow time undefined")
+    if not running_end_times:
+        raise ValueError("head blocked but nothing is running")
+    ends = np.asarray(running_end_times, dtype=np.int64)
+    counts = np.asarray(running_node_counts, dtype=np.int64)
+    order = np.argsort(ends, kind="stable")
+    cumulative = free_now + np.cumsum(counts[order])
+    idx = int(np.argmax(cumulative >= head_nodes))
+    if cumulative[idx] < head_nodes:
+        raise ValueError("running jobs cannot ever free enough nodes for the head")
+    return int(ends[order[idx]]), int(cumulative[idx] - head_nodes)

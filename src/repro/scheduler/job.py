@@ -1,0 +1,52 @@
+"""Scheduler-side job records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.workload.generator import JobSpec
+
+__all__ = ["ScheduledJob"]
+
+
+@dataclass(frozen=True)
+class ScheduledJob:
+    """A job after placement: spec + when and where it ran."""
+
+    spec: JobSpec
+    start_s: int
+    node_ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.start_s < self.spec.submit_s:
+            raise SchedulerError(
+                f"job {self.spec.job_id}: started before submission"
+            )
+        if len(self.node_ids) != self.spec.nodes:
+            raise SchedulerError(
+                f"job {self.spec.job_id}: allocated {len(self.node_ids)} nodes, "
+                f"requested {self.spec.nodes}"
+            )
+        if len(np.unique(self.node_ids)) != len(self.node_ids):
+            raise SchedulerError(f"job {self.spec.job_id}: duplicate node allocation")
+
+    @property
+    def end_s(self) -> int:
+        """Actual completion time."""
+        return self.start_s + self.spec.runtime_s
+
+    @property
+    def requested_end_s(self) -> int:
+        """Walltime-limit end the scheduler plans around."""
+        return self.start_s + self.spec.req_walltime_s
+
+    @property
+    def wait_s(self) -> int:
+        return self.start_s - self.spec.submit_s
+
+    @property
+    def node_seconds(self) -> int:
+        return self.spec.nodes * self.spec.runtime_s

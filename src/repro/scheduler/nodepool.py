@@ -1,0 +1,61 @@
+"""Free-node tracking with first-fit allocation.
+
+Node access on both systems is job-exclusive, so the pool hands out
+whole node ids. Allocation is lowest-id-first — the placement policy
+does not affect any power statistic (node variability factors are i.i.d.
+across ids) but makes traces deterministic and easy to inspect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AllocationError
+
+__all__ = ["NodePool"]
+
+
+class NodePool:
+    """Boolean free-map over ``num_nodes`` node ids."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise AllocationError("pool needs at least one node")
+        self._free = np.ones(num_nodes, dtype=bool)
+        self._free_count = num_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._free)
+
+    @property
+    def free_count(self) -> int:
+        return self._free_count
+
+    @property
+    def busy_count(self) -> int:
+        return self.num_nodes - self._free_count
+
+    def fits(self, n: int) -> bool:
+        return n <= self._free_count
+
+    def allocate(self, n: int) -> np.ndarray:
+        """Claim the ``n`` lowest-id free nodes."""
+        if n < 1:
+            raise AllocationError("must allocate at least one node")
+        if n > self._free_count:
+            raise AllocationError(
+                f"requested {n} nodes but only {self._free_count} free"
+            )
+        ids = np.flatnonzero(self._free)[:n]
+        self._free[ids] = False
+        self._free_count -= n
+        return ids
+
+    def release(self, ids: np.ndarray) -> None:
+        """Return nodes to the pool; double-free is an error."""
+        ids = np.asarray(ids)
+        if np.any(self._free[ids]):
+            raise AllocationError(f"double free of nodes {ids[self._free[ids]].tolist()}")
+        self._free[ids] = True
+        self._free_count += len(ids)

@@ -1,0 +1,158 @@
+"""The discrete-event scheduling engine.
+
+Events are job arrivals and job completions; on every event the engine
+runs one FCFS pass over the queue head plus an EASY-backfill scan over a
+bounded prefix of the remaining queue (production schedulers bound this
+scan too — Maui's ``BFDEPTH``, Slurm's ``bf_max_job_test``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SchedulerError
+from repro.scheduler.backfill import shadow_time
+from repro.scheduler.job import ScheduledJob
+from repro.scheduler.nodepool import NodePool
+from repro.workload.generator import JobSpec
+
+__all__ = ["SchedulerConfig", "Simulator", "simulate"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Engine knobs shared by the Torque/Maui and Slurm personalities."""
+
+    num_nodes: int
+    backfill_depth: int = 100
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise SchedulerError("num_nodes must be >= 1")
+        if self.backfill_depth < 0:
+            raise SchedulerError("backfill_depth must be >= 0")
+
+
+class Simulator:
+    """FCFS + EASY backfill over exclusive whole nodes."""
+
+    def __init__(self, config: SchedulerConfig) -> None:
+        self.config = config
+        self.pool = NodePool(config.num_nodes)
+        self._queue: list[JobSpec] = []
+        # Running jobs as (requested_end, nodes, node_ids) for shadow-time
+        # computation, keyed by job id.
+        self._running: dict[int, ScheduledJob] = {}
+        self._results: list[ScheduledJob] = []
+
+    # -- core loop -----------------------------------------------------------
+
+    def run(self, jobs: Sequence[JobSpec]) -> list[ScheduledJob]:
+        """Schedule all jobs; returns completions in start order."""
+        jobs = sorted(jobs, key=lambda j: (j.submit_s, j.job_id))
+        for job in jobs:
+            if job.nodes > self.config.num_nodes:
+                raise SchedulerError(
+                    f"job {job.job_id} requests {job.nodes} nodes; "
+                    f"system has {self.config.num_nodes}"
+                )
+        # Completion events: (end_s, seq, job_id). Arrivals are consumed
+        # from the sorted list with a cursor instead of heap entries.
+        completions: list[tuple[int, int, int]] = []
+        seq = 0
+        cursor = 0
+        n_jobs = len(jobs)
+        while cursor < n_jobs or completions or self._queue:
+            next_arrival = jobs[cursor].submit_s if cursor < n_jobs else None
+            next_completion = completions[0][0] if completions else None
+            if next_arrival is None and next_completion is None:
+                raise SchedulerError(
+                    f"deadlock: {len(self._queue)} queued jobs can never start "
+                    "(machine too small or admission constraint unsatisfiable)"
+                )
+            # Process the earlier event; completions first on ties so
+            # arrivals see the freed nodes.
+            if next_completion is not None and (
+                next_arrival is None or next_completion <= next_arrival
+            ):
+                now, _, job_id = heapq.heappop(completions)
+                finished = self._running.pop(job_id)
+                self.pool.release(finished.node_ids)
+                self._on_finish(finished)
+            else:
+                now = next_arrival
+                while cursor < n_jobs and jobs[cursor].submit_s == now:
+                    self._queue.append(jobs[cursor])
+                    cursor += 1
+            for started in self._schedule_pass(now):
+                heapq.heappush(completions, (started.end_s, seq, started.spec.job_id))
+                seq += 1
+        return self._results
+
+    def _schedule_pass(self, now: int) -> list[ScheduledJob]:
+        """One FCFS + backfill pass; returns newly started jobs."""
+        started: list[ScheduledJob] = []
+        # FCFS: start queue heads while they fit (nodes AND any extra
+        # admission constraint a subclass imposes, e.g. a power budget).
+        while (
+            self._queue
+            and self.pool.fits(self._queue[0].nodes)
+            and self._admissible(self._queue[0])
+        ):
+            started.append(self._start(self._queue.pop(0), now))
+        if not self._queue or not self._running:
+            return started
+        # EASY backfill around the blocked head.
+        head = self._queue[0]
+        ends = [r.requested_end_s for r in self._running.values()]
+        counts = [r.spec.nodes for r in self._running.values()]
+        try:
+            shadow, extra = shadow_time(head.nodes, self.pool.free_count, ends, counts)
+        except ValueError:
+            return started
+        i = 1
+        scanned = 0
+        while i < len(self._queue) and scanned < self.config.backfill_depth:
+            job = self._queue[i]
+            scanned += 1
+            if (
+                self.pool.fits(job.nodes)
+                and self._admissible(job)
+                and (now + job.req_walltime_s <= shadow or job.nodes <= extra)
+            ):
+                if job.nodes <= extra:
+                    extra -= job.nodes
+                started.append(self._start(self._queue.pop(i), now))
+            else:
+                i += 1
+        return started
+
+    def _start(self, spec: JobSpec, now: int) -> ScheduledJob:
+        node_ids = self.pool.allocate(spec.nodes)
+        job = ScheduledJob(spec=spec, start_s=now, node_ids=node_ids)
+        self._running[spec.job_id] = job
+        self._results.append(job)
+        self._on_start(job)
+        return job
+
+    # -- subclass hooks --------------------------------------------------
+
+    def _admissible(self, spec: JobSpec) -> bool:
+        """Extra admission constraint; base engine admits everything."""
+        return True
+
+    def _on_start(self, job: ScheduledJob) -> None:
+        """Called after a job is placed."""
+
+    def _on_finish(self, job: ScheduledJob) -> None:
+        """Called after a job completes and its nodes are released."""
+
+
+def simulate(
+    jobs: Iterable[JobSpec], num_nodes: int, backfill_depth: int = 100
+) -> list[ScheduledJob]:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    sim = Simulator(SchedulerConfig(num_nodes=num_nodes, backfill_depth=backfill_depth))
+    return sim.run(list(jobs))

@@ -1,0 +1,35 @@
+"""Statistics toolkit used by every analysis in the paper.
+
+The kernels here (ECDF/PDF construction, Spearman rank correlation with
+p-value, Lorenz-style concentration curves, bootstrap confidence
+intervals) are implemented from scratch on NumPy and, where scipy offers
+a reference implementation, cross-checked against it in the test suite.
+"""
+
+from repro.stats.binning import freedman_diaconis_bins, histogram_pdf
+from repro.stats.bootstrap import bootstrap_ci
+from repro.stats.concentration import lorenz_curve, overlap_fraction, top_share
+from repro.stats.correlation import pearson, spearman
+from repro.stats.kstest import KsResult, ks_two_sample
+from repro.stats.descriptive import coefficient_of_variation, describe, weighted_mean
+from repro.stats.distributions import ECDF, cdf_at, fraction_below, quantile
+
+__all__ = [
+    "ECDF",
+    "cdf_at",
+    "fraction_below",
+    "quantile",
+    "pearson",
+    "spearman",
+    "lorenz_curve",
+    "top_share",
+    "overlap_fraction",
+    "bootstrap_ci",
+    "describe",
+    "weighted_mean",
+    "coefficient_of_variation",
+    "histogram_pdf",
+    "freedman_diaconis_bins",
+    "KsResult",
+    "ks_two_sample",
+]

@@ -1,0 +1,85 @@
+"""Concentration / inequality measures for user-level analysis (Fig 11).
+
+The paper reports that the top 20% of users consume ~85% of node-hours
+and energy, and that ~90% of the top-node-hour users are also top-energy
+users. These are Lorenz-curve style statistics over per-user totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lorenz_curve", "top_share", "gini", "overlap_fraction", "top_k_ids"]
+
+
+def lorenz_curve(totals) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative share curve, *descending* by consumption.
+
+    Returns ``(user_fraction, consumption_share)`` where
+    ``consumption_share[i]`` is the fraction of the grand total consumed
+    by the top ``user_fraction[i]`` of users. This is the orientation
+    Fig 11 plots (top-consumers first), i.e. the reflected Lorenz curve.
+    """
+    x = np.asarray(totals, dtype=float).ravel()
+    if x.size == 0:
+        raise ValueError("lorenz_curve requires a non-empty sample")
+    if np.any(x < 0):
+        raise ValueError("consumption totals must be non-negative")
+    total = x.sum()
+    if total == 0:
+        raise ValueError("total consumption is zero")
+    sorted_desc = np.sort(x)[::-1]
+    share = np.cumsum(sorted_desc) / total
+    frac = np.arange(1, x.size + 1) / x.size
+    return frac, share
+
+
+def top_share(totals, fraction: float) -> float:
+    """Fraction of the grand total consumed by the top ``fraction`` users."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must lie in (0, 1]")
+    frac, share = lorenz_curve(totals)
+    k = max(1, int(np.ceil(fraction * frac.size)))
+    return float(share[k - 1])
+
+
+def gini(totals) -> float:
+    """Gini coefficient of the consumption distribution (0=equal, →1=concentrated)."""
+    x = np.sort(np.asarray(totals, dtype=float).ravel())
+    if x.size == 0:
+        raise ValueError("gini requires a non-empty sample")
+    if np.any(x < 0):
+        raise ValueError("consumption totals must be non-negative")
+    total = x.sum()
+    if total == 0:
+        raise ValueError("total consumption is zero")
+    n = x.size
+    # G = (2 * sum(i*x_i) - (n+1) * sum(x)) / (n * sum(x)), i is 1-based rank asc.
+    i = np.arange(1, n + 1)
+    return float((2.0 * (i * x).sum() - (n + 1) * total) / (n * total))
+
+
+def top_k_ids(ids, totals, fraction: float) -> np.ndarray:
+    """Identifiers of the top ``fraction`` consumers (by total, descending)."""
+    ids = np.asarray(ids)
+    x = np.asarray(totals, dtype=float)
+    if ids.shape != x.shape:
+        raise ValueError("ids and totals must have the same shape")
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must lie in (0, 1]")
+    k = max(1, int(np.ceil(fraction * ids.size)))
+    order = np.argsort(x, kind="stable")[::-1]
+    return ids[order[:k]]
+
+
+def overlap_fraction(ids, totals_a, totals_b, fraction: float) -> float:
+    """Fraction of the top-``fraction`` set by metric A also in the top set by B.
+
+    The paper's "~90% of the top 20% node-hour users are also top energy
+    users" is ``overlap_fraction(users, node_hours, energy, 0.2)``.
+    """
+    top_a = set(np.asarray(top_k_ids(ids, totals_a, fraction)).tolist())
+    top_b = set(np.asarray(top_k_ids(ids, totals_b, fraction)).tolist())
+    if not top_a:
+        raise ValueError("empty top set")
+    return len(top_a & top_b) / len(top_a)

@@ -1,0 +1,86 @@
+"""Rank and linear correlation with significance tests.
+
+Spearman's rho (Table 2 of the paper) is implemented from scratch:
+mid-ranks for ties, Pearson correlation of the ranks, and a two-sided
+p-value from the t-distribution approximation
+``t = r * sqrt((n-2) / (1-r^2))`` with ``n-2`` degrees of freedom.
+The test suite cross-checks against :func:`scipy.stats.spearmanr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import betainc
+
+__all__ = ["CorrelationResult", "pearson", "spearman", "rankdata"]
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Correlation coefficient with its two-sided p-value."""
+
+    statistic: float
+    pvalue: float
+    n: int
+
+    def __iter__(self):
+        return iter((self.statistic, self.pvalue))
+
+
+def rankdata(values) -> np.ndarray:
+    """Mid-ranks (1-based; ties get the average of their rank span)."""
+    x = np.asarray(values, dtype=float).ravel()
+    order = np.argsort(x, kind="stable")
+    ranks = np.empty(x.size, dtype=float)
+    ranks[order] = np.arange(1, x.size + 1, dtype=float)
+    # Average ranks within tie groups.
+    sorted_x = x[order]
+    boundaries = np.flatnonzero(np.diff(sorted_x) != 0) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [x.size]))
+    mean_ranks = (starts + ends + 1) / 2.0  # ranks are 1-based
+    group_of_sorted = np.repeat(np.arange(starts.size), ends - starts)
+    ranks[order] = mean_ranks[group_of_sorted]
+    return ranks
+
+
+def _t_sf_two_sided(t: float, df: int) -> float:
+    """Two-sided tail probability of Student's t via the incomplete beta."""
+    if df <= 0:
+        return float("nan")
+    x = df / (df + t * t)
+    return float(betainc(df / 2.0, 0.5, x))
+
+
+def pearson(x, y) -> CorrelationResult:
+    """Pearson linear correlation with a t-test p-value."""
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} vs {y.size}")
+    if x.size < 3:
+        raise ValueError("correlation requires at least 3 observations")
+    xm = x - x.mean()
+    ym = y - y.mean()
+    denom = np.sqrt((xm * xm).sum() * (ym * ym).sum())
+    if denom == 0.0:
+        raise ValueError("correlation undefined for a constant input")
+    r = float(np.clip((xm * ym).sum() / denom, -1.0, 1.0))
+    n = x.size
+    if abs(r) == 1.0:
+        p = 0.0
+    else:
+        t = r * np.sqrt((n - 2) / (1.0 - r * r))
+        p = _t_sf_two_sided(float(t), n - 2)
+    return CorrelationResult(statistic=r, pvalue=p, n=n)
+
+
+def spearman(x, y) -> CorrelationResult:
+    """Spearman rank correlation (mid-ranks for ties) with p-value."""
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} vs {y.size}")
+    return pearson(rankdata(x), rankdata(y))

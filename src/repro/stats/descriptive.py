@@ -1,0 +1,81 @@
+"""Descriptive statistics helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "describe", "weighted_mean", "coefficient_of_variation"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of one sample."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    p25: float
+    median: float
+    p75: float
+    max: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "max": self.max,
+        }
+
+
+def describe(values) -> Summary:
+    """Summary statistics of a 1-D numeric sample."""
+    x = np.asarray(values, dtype=float).ravel()
+    if x.size == 0:
+        raise ValueError("describe() requires a non-empty sample")
+    q = np.quantile(x, [0.25, 0.5, 0.75])
+    return Summary(
+        count=int(x.size),
+        mean=float(np.mean(x)),
+        std=float(np.std(x)),
+        min=float(np.min(x)),
+        p25=float(q[0]),
+        median=float(q[1]),
+        p75=float(q[2]),
+        max=float(np.max(x)),
+    )
+
+
+def weighted_mean(values, weights) -> float:
+    """Mean of ``values`` weighted by ``weights`` (must be non-negative)."""
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if v.shape != w.shape:
+        raise ValueError(f"shape mismatch: values {v.shape} vs weights {w.shape}")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total == 0:
+        raise ValueError("weights sum to zero")
+    return float((v * w).sum() / total)
+
+
+def coefficient_of_variation(values) -> float:
+    """std/mean of a sample — the paper's 'std as percentage of mean' / 100.
+
+    Returns 0.0 for a single-element sample; raises if the mean is zero.
+    """
+    x = np.asarray(values, dtype=float).ravel()
+    if x.size == 0:
+        raise ValueError("coefficient_of_variation() requires a non-empty sample")
+    mean = float(np.mean(x))
+    if mean == 0.0:
+        raise ValueError("coefficient_of_variation undefined for zero-mean sample")
+    return float(np.std(x)) / mean

@@ -1,0 +1,236 @@
+"""End-to-end dataset assembly: generate → schedule → sample → join.
+
+:func:`generate_dataset` is the package's one-stop pipeline. It returns
+a :class:`JobDataset` holding
+
+* ``jobs`` — one row per job: accounting records joined with measured
+  power aggregates (the paper's "overall averages across the runtime and
+  nodes of a job"),
+* ``traces`` — full node×minute matrices for an instrumented subset of
+  key applications (the paper logged these for one month), and
+* per-minute system timelines of active nodes and drawn power, feeding
+  the Fig 1 / Fig 2 analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.specs import SystemSpec
+from repro.cluster.system import Cluster
+from repro.errors import TelemetryError
+from repro.frames import Table
+from repro.rng import RngFactory
+from repro.scheduler import accounting_table, simulate
+from repro.scheduler.job import ScheduledJob
+from repro.telemetry.sampler import PowerSampler
+from repro.telemetry.trace import JobPowerTrace
+from repro.units import MINUTE
+from repro.workload.applications import KEY_APPS
+from repro.workload.generator import WorkloadGenerator, default_params
+
+__all__ = ["JobDataset", "generate_dataset"]
+
+# RAPL floor of an allocated-but-unloaded or unallocated node, as used by
+# the node model (kept in sync with repro.cluster.node._IDLE_FRACTION).
+_IDLE_FRACTION = 0.22
+
+
+@dataclass
+class JobDataset:
+    """The joined dataset all analyses consume."""
+
+    spec: SystemSpec
+    jobs: Table
+    traces: dict[int, JobPowerTrace]
+    horizon_s: int
+    active_nodes: np.ndarray  # per-minute allocated node count
+    job_power_watts: np.ndarray  # per-minute power drawn by running jobs
+    # Physical node ids of each instrumented job (job_id -> array); used
+    # by the fleet-wide spatial diagnostics (repro.analysis.stragglers).
+    trace_allocations: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.active_nodes) != len(self.job_power_watts):
+            raise TelemetryError("timeline arrays must have equal length")
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def num_minutes(self) -> int:
+        return len(self.active_nodes)
+
+    @property
+    def idle_node_watts(self) -> float:
+        return _IDLE_FRACTION * self.spec.node_tdp_watts
+
+    def total_power_watts(self) -> np.ndarray:
+        """Per-minute draw of *all* compute nodes (idle nodes still draw)."""
+        inactive = np.maximum(self.spec.num_nodes - self.active_nodes, 0)
+        return self.job_power_watts + inactive * self.idle_node_watts
+
+    def trace_table(self) -> Table:
+        """Per-instrumented-job dynamic metrics as a table."""
+        traces = list(self.traces.values())
+        return Table(
+            {
+                "job_id": np.asarray([t.job_id for t in traces], dtype=np.int64),
+                "user": np.asarray([t.user_id for t in traces], dtype=str),
+                "app": np.asarray([t.app for t in traces], dtype=str),
+                "pernode_power_w": np.asarray([t.per_node_power() for t in traces]),
+                "temporal_cov": np.asarray([t.temporal_cov() for t in traces]),
+                "peak_overshoot": np.asarray([t.peak_overshoot() for t in traces]),
+                "frac_time_above_10pct": np.asarray(
+                    [t.fraction_time_above(0.10) for t in traces]
+                ),
+                "avg_spatial_spread_w": np.asarray(
+                    [t.avg_spatial_spread() for t in traces]
+                ),
+                "spatial_spread_frac": np.asarray(
+                    [t.spatial_spread_fraction() for t in traces]
+                ),
+                "frac_time_spread_above_avg": np.asarray(
+                    [t.fraction_time_spread_above_average() for t in traces]
+                ),
+                "energy_imbalance_frac": np.asarray(
+                    [t.energy_imbalance_fraction() for t in traces]
+                ),
+            }
+        )
+
+
+def generate_dataset(
+    system: str = "emmy",
+    seed: int = 0,
+    num_nodes: int | None = None,
+    num_users: int | None = None,
+    horizon_s: int | None = None,
+    max_traces: int = 2000,
+    backfill_depth: int = 100,
+    params_overrides: dict | None = None,
+    variability_sigma: float | None = None,
+) -> JobDataset:
+    """Run the full pipeline for one system.
+
+    Parameters
+    ----------
+    system:
+        ``"emmy"`` or ``"meggie"``.
+    num_nodes, num_users, horizon_s:
+        Scale-down overrides for tests/benches; defaults reproduce the
+        full 5-month production configuration.
+    max_traces:
+        Size cap of the instrumented (time-resolved) subset.
+    params_overrides:
+        Extra :class:`~repro.workload.generator.WorkloadParams` fields to
+        replace (ablation knobs like ``temporal_mode``/``spatial_scale``).
+    variability_sigma:
+        Override the manufacturing-variability sigma (0 disables it).
+    """
+    from dataclasses import replace as _replace
+
+    from repro.cluster.variability import VariabilityModel
+
+    if variability_sigma is None:
+        cluster = Cluster.from_name(system, seed=seed, num_nodes=num_nodes)
+    else:
+        from repro.cluster.specs import get_spec
+
+        cluster = Cluster(
+            get_spec(system), seed=seed, num_nodes=num_nodes,
+            variability=VariabilityModel(sigma=variability_sigma),
+        )
+    params = default_params(system, num_users=num_users, horizon_s=horizon_s)
+    if params_overrides:
+        params = _replace(params, **params_overrides)
+    generator = WorkloadGenerator(params, cluster.num_nodes, seed=seed)
+    specs = generator.generate()
+    scheduled = simulate(specs, cluster.num_nodes, backfill_depth=backfill_depth)
+    return assemble(cluster, scheduled, params.horizon_s, seed=seed, max_traces=max_traces)
+
+
+def assemble(
+    cluster: Cluster,
+    scheduled: list[ScheduledJob],
+    horizon_s: int,
+    seed: int = 0,
+    max_traces: int = 2000,
+) -> JobDataset:
+    """Join scheduling output with sampled power into a :class:`JobDataset`."""
+    if not scheduled:
+        raise TelemetryError("no scheduled jobs to assemble")
+    rngs = RngFactory(seed).child(f"telemetry.{cluster.name}")
+    sampler = PowerSampler(cluster, rngs.get("aggregate"))
+    trace_sampler = PowerSampler(cluster, rngs.get("traces"))
+
+    end_minute = max(j.end_s for j in scheduled) // MINUTE + 1
+    n_minutes = max(end_minute, int(np.ceil(horizon_s / MINUTE)))
+    active = np.zeros(n_minutes, dtype=np.int64)
+    job_power = np.zeros(n_minutes, dtype=float)
+
+    pernode_power = np.empty(len(scheduled))
+    energy = np.empty(len(scheduled))
+    instrumented = np.zeros(len(scheduled), dtype=bool)
+    is_debug = np.zeros(len(scheduled), dtype=bool)
+
+    # Instrument key-app, multi-node, non-trivial-length jobs inside a
+    # one-month window (the paper's time-resolved logging period).
+    window_lo = 0.30 * horizon_s
+    window_hi = min(horizon_s, window_lo + horizon_s / 5.0)
+    traces: dict[int, JobPowerTrace] = {}
+    trace_allocations: dict[int, np.ndarray] = {}
+
+    key_apps = set(KEY_APPS)
+    for i, job in enumerate(scheduled):
+        spec = job.spec
+        levels = sampler.sample_aggregate(job)
+        pernode_power[i] = levels.mean()
+        energy[i] = levels.sum() * spec.runtime_s
+        is_debug[i] = spec.is_debug
+        a, b = job.start_s // MINUTE, max(job.start_s // MINUTE + 1, job.end_s // MINUTE)
+        active[a:b] += spec.nodes
+        job_power[a:b] += levels.sum()
+        if (
+            len(traces) < max_traces
+            and spec.app in key_apps
+            and spec.nodes >= 2
+            and spec.runtime_s >= 20 * MINUTE
+            and window_lo <= job.start_s < window_hi
+        ):
+            matrix = trace_sampler.sample_matrix(job)
+            traces[spec.job_id] = JobPowerTrace(
+                job_id=spec.job_id,
+                user_id=spec.user_id,
+                app=spec.app,
+                system=spec.system,
+                matrix=matrix,
+            )
+            trace_allocations[spec.job_id] = job.node_ids.copy()
+            instrumented[i] = True
+
+    if np.any(active > cluster.num_nodes):
+        raise TelemetryError("scheduler over-allocated nodes (timeline check)")
+
+    jobs = accounting_table(scheduled)
+    jobs = jobs.with_column("pernode_power_w", pernode_power)
+    jobs = jobs.with_column("energy_j", energy)
+    jobs = jobs.with_column(
+        "node_hours",
+        jobs["nodes"].astype(float) * jobs["runtime_s"].astype(float) / 3600.0,
+    )
+    jobs = jobs.with_column("is_debug", is_debug)
+    jobs = jobs.with_column("instrumented", instrumented)
+
+    return JobDataset(
+        spec=cluster.spec,
+        jobs=jobs,
+        traces=traces,
+        horizon_s=int(horizon_s),
+        active_nodes=active,
+        job_power_watts=job_power,
+        trace_allocations=trace_allocations,
+    )

@@ -1,0 +1,84 @@
+"""Per-job power sampling.
+
+The physical model: a job's true node power at minute ``t`` on its
+``n``-th allocated node is
+
+``TDP × fraction × offset_n × factor_n × profile_t × dyn_{n,t}``
+
+clipped into ``[idle, TDP]``, where ``fraction`` is the job's nominal
+power fraction, ``offset_n`` the static workload-imbalance offset,
+``factor_n`` the node's manufacturing-variability factor, ``profile_t``
+the temporal phase profile (mean 1), and ``dyn`` small dynamic jitter.
+The RAPL model then averages and perturbs what the monitor records.
+
+Two paths exist:
+
+* :meth:`PowerSampler.sample_matrix` — the full node×minute measured
+  matrix (instrumented jobs);
+* :meth:`PowerSampler.sample_aggregate` — per-node mean power without
+  materializing the time axis (every job; exact because the temporal
+  profile is mean-normalized).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.rapl import RaplModel
+from repro.cluster.system import Cluster
+from repro.errors import TelemetryError
+from repro.scheduler.job import ScheduledJob
+from repro.units import MINUTE
+
+__all__ = ["PowerSampler"]
+
+# Fraction of TDP a node draws when the job leaves it nearly idle.
+_FLOOR_FRACTION = 0.20
+
+
+class PowerSampler:
+    """Samples measured node power for scheduled jobs on one cluster."""
+
+    def __init__(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        self.cluster = cluster
+        self.rapl = RaplModel(cluster.spec)
+        self._rng = rng
+        self._tdp = cluster.node_tdp_watts
+        self._floor = _FLOOR_FRACTION * self._tdp
+
+    def _static_node_levels(self, job: ScheduledJob) -> np.ndarray:
+        """Nominal per-node draw before temporal modulation (watts)."""
+        spec = job.spec
+        factors = self.cluster.power_factors[job.node_ids]
+        offsets = spec.spatial.node_offsets(spec.nodes, self._rng)
+        return self._tdp * spec.power_fraction * offsets * factors
+
+    def sample_aggregate(self, job: ScheduledJob) -> np.ndarray:
+        """Measured mean power per node (shape ``(nodes,)``), time axis folded.
+
+        The temporal profile has mean exactly 1 over the job's runtime,
+        so the per-node time average equals the static level (up to the
+        clip and measurement noise, both applied here).
+        """
+        levels = np.clip(self._static_node_levels(job), self._floor, self._tdp)
+        noise = self._rng.normal(1.0, self.rapl.noise_sigma, size=levels.shape)
+        return np.clip(levels * noise, 0.0, self._tdp)
+
+    def sample_matrix(self, job: ScheduledJob) -> np.ndarray:
+        """Measured node×minute power matrix of one instrumented job."""
+        spec = job.spec
+        minutes = max(1, int(round(spec.runtime_s / MINUTE)))
+        levels = self._static_node_levels(job)
+        profile = spec.profile.generate(minutes, self._rng)
+        dyn = spec.spatial.dynamic_noise(spec.nodes, minutes, self._rng)
+        true_power = levels[:, None] * profile[None, :] * dyn
+        true_power = np.clip(true_power, self._floor, self._tdp)
+        measured = self.rapl.measure_total(true_power, self._rng, seconds_per_step=60.0)
+        # The RAPL PKG+DRAM domains saturate at the package limit; clip
+        # measurement noise so no sample exceeds the node TDP.
+        measured = np.clip(measured, 0.0, self._tdp)
+        if measured.shape != (spec.nodes, minutes):
+            raise TelemetryError(
+                f"job {spec.job_id}: unexpected matrix shape {measured.shape}"
+            )
+        return measured

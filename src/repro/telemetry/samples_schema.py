@@ -1,0 +1,144 @@
+"""Time-resolved node-sample schema (the dataset's second table).
+
+The paper's release contains not only job-level aggregates but
+time-resolved node samples for the instrumented month. This module
+round-trips that table: one row per (job, node, minute) with the
+measured watts, plus reconstruction of :class:`JobPowerTrace` matrices
+from the flat table — so a consumer of the published CSVs can rebuild
+every temporal/spatial analysis without the simulator.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.frames import Table, read_csv, read_npz, write_csv, write_npz
+from repro.telemetry.dataset import JobDataset
+from repro.telemetry.trace import JobPowerTrace
+
+__all__ = [
+    "SAMPLE_COLUMNS",
+    "samples_table",
+    "validate_samples",
+    "traces_from_samples",
+    "save_samples",
+    "load_samples",
+]
+
+SAMPLE_COLUMNS: dict[str, str] = {
+    "job_id": "i",
+    "node_id": "i",   # physical node id (cluster-wide)
+    "node_rank": "i",  # rank of the node within the job (matrix row)
+    "minute": "i",    # minute offset from job start
+    "power_w": "f",
+}
+
+
+def samples_table(dataset: JobDataset) -> Table:
+    """Flatten every instrumented trace into one (job, node, minute) table."""
+    if not dataset.traces:
+        raise SchemaError("dataset has no instrumented traces to flatten")
+    job_ids, node_ids, ranks, minutes, power = [], [], [], [], []
+    for job_id, trace in dataset.traces.items():
+        n, m = trace.matrix.shape
+        allocation = dataset.trace_allocations.get(job_id)
+        physical = (
+            np.asarray(allocation, dtype=np.int64)
+            if allocation is not None
+            else np.arange(n, dtype=np.int64)
+        )
+        job_ids.append(np.full(n * m, job_id, dtype=np.int64))
+        node_ids.append(np.repeat(physical, m))
+        ranks.append(np.repeat(np.arange(n, dtype=np.int64), m))
+        minutes.append(np.tile(np.arange(m, dtype=np.int64), n))
+        power.append(trace.matrix.ravel())
+    return Table(
+        {
+            "job_id": np.concatenate(job_ids),
+            "node_id": np.concatenate(node_ids),
+            "node_rank": np.concatenate(ranks),
+            "minute": np.concatenate(minutes),
+            "power_w": np.concatenate(power),
+        }
+    )
+
+
+def validate_samples(samples: Table) -> None:
+    """Raise :class:`SchemaError` unless ``samples`` matches the schema."""
+    missing = [c for c in SAMPLE_COLUMNS if c not in samples]
+    if missing:
+        raise SchemaError(f"sample table is missing columns {missing}")
+    for name, kind in SAMPLE_COLUMNS.items():
+        if samples[name].dtype.kind != kind:
+            raise SchemaError(
+                f"column {name!r} has dtype kind {samples[name].dtype.kind!r}, "
+                f"expected {kind!r}"
+            )
+    if len(samples) and np.any(samples["power_w"] < 0):
+        raise SchemaError("power_w must be non-negative")
+
+
+def traces_from_samples(
+    samples: Table, jobs: Table | None = None
+) -> tuple[dict[int, JobPowerTrace], dict[int, np.ndarray]]:
+    """Rebuild trace matrices (and allocations) from a flat sample table.
+
+    ``jobs`` (optional, the job-level table) supplies user/app identity;
+    without it those fields are filled with placeholders.
+    """
+    validate_samples(samples)
+    identity: dict[int, tuple[str, str, str]] = {}
+    if jobs is not None:
+        for jid, user, app, system in zip(
+            jobs["job_id"].tolist(), jobs["user"].tolist(),
+            jobs["app"].tolist(), jobs["system"].tolist(),
+        ):
+            identity[int(jid)] = (user, app, system)
+
+    traces: dict[int, JobPowerTrace] = {}
+    allocations: dict[int, np.ndarray] = {}
+    grouped = samples.group_by("job_id")
+    keys = grouped.keys
+    for job_idx, row_idx in zip(range(grouped.num_groups), grouped.indices()):
+        job_id = int(keys["job_id"][job_idx])
+        sub = samples.take(row_idx)
+        n = int(sub["node_rank"].max()) + 1
+        m = int(sub["minute"].max()) + 1
+        if len(sub) != n * m:
+            raise SchemaError(
+                f"job {job_id}: expected {n * m} samples, got {len(sub)}"
+            )
+        matrix = np.empty((n, m))
+        matrix[sub["node_rank"], sub["minute"]] = sub["power_w"]
+        order = np.argsort(sub["node_rank"], kind="stable")
+        physical = np.empty(n, dtype=np.int64)
+        physical[sub["node_rank"]] = sub["node_id"]
+        user, app, system = identity.get(job_id, ("unknown", "unknown", "unknown"))
+        traces[job_id] = JobPowerTrace(
+            job_id=job_id, user_id=user, app=app, system=system, matrix=matrix
+        )
+        allocations[job_id] = physical
+    return traces, allocations
+
+
+def save_samples(samples: Table, path: str | os.PathLike) -> None:
+    """Write the sample table (CSV or NPZ, by suffix)."""
+    validate_samples(samples)
+    path = Path(path)
+    if path.suffix == ".csv":
+        write_csv(samples, path)
+    elif path.suffix == ".npz":
+        write_npz(samples, path)
+    else:
+        raise SchemaError(f"unsupported suffix {path.suffix!r} (use .csv or .npz)")
+
+
+def load_samples(path: str | os.PathLike) -> Table:
+    path = Path(path)
+    samples = read_csv(path) if path.suffix == ".csv" else read_npz(path)
+    validate_samples(samples)
+    return samples

@@ -1,0 +1,100 @@
+"""Persistence schema for the job-level dataset.
+
+Column names mirror the paper's Zenodo release style so that the
+analysis layer would run unchanged on the real traces after a column
+rename. ``save_jobs_csv``/``load_jobs_csv`` validate the schema on both
+ends and round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.frames import Table, read_csv, read_npz, write_csv, write_npz
+
+__all__ = ["JOB_COLUMNS", "validate_jobs", "save_jobs_csv", "load_jobs_csv",
+           "save_jobs_npz", "load_jobs_npz"]
+
+# Required columns of a job-level table and their dtype kinds
+# ('i' integer, 'f' float, 'U' string, 'b' bool).
+JOB_COLUMNS: dict[str, str] = {
+    "job_id": "i",
+    "user": "U",
+    "app": "U",
+    "system": "U",
+    "class_id": "i",
+    "nodes": "i",
+    "submit_s": "i",
+    "start_s": "i",
+    "end_s": "i",
+    "runtime_s": "i",
+    "req_walltime_s": "i",
+    "wait_s": "i",
+    "pernode_power_w": "f",
+    "energy_j": "f",
+    "node_hours": "f",
+    "is_debug": "b",
+    "instrumented": "b",
+}
+
+
+def validate_jobs(jobs: Table) -> None:
+    """Raise :class:`SchemaError` unless ``jobs`` matches the schema."""
+    missing = [c for c in JOB_COLUMNS if c not in jobs]
+    if missing:
+        raise SchemaError(f"job table is missing columns {missing}")
+    for name, kind in JOB_COLUMNS.items():
+        actual = jobs[name].dtype.kind
+        ok = actual == kind or (kind == "i" and actual == "b") or (
+            kind == "b" and actual in "bi"
+        )
+        if not ok:
+            raise SchemaError(
+                f"column {name!r} has dtype kind {actual!r}, expected {kind!r}"
+            )
+    if len(jobs) and len(np.unique(jobs["job_id"])) != len(jobs):
+        raise SchemaError("job_id values must be unique")
+
+
+def _booleans_to_int(jobs: Table) -> Table:
+    """CSV has no bool dtype; store flags as 0/1 integers."""
+    for name, kind in JOB_COLUMNS.items():
+        if kind == "b":
+            jobs = jobs.with_column(name, jobs[name].astype(np.int64))
+    return jobs
+
+
+def _ints_to_bool(jobs: Table) -> Table:
+    for name, kind in JOB_COLUMNS.items():
+        if kind == "b" and jobs[name].dtype.kind != "b":
+            jobs = jobs.with_column(name, jobs[name].astype(bool))
+    return jobs
+
+
+def save_jobs_csv(jobs: Table, path: str | os.PathLike) -> None:
+    """Write a schema-validated job table to CSV."""
+    validate_jobs(jobs)
+    write_csv(_booleans_to_int(jobs.select(list(JOB_COLUMNS))), Path(path))
+
+
+def load_jobs_csv(path: str | os.PathLike) -> Table:
+    """Read and schema-validate a job table from CSV."""
+    jobs = _ints_to_bool(read_csv(Path(path)))
+    validate_jobs(jobs)
+    return jobs
+
+
+def save_jobs_npz(jobs: Table, path: str | os.PathLike) -> None:
+    """Binary (exact-dtype) variant of :func:`save_jobs_csv`."""
+    validate_jobs(jobs)
+    write_npz(jobs.select(list(JOB_COLUMNS)), Path(path))
+
+
+def load_jobs_npz(path: str | os.PathLike) -> Table:
+    jobs = read_npz(Path(path))
+    validate_jobs(jobs)
+    return jobs

@@ -1,0 +1,130 @@
+"""Time-resolved per-job power traces and the paper's dynamic metrics.
+
+Figures 6 and 8 of the paper *define* the metrics; Figures 7, 9 and 10
+plot their distributions. :class:`JobPowerTrace` owns one instrumented
+job's node×minute matrix and computes every one of those metrics:
+
+* **temporal** (job power = node-mean series): coefficient of temporal
+  variation, peak overshoot over the mean, fraction of runtime spent
+  more than ``x`` above the mean;
+* **spatial** (per-minute max−min across nodes): average spatial spread
+  in watts and as a fraction of per-node power, fraction of runtime the
+  spread exceeds its own average;
+* **energy imbalance**: (max − min) node energy over the runtime as a
+  fraction of the minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TelemetryError
+from repro.units import MINUTE
+
+__all__ = ["JobPowerTrace"]
+
+
+@dataclass(frozen=True)
+class JobPowerTrace:
+    """One job's measured node×minute power matrix plus identity."""
+
+    job_id: int
+    user_id: str
+    app: str
+    system: str
+    matrix: np.ndarray  # shape (nodes, minutes), watts
+
+    def __post_init__(self) -> None:
+        m = self.matrix
+        if m.ndim != 2 or m.size == 0:
+            raise TelemetryError(f"job {self.job_id}: matrix must be 2-D and non-empty")
+        if np.any(~np.isfinite(m)) or np.any(m < 0):
+            raise TelemetryError(f"job {self.job_id}: matrix must be finite and >= 0")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def num_minutes(self) -> int:
+        return self.matrix.shape[1]
+
+    # -- aggregates ------------------------------------------------------------
+
+    def per_node_power(self) -> float:
+        """The paper's headline metric: mean over runtime and nodes (W)."""
+        return float(self.matrix.mean())
+
+    def job_power_series(self) -> np.ndarray:
+        """Node-mean power per minute — the job's temporal signal."""
+        return self.matrix.mean(axis=0)
+
+    def node_energy_joules(self) -> np.ndarray:
+        """Total energy per node over the runtime."""
+        return self.matrix.sum(axis=1) * MINUTE
+
+    def total_energy_joules(self) -> float:
+        return float(self.matrix.sum() * MINUTE)
+
+    # -- temporal metrics (Fig 6 → Fig 7) ---------------------------------------
+
+    def temporal_cov(self) -> float:
+        """σ_t/µ of the job power series (paper: ≈0.11 on average)."""
+        series = self.job_power_series()
+        mean = series.mean()
+        if mean == 0:
+            raise TelemetryError(f"job {self.job_id}: zero mean power")
+        return float(series.std() / mean)
+
+    def peak_overshoot(self) -> float:
+        """(peak − mean)/mean of the job power series (Fig 7a)."""
+        series = self.job_power_series()
+        mean = series.mean()
+        if mean == 0:
+            raise TelemetryError(f"job {self.job_id}: zero mean power")
+        return float((series.max() - mean) / mean)
+
+    def fraction_time_above(self, rel_threshold: float = 0.10) -> float:
+        """Fraction of runtime with power > (1+rel_threshold)×mean (Fig 7b)."""
+        if rel_threshold < 0:
+            raise TelemetryError("rel_threshold must be >= 0")
+        series = self.job_power_series()
+        mean = series.mean()
+        return float(np.count_nonzero(series > (1.0 + rel_threshold) * mean) / series.size)
+
+    # -- spatial metrics (Fig 8 → Figs 9, 10) ------------------------------------
+
+    def spatial_spread_series(self) -> np.ndarray:
+        """max−min node power per minute (W); zero for single-node jobs."""
+        if self.num_nodes == 1:
+            return np.zeros(self.num_minutes)
+        return self.matrix.max(axis=0) - self.matrix.min(axis=0)
+
+    def avg_spatial_spread(self) -> float:
+        """Runtime average of the spatial spread (Fig 9a; paper mean ≈20 W)."""
+        return float(self.spatial_spread_series().mean())
+
+    def spatial_spread_fraction(self) -> float:
+        """Average spread relative to per-node power (Fig 9b; ≈15%)."""
+        power = self.per_node_power()
+        if power == 0:
+            raise TelemetryError(f"job {self.job_id}: zero mean power")
+        return self.avg_spatial_spread() / power
+
+    def fraction_time_spread_above_average(self) -> float:
+        """Fraction of runtime the spread exceeds its own average (Fig 9c)."""
+        series = self.spatial_spread_series()
+        avg = series.mean()
+        if avg == 0:
+            return 0.0
+        return float(np.count_nonzero(series > avg) / series.size)
+
+    def energy_imbalance_fraction(self) -> float:
+        """(max − min)/min node energy over the runtime (Fig 10)."""
+        energy = self.node_energy_joules()
+        emin = energy.min()
+        if emin <= 0:
+            raise TelemetryError(f"job {self.job_id}: non-positive node energy")
+        return float((energy.max() - emin) / emin)

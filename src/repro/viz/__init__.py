@@ -1,0 +1,16 @@
+"""Dependency-free SVG figure rendering.
+
+matplotlib is not a dependency of this package; :mod:`repro.viz` renders
+the paper's figures (utilization areas, PDFs, CDFs, grouped bars, pies)
+as standalone SVG documents from the analysis-layer results. The
+low-level pieces — :class:`~repro.viz.svg.SvgDocument`,
+:class:`~repro.viz.scale.LinearScale`, :class:`~repro.viz.charts.Chart` —
+are reusable for new figures.
+"""
+
+from repro.viz.charts import Chart
+from repro.viz.figures import render_all_figures
+from repro.viz.scale import LinearScale, nice_ticks
+from repro.viz.svg import SvgDocument
+
+__all__ = ["SvgDocument", "LinearScale", "nice_ticks", "Chart", "render_all_figures"]

@@ -1,0 +1,303 @@
+"""Chart composition on top of the SVG builder.
+
+One :class:`Chart` = one cartesian plot area with axes, ticks, labels
+and a legend. Mark types cover everything the paper's figures need:
+lines, CDF steps, filled areas, histogram bars, grouped bars with error
+whiskers, and donut/pie charts (Fig 13).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.viz.scale import LinearScale
+from repro.viz.svg import SvgDocument
+
+__all__ = ["Chart", "PALETTE", "pie_chart"]
+
+# Colorblind-safe categorical palette (Okabe–Ito).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00",
+           "#56B4E9", "#F0E442", "#000000")
+
+_MARGIN = dict(left=62.0, right=16.0, top=34.0, bottom=46.0)
+
+
+def _tick_label(value: float) -> str:
+    """Compact tick text: integers plain, small floats trimmed."""
+    if abs(value) >= 1e4 or (0 < abs(value) < 1e-3):
+        return f"{value:.1e}"
+    if float(value).is_integer():
+        return f"{int(value)}"
+    return f"{value:.4g}"
+
+
+class Chart:
+    """A single cartesian plot area.
+
+    Parameters
+    ----------
+    title, xlabel, ylabel:
+        Text furniture.
+    width, height:
+        Outer SVG dimensions in pixels.
+    """
+
+    def __init__(
+        self,
+        title: str = "",
+        xlabel: str = "",
+        ylabel: str = "",
+        width: float = 520.0,
+        height: float = 320.0,
+    ) -> None:
+        self.title, self.xlabel, self.ylabel = title, xlabel, ylabel
+        self.doc = SvgDocument(width, height)
+        self._series: list[dict] = []
+        self._legend: list[tuple[str, str]] = []
+        self._xlim: tuple[float, float] | None = None
+        self._ylim: tuple[float, float] | None = None
+
+    # -- data -------------------------------------------------------------
+
+    def _add(self, kind: str, **payload) -> None:
+        self._series.append({"kind": kind, **payload})
+        label = payload.get("label")
+        if label:
+            self._legend.append((label, payload["color"]))
+
+    def line(self, x, y, label: str | None = None, color: str | None = None,
+             width: float = 1.8, dash: str | None = None) -> None:
+        x, y = np.asarray(x, float), np.asarray(y, float)
+        if x.shape != y.shape or x.size < 2:
+            raise ValueError("line needs matching x/y with >= 2 points")
+        self._add("line", x=x, y=y, label=label, color=self._color(color),
+                  width=width, dash=dash)
+
+    def cdf(self, sample, label: str | None = None, color: str | None = None) -> None:
+        """Empirical CDF as a step curve."""
+        xs = np.sort(np.asarray(sample, float).ravel())
+        if xs.size == 0:
+            raise ValueError("cdf needs a non-empty sample")
+        ys = np.arange(1, xs.size + 1) / xs.size
+        # Prepend the (x0, 0) corner so the step starts on the axis.
+        self._add("step", x=np.concatenate(([xs[0]], xs)),
+                  y=np.concatenate(([0.0], ys)), label=label,
+                  color=self._color(color), width=1.8, dash=None)
+
+    def area(self, x, y, label: str | None = None, color: str | None = None,
+             opacity: float = 0.45) -> None:
+        """Filled area from y=0 (Figs 1–2's used/unused bands)."""
+        x, y = np.asarray(x, float), np.asarray(y, float)
+        self._add("area", x=x, y=y, label=label, color=self._color(color),
+                  opacity=opacity)
+
+    def histogram(self, edges, density, label: str | None = None,
+                  color: str | None = None) -> None:
+        edges = np.asarray(edges, float)
+        density = np.asarray(density, float)
+        if len(edges) != len(density) + 1:
+            raise ValueError("edges must have len(density)+1 entries")
+        self._add("hist", edges=edges, density=density, label=label,
+                  color=self._color(color))
+
+    def grouped_bars(self, categories: Sequence[str], groups: dict[str, Sequence[float]],
+                     errors: dict[str, Sequence[float]] | None = None) -> None:
+        """One bar per (category, group); optional symmetric error whiskers."""
+        if not categories or not groups:
+            raise ValueError("grouped_bars needs categories and groups")
+        for values in groups.values():
+            if len(values) != len(categories):
+                raise ValueError("every group needs one value per category")
+        colors = {name: self._color(None) for name in groups}
+        for name, color in colors.items():
+            self._legend.append((name, color))
+        self._add("bars", categories=list(categories),
+                  groups={k: np.asarray(v, float) for k, v in groups.items()},
+                  errors={k: np.asarray(v, float) for k, v in (errors or {}).items()},
+                  colors=colors, label=None, color="#000")
+
+    def vline(self, x: float, color: str = "#888", dash: str = "4 3",
+              label: str | None = None) -> None:
+        self._add("vline", x=float(x), color=color, dash=dash, label=label)
+
+    def xlim(self, lo: float, hi: float) -> None:
+        self._xlim = (float(lo), float(hi))
+
+    def ylim(self, lo: float, hi: float) -> None:
+        self._ylim = (float(lo), float(hi))
+
+    def _color(self, color: str | None) -> str:
+        if color:
+            return color
+        used = sum(1 for s in self._series if s.get("color")) + len(self._legend)
+        return PALETTE[used % len(PALETTE)]
+
+    # -- rendering --------------------------------------------------------
+
+    def _extent(self) -> tuple[float, float, float, float]:
+        xs, ys = [], []
+        for s in self._series:
+            if s["kind"] in ("line", "step", "area"):
+                xs += [s["x"].min(), s["x"].max()]
+                ys += [s["y"].min(), s["y"].max()]
+            elif s["kind"] == "hist":
+                xs += [s["edges"].min(), s["edges"].max()]
+                ys += [0.0, s["density"].max()]
+            elif s["kind"] == "bars":
+                xs += [0.0, float(len(s["categories"]))]
+                for name, values in s["groups"].items():
+                    err = s["errors"].get(name, np.zeros_like(values))
+                    ys += [0.0, float((values + err).max())]
+            elif s["kind"] == "vline":
+                xs.append(s["x"])
+        if not xs:
+            raise ValueError("chart has no data")
+        x_lo, x_hi = (min(xs), max(xs)) if self._xlim is None else self._xlim
+        y_lo, y_hi = (min(ys), max(ys)) if self._ylim is None else self._ylim
+        if y_lo > 0 and self._ylim is None:
+            y_lo = 0.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def render(self) -> str:
+        doc = self.doc
+        x_lo, x_hi, y_lo, y_hi = self._extent()
+        px_lo, px_hi = _MARGIN["left"], doc.width - _MARGIN["right"]
+        py_lo, py_hi = doc.height - _MARGIN["bottom"], _MARGIN["top"]
+        sx = LinearScale(x_lo, x_hi, px_lo, px_hi)
+        sy = LinearScale(y_lo, y_hi, py_lo, py_hi)
+
+        doc.rect(0, 0, doc.width, doc.height, fill="#ffffff")
+        bars_mode = any(s["kind"] == "bars" for s in self._series)
+
+        # Grid + ticks.
+        for tick in sy.ticks():
+            doc.line(px_lo, sy(tick), px_hi, sy(tick), stroke="#e6e6e6")
+            doc.text(px_lo - 6, sy(tick) + 3.5, _tick_label(tick), anchor="end", size=10)
+        if not bars_mode:
+            for tick in sx.ticks():
+                doc.line(sx(tick), py_lo, sx(tick), py_lo + 4, stroke="#333")
+                doc.text(sx(tick), py_lo + 16, _tick_label(tick), anchor="middle", size=10)
+
+        # Marks.
+        for s in self._series:
+            if s["kind"] == "line":
+                doc.polyline(list(zip(sx(s["x"]), sy(s["y"]))), stroke=s["color"],
+                             stroke_width=s["width"], opacity=0.95)
+            elif s["kind"] == "step":
+                pts = []
+                px, py = sx(s["x"]), sy(s["y"])
+                for i in range(len(px)):
+                    if i:
+                        pts.append((px[i], py[i - 1]))
+                    pts.append((px[i], py[i]))
+                doc.polyline(pts, stroke=s["color"], stroke_width=s["width"])
+            elif s["kind"] == "area":
+                px, py = sx(s["x"]), sy(s["y"])
+                base = sy(max(0.0, y_lo))
+                points = [(px[0], base), *zip(px, py), (px[-1], base)]
+                doc.polygon(points, fill=s["color"], opacity=s["opacity"])
+            elif s["kind"] == "hist":
+                base = sy(max(0.0, y_lo))
+                for i, d in enumerate(s["density"]):
+                    x0, x1 = sx(s["edges"][i]), sx(s["edges"][i + 1])
+                    doc.rect(x0, sy(d), max(0.5, x1 - x0 - 0.5), base - sy(d),
+                             fill=s["color"], opacity=0.75)
+            elif s["kind"] == "bars":
+                self._render_bars(doc, s, sx, sy)
+            elif s["kind"] == "vline":
+                doc.line(sx(s["x"]), py_lo, sx(s["x"]), py_hi,
+                         stroke=s["color"], dash=s["dash"])
+
+        # Axes, labels, legend.
+        doc.line(px_lo, py_lo, px_hi, py_lo, stroke="#333", stroke_width=1.2)
+        doc.line(px_lo, py_lo, px_lo, py_hi, stroke="#333", stroke_width=1.2)
+        if self.title:
+            doc.text(doc.width / 2, 18, self.title, anchor="middle", size=13, bold=True)
+        if self.xlabel:
+            doc.text((px_lo + px_hi) / 2, doc.height - 10, self.xlabel,
+                     anchor="middle", size=11)
+        if self.ylabel:
+            doc.text(14, (py_lo + py_hi) / 2, self.ylabel, anchor="middle",
+                     size=11, rotate=-90)
+        for i, (label, color) in enumerate(self._legend):
+            lx, ly = px_lo + 10, py_hi + 12 + 15 * i
+            doc.rect(lx, ly - 8, 11, 11, fill=color, opacity=0.9)
+            doc.text(lx + 16, ly + 1, label, size=10)
+        return doc.render()
+
+    def _render_bars(self, doc: SvgDocument, s: dict, sx, sy) -> None:
+        categories, groups = s["categories"], s["groups"]
+        n_groups = len(groups)
+        base = sy(0.0)
+        slot = 1.0
+        bar_w = slot * 0.7 / n_groups
+        for ci, cat in enumerate(categories):
+            for gi, (name, values) in enumerate(groups.items()):
+                x0 = ci + 0.15 + gi * bar_w
+                x_px, x1_px = sx(x0), sx(x0 + bar_w)
+                top = sy(values[ci])
+                doc.rect(x_px, top, max(0.5, x1_px - x_px - 1), base - top,
+                         fill=s["colors"][name], opacity=0.9)
+                err = s["errors"].get(name)
+                if err is not None:
+                    cx = (x_px + x1_px) / 2
+                    doc.line(cx, sy(values[ci] - err[ci]), cx,
+                             sy(values[ci] + err[ci]), stroke="#333")
+            doc.text(sx(ci + 0.5), base + 16, str(cat), anchor="middle", size=10)
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.render())
+
+
+def pie_chart(
+    labels: Sequence[str],
+    fractions: Sequence[float],
+    title: str = "",
+    width: float = 360.0,
+    height: float = 300.0,
+) -> str:
+    """A donut chart (Fig 13's cluster-variability pies)."""
+    fractions = np.asarray(fractions, dtype=float)
+    if len(labels) != len(fractions) or len(labels) == 0:
+        raise ValueError("labels and fractions must align and be non-empty")
+    if np.any(fractions < 0):
+        raise ValueError("fractions must be non-negative")
+    total = fractions.sum()
+    if total <= 0:
+        raise ValueError("fractions must not all be zero")
+    fractions = fractions / total
+
+    doc = SvgDocument(width, height)
+    doc.rect(0, 0, width, height, fill="#ffffff")
+    if title:
+        doc.text(width / 2, 18, title, anchor="middle", size=13, bold=True)
+    cx, cy, r, r_in = width * 0.38, height * 0.55, min(width, height) * 0.32, 0.0
+    angle = -np.pi / 2
+    for i, (label, frac) in enumerate(zip(labels, fractions)):
+        color = PALETTE[i % len(PALETTE)]
+        if frac <= 0:
+            continue
+        sweep = 2 * np.pi * frac
+        x0, y0 = cx + r * np.cos(angle), cy + r * np.sin(angle)
+        angle2 = angle + sweep
+        x1, y1 = cx + r * np.cos(angle2), cy + r * np.sin(angle2)
+        large = 1 if sweep > np.pi else 0
+        if frac >= 0.999:  # full circle: two arcs
+            doc.circle(cx, cy, r, fill=color, opacity=0.9)
+        else:
+            doc.path(
+                f"M {cx:.2f} {cy:.2f} L {x0:.2f} {y0:.2f} "
+                f"A {r:.2f} {r:.2f} 0 {large} 1 {x1:.2f} {y1:.2f} Z",
+                fill=color, opacity=0.9,
+            )
+        angle = angle2
+    for i, (label, frac) in enumerate(zip(labels, fractions)):
+        color = PALETTE[i % len(PALETTE)]
+        lx, ly = width * 0.72, 50 + 18 * i
+        doc.rect(lx, ly - 9, 12, 12, fill=color, opacity=0.9)
+        doc.text(lx + 17, ly + 1, f"{label}: {100 * frac:.1f}%", size=10)
+    return doc.render()

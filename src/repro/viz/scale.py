@@ -1,0 +1,55 @@
+"""Axis scales and tick selection."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["LinearScale", "nice_ticks"]
+
+
+def nice_ticks(lo: float, hi: float, target: int = 6) -> np.ndarray:
+    """Round tick positions covering [lo, hi] at a 1/2/5×10^k step."""
+    if not math.isfinite(lo) or not math.isfinite(hi):
+        raise ValueError("tick range must be finite")
+    if hi < lo:
+        lo, hi = hi, lo
+    if hi == lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw_step = span / max(1, target - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = multiple * magnitude
+        if span / step <= target:
+            break
+    start = math.floor(lo / step) * step
+    ticks = np.arange(start, hi + step / 2, step)
+    return ticks[(ticks >= lo - 1e-9 * span) & (ticks <= hi + 1e-9 * span)]
+
+
+class LinearScale:
+    """Maps a data interval onto a pixel interval (possibly inverted).
+
+    Examples
+    --------
+    >>> s = LinearScale(0.0, 10.0, 0.0, 100.0)
+    >>> s(5.0)
+    50.0
+    """
+
+    def __init__(self, d_lo: float, d_hi: float, p_lo: float, p_hi: float) -> None:
+        if d_hi == d_lo:
+            d_hi = d_lo + 1.0
+        self.d_lo, self.d_hi = float(d_lo), float(d_hi)
+        self.p_lo, self.p_hi = float(p_lo), float(p_hi)
+
+    def __call__(self, value):
+        value = np.asarray(value, dtype=float)
+        frac = (value - self.d_lo) / (self.d_hi - self.d_lo)
+        out = self.p_lo + frac * (self.p_hi - self.p_lo)
+        return float(out) if out.ndim == 0 else out
+
+    def ticks(self, target: int = 6) -> np.ndarray:
+        return nice_ticks(self.d_lo, self.d_hi, target)

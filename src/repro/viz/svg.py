@@ -1,0 +1,129 @@
+"""Minimal SVG document builder.
+
+Produces standalone, valid SVG 1.1 text with no external dependencies.
+Only the primitives the charts need are implemented: rect, line,
+polyline, path, circle, text, and groups with transforms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+from xml.sax.saxutils import escape, quoteattr
+
+__all__ = ["SvgDocument"]
+
+
+def _fmt(value: float) -> str:
+    """Compact coordinate formatting (2 decimals, no trailing zeros)."""
+    text = f"{float(value):.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+class SvgDocument:
+    """An append-only SVG element tree with a fluent API.
+
+    Examples
+    --------
+    >>> doc = SvgDocument(100, 50)
+    >>> doc.rect(0, 0, 100, 50, fill="#fff")
+    >>> svg = doc.render()
+    >>> svg.startswith('<?xml') and '</svg>' in svg
+    True
+    """
+
+    def __init__(self, width: float, height: float) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("SVG dimensions must be positive")
+        self.width = float(width)
+        self.height = float(height)
+        self._body: list[str] = []
+
+    # -- primitives ------------------------------------------------------
+
+    def _emit(self, tag: str, self_close: bool = True, **attrs) -> None:
+        parts = [f"<{tag}"]
+        for key, value in attrs.items():
+            if value is None:
+                continue
+            name = key.replace("_", "-")
+            if isinstance(value, float):
+                value = _fmt(value)
+            parts.append(f" {name}={quoteattr(str(value))}")
+        parts.append("/>" if self_close else ">")
+        self._body.append("".join(parts))
+
+    def rect(self, x, y, w, h, fill="none", stroke=None, stroke_width=1.0,
+             opacity=None, rx=None) -> None:
+        self._emit("rect", x=float(x), y=float(y), width=float(w),
+                   height=float(h), fill=fill, stroke=stroke,
+                   stroke_width=float(stroke_width) if stroke else None,
+                   opacity=opacity, rx=rx)
+
+    def line(self, x1, y1, x2, y2, stroke="#000", stroke_width=1.0,
+             dash=None, opacity=None) -> None:
+        self._emit("line", x1=float(x1), y1=float(y1), x2=float(x2),
+                   y2=float(y2), stroke=stroke, stroke_width=float(stroke_width),
+                   stroke_dasharray=dash, opacity=opacity)
+
+    def polyline(self, points: Sequence[tuple[float, float]], stroke="#000",
+                 stroke_width=1.5, fill="none", opacity=None) -> None:
+        if len(points) < 2:
+            raise ValueError("polyline needs at least 2 points")
+        coords = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._emit("polyline", points=coords, stroke=stroke,
+                   stroke_width=float(stroke_width), fill=fill, opacity=opacity)
+
+    def polygon(self, points: Sequence[tuple[float, float]], fill="#000",
+                stroke=None, opacity=None) -> None:
+        if len(points) < 3:
+            raise ValueError("polygon needs at least 3 points")
+        coords = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._emit("polygon", points=coords, fill=fill, stroke=stroke,
+                   opacity=opacity)
+
+    def path(self, d: str, fill="none", stroke=None, stroke_width=1.0,
+             opacity=None) -> None:
+        self._emit("path", d=d, fill=fill, stroke=stroke,
+                   stroke_width=float(stroke_width) if stroke else None,
+                   opacity=opacity)
+
+    def circle(self, cx, cy, r, fill="#000", stroke=None, opacity=None) -> None:
+        self._emit("circle", cx=float(cx), cy=float(cy), r=float(r),
+                   fill=fill, stroke=stroke, opacity=opacity)
+
+    def text(self, x, y, content: str, size=11.0, anchor="start",
+             fill="#333", rotate=None, bold=False) -> None:
+        transform = (
+            f"rotate({_fmt(rotate)} {_fmt(float(x))} {_fmt(float(y))})"
+            if rotate is not None
+            else None
+        )
+        attrs = [
+            f'x="{_fmt(float(x))}"',
+            f'y="{_fmt(float(y))}"',
+            f'font-size="{_fmt(float(size))}"',
+            f'text-anchor="{anchor}"',
+            f'fill="{fill}"',
+            'font-family="Helvetica, Arial, sans-serif"',
+        ]
+        if bold:
+            attrs.append('font-weight="bold"')
+        if transform:
+            attrs.append(f'transform="{transform}"')
+        self._body.append(f"<text {' '.join(attrs)}>{escape(content)}</text>")
+
+    # -- output -----------------------------------------------------------
+
+    def render(self) -> str:
+        header = (
+            '<?xml version="1.0" encoding="UTF-8"?>\n'
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">'
+        )
+        return "\n".join([header, *self._body, "</svg>"])
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.render())

@@ -1,0 +1,45 @@
+"""Generative workload model.
+
+The paper's dataset is five months of production jobs from two clusters.
+Without the (offline-unavailable) Zenodo traces, this subpackage
+generates a statistically calibrated equivalent:
+
+* an application catalog with per-architecture power intensities
+  (:mod:`~repro.workload.applications`),
+* a heavy-tailed user population whose members repeatedly run *job
+  classes* — fixed (app, nodes, walltime) configurations
+  (:mod:`~repro.workload.users`, :mod:`~repro.workload.jobclass`),
+* temporal phase and spatial imbalance models
+  (:mod:`~repro.workload.phases`, :mod:`~repro.workload.spatial`), and
+* the :class:`~repro.workload.generator.WorkloadGenerator` that emits a
+  submit-ordered job stream for the scheduler.
+
+Every distributional target (means, correlations, concentration shares)
+comes from a number printed in the paper; see DESIGN.md §4.
+"""
+
+from repro.workload.applications import Application, CATALOG, app_names, get_app
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.generator import JobSpec, WorkloadGenerator, WorkloadParams, default_params
+from repro.workload.jobclass import JobClass
+from repro.workload.phases import TemporalProfile, make_profile
+from repro.workload.spatial import SpatialModel
+from repro.workload.users import User, UserPopulation
+
+__all__ = [
+    "Application",
+    "CATALOG",
+    "app_names",
+    "get_app",
+    "User",
+    "UserPopulation",
+    "JobClass",
+    "TemporalProfile",
+    "make_profile",
+    "SpatialModel",
+    "ArrivalProcess",
+    "JobSpec",
+    "WorkloadGenerator",
+    "WorkloadParams",
+    "default_params",
+]

@@ -1,0 +1,90 @@
+"""Job-arrival timing: nonhomogeneous intensity over the 5-month window.
+
+The paper's Figs 1–2 show utilization texture — weekday/weekend ripple
+and a visible dip around the December holidays. Submissions are placed
+by warping uniform quantiles through the inverse cumulative intensity of
+a weekly-modulated rate with a holiday dip, and classes submit their
+instances in *campaigns* (bursts around a campaign center), which is
+what produces queue pressure and near-capacity utilization in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.units import DAY, HOUR
+
+__all__ = ["ArrivalProcess"]
+
+
+class ArrivalProcess:
+    """Inverse-CDF warping of uniform quantiles into submit times.
+
+    Parameters
+    ----------
+    horizon_s:
+        Length of the trace window in seconds.
+    weekly_amplitude:
+        Relative weekday/weekend intensity swing (0 = flat).
+    holiday:
+        Optional ``(start_s, end_s, depth)`` triple: intensity is
+        multiplied by ``1 - depth`` inside the window (the December dip).
+    """
+
+    def __init__(
+        self,
+        horizon_s: float,
+        weekly_amplitude: float = 0.25,
+        holiday: tuple[float, float, float] | None = None,
+        grid_step_s: float = HOUR,
+    ) -> None:
+        if horizon_s <= 0:
+            raise WorkloadError("horizon_s must be positive")
+        if not 0 <= weekly_amplitude < 1:
+            raise WorkloadError("weekly_amplitude must be in [0, 1)")
+        self.horizon_s = float(horizon_s)
+        self.weekly_amplitude = weekly_amplitude
+        self.holiday = holiday
+        n = max(8, int(np.ceil(horizon_s / grid_step_s)))
+        t = np.linspace(0.0, horizon_s, n + 1)
+        lam = self._intensity(t)
+        cum = np.concatenate(([0.0], np.cumsum((lam[1:] + lam[:-1]) / 2 * np.diff(t))))
+        self._t = t
+        self._cum = cum / cum[-1]
+
+    def _intensity(self, t: np.ndarray) -> np.ndarray:
+        week_phase = 2 * np.pi * (t % (7 * DAY)) / (7 * DAY)
+        lam = 1.0 + self.weekly_amplitude * np.sin(week_phase)
+        if self.holiday is not None:
+            start, end, depth = self.holiday
+            if not 0 <= depth <= 1:
+                raise WorkloadError("holiday depth must be in [0, 1]")
+            lam = np.where((t >= start) & (t < end), lam * (1.0 - depth), lam)
+        return lam
+
+    def warp(self, quantiles) -> np.ndarray:
+        """Map uniform [0, 1] quantiles to submit times in [0, horizon)."""
+        q = np.asarray(quantiles, dtype=float)
+        if np.any((q < 0) | (q > 1)):
+            raise WorkloadError("quantiles must lie in [0, 1]")
+        return np.interp(q, self._cum, self._t)
+
+    def campaign_quantiles(
+        self, n_instances: int, rng: np.random.Generator, spread: float = 0.12
+    ) -> np.ndarray:
+        """Quantiles for one class: a burst around a random campaign center.
+
+        ``spread`` is the relative std of the burst around its center as
+        a fraction of the horizon. Values are clipped into [0, 1] then
+        warped by the caller.
+        """
+        if n_instances < 1:
+            raise WorkloadError("n_instances must be >= 1")
+        center = rng.random()
+        q = rng.normal(center, spread, size=n_instances)
+        # Reflect at the boundaries instead of clipping so mass does not
+        # pile up at the trace edges.
+        q = np.abs(q)
+        q = np.where(q > 1.0, 2.0 - q, q)
+        return np.clip(q, 0.0, 1.0)

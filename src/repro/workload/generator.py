@@ -1,0 +1,458 @@
+"""Workload generator: users → job classes → submit-ordered job stream.
+
+The generator is where the calibration knobs live. Every parameter in
+:class:`WorkloadParams` traces to a number the paper reports; see the
+table in DESIGN.md §4 and the per-system values in
+:func:`default_params`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.rng import RngFactory
+from repro.units import DAY, HOUR
+from repro.workload.applications import get_app
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.jobclass import JobClass
+from repro.workload.phases import TemporalProfile, make_profile
+from repro.workload.spatial import SpatialModel, make_spatial_model
+from repro.workload.users import User, UserPopulation
+
+__all__ = ["JobSpec", "WorkloadParams", "WorkloadGenerator", "default_params"]
+
+# Users request round walltimes; the batch menu below mirrors common
+# production limits. Snapping creates heavy cross-user collisions in the
+# (nodes, walltime) plane — which is what defeats distance-based
+# prediction (Fig 14's KNN) while leaving the user-aware tree intact.
+WALLTIME_MENU_H: tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 24.0
+)
+
+
+def snap_walltime_h(wall_h: float) -> float:
+    """Nearest round walltime from the request menu."""
+    menu = np.asarray(WALLTIME_MENU_H)
+    return float(menu[int(np.argmin(np.abs(menu - wall_h)))])
+
+
+def _unique_menu_walls(walls_h: np.ndarray) -> np.ndarray:
+    """Snap each walltime to the menu, nudging duplicates to free slots.
+
+    A user's *different* production configurations rarely share both the
+    node count and the requested walltime, so the per-user palette stays
+    collision-free; cross-user collisions (everyone uses the same menu)
+    remain, which is what defeats naive distance-based prediction.
+    """
+    menu = np.asarray(WALLTIME_MENU_H)
+    used: set[int] = set()
+    out = np.empty(len(walls_h))
+    for i, wall in enumerate(walls_h):
+        idx = int(np.argmin(np.abs(menu - wall)))
+        if idx in used:
+            for delta in (1, -1, 2, -2, 3, -3):
+                if 0 <= idx + delta < len(menu) and idx + delta not in used:
+                    idx = idx + delta
+                    break
+        used.add(idx)
+        out[i] = menu[idx]
+    return out
+
+# Five months (Oct'18–Feb'19), the paper's observation window.
+FIVE_MONTHS_S: int = 152 * DAY
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job instance ready for the scheduler.
+
+    ``power_fraction`` is the *nominal* per-node draw (fraction of node
+    TDP) the telemetry layer will modulate with the temporal profile,
+    spatial offsets, and node variability.
+    """
+
+    job_id: int
+    user_id: str
+    app: str
+    system: str
+    class_id: int
+    nodes: int
+    req_walltime_s: int
+    runtime_s: int
+    submit_s: int
+    power_fraction: float
+    profile: TemporalProfile
+    spatial: SpatialModel
+    is_debug: bool = False
+
+    def __post_init__(self) -> None:
+        if self.runtime_s > self.req_walltime_s:
+            raise WorkloadError(
+                f"job {self.job_id}: runtime exceeds requested walltime"
+            )
+        if self.runtime_s <= 0 or self.nodes < 1 or self.submit_s < 0:
+            raise WorkloadError(f"job {self.job_id}: invalid geometry")
+
+    @property
+    def node_seconds(self) -> int:
+        return self.nodes * self.runtime_s
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Calibration knobs of one system's workload (see DESIGN.md §4)."""
+
+    system: str
+    num_users: int
+    horizon_s: int = FIVE_MONTHS_S
+    target_offered_load: float = 0.92
+    # Node-count and walltime lognormals (medians, log-stds, caps).
+    nodes_median: float = 4.0
+    nodes_sigma_log: float = 0.9
+    max_nodes: int = 64
+    wall_median_h: float = 5.5
+    wall_sigma_log: float = 0.8
+    max_wall_h: float = 24.0
+    min_wall_h: float = 0.25
+    # Power coupling to job length/size (Table 2 Spearman targets).
+    a_len: float = 0.16
+    a_size: float = 0.08
+    # Power jitter decomposition (Figs 3, 12, 13, 14):
+    # class_jitter_sigma spreads a user's (user, app) power offsets —
+    # the persistent "how this user drives this code" level; 
+    # class_refinement_sigma is the residual per-class deviation
+    # (input decks, solver settings); within_class_sigma is the
+    # run-to-run noise of one class.
+    class_jitter_sigma: float = 0.12
+    class_refinement_sigma: float = 0.045
+    within_class_sigma: float = 0.022
+    # Debug/pre-post-processing classes (Figs 5, 12).
+    p_debug_diverse: float = 0.25
+    p_debug_focused: float = 0.08
+    debug_max_nodes: int = 2
+    debug_wall_hi_h: float = 4.0
+    # User population shape (Fig 11).
+    pareto_alpha: float = 1.3
+    debug_scale_boost: float = 0.30
+    debug_power_lo: float = 0.26
+    debug_power_hi: float = 0.50
+    user_jitter_boost: float = 1.2
+    diverse_fraction: float = 0.6
+    # Scale coupling: heavier users run somewhat larger jobs.
+    scale_size_exponent: float = 0.22
+    # Ablation knobs (DESIGN.md §4 mechanisms): temporal profile mix and
+    # workload-imbalance attenuation.
+    temporal_mode: str = "mixed"
+    spatial_scale: float = 1.0
+    # Arrival texture.
+    weekly_amplitude: float = 0.25
+    holiday_depth: float = 0.5
+    campaign_spread: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.num_users < 2:
+            raise WorkloadError("num_users must be >= 2")
+        if not 0 < self.target_offered_load <= 1.2:
+            raise WorkloadError("target_offered_load must be in (0, 1.2]")
+        if self.horizon_s < DAY:
+            raise WorkloadError("horizon must be at least one day")
+
+
+def default_params(system: str, num_users: int | None = None, horizon_s: int | None = None) -> WorkloadParams:
+    """Calibrated per-system parameters.
+
+    Emmy: general-purpose machine, many users, smaller jobs, strong
+    power–length coupling (Table 2: ρ_len=0.42, ρ_size=0.21), wider power
+    spread (σ/µ = 26%). Meggie: fewer, heavier users with larger jobs,
+    strong power–size coupling (ρ_len=0.12, ρ_size=0.42), narrower power
+    spread (σ/µ = 18%) but more per-user diversity (Fig 12).
+    """
+    system = system.lower()
+    if system == "emmy":
+        params = WorkloadParams(
+            system="emmy",
+            num_users=160,
+            target_offered_load=0.87,
+            nodes_median=4.2,
+            nodes_sigma_log=0.9,
+            max_nodes=64,
+            wall_median_h=6.0,
+            wall_sigma_log=0.8,
+            a_len=0.03,
+            a_size=0.0,
+            debug_max_nodes=6,
+            debug_wall_hi_h=3.0,
+            pareto_alpha=1.3,
+            debug_scale_boost=0.25,
+            class_jitter_sigma=0.075,
+            diverse_fraction=0.55,
+            p_debug_diverse=0.18,
+            p_debug_focused=0.06,
+        )
+    elif system == "meggie":
+        params = WorkloadParams(
+            system="meggie",
+            num_users=110,
+            target_offered_load=0.82,
+            nodes_median=6.5,
+            nodes_sigma_log=0.95,
+            max_nodes=128,
+            wall_median_h=6.0,
+            wall_sigma_log=0.9,
+            a_len=0.03,
+            a_size=0.055,
+            debug_max_nodes=4,
+            debug_wall_hi_h=6.0,
+            pareto_alpha=1.5,
+            debug_scale_boost=0.20,
+            debug_power_lo=0.42,
+            debug_power_hi=0.66,
+            user_jitter_boost=2.4,
+            class_jitter_sigma=0.045,
+            diverse_fraction=0.7,
+            p_debug_diverse=0.20,
+            p_debug_focused=0.10,
+        )
+    else:
+        raise WorkloadError(f"no default params for system {system!r}")
+    overrides = {}
+    if num_users is not None:
+        overrides["num_users"] = num_users
+    if horizon_s is not None:
+        overrides["horizon_s"] = int(horizon_s)
+    return replace(params, **overrides) if overrides else params
+
+
+class WorkloadGenerator:
+    """Generates the job stream of one system.
+
+    Parameters
+    ----------
+    params:
+        Calibration knobs (use :func:`default_params`).
+    cluster_nodes:
+        Node count of the target cluster; instance counts are scaled so
+        the offered load Σ(nodes×runtime)/(N×horizon) matches
+        ``params.target_offered_load``.
+    seed:
+        Root seed; all internal streams derive from it.
+    """
+
+    def __init__(self, params: WorkloadParams, cluster_nodes: int, seed: int = 0) -> None:
+        if cluster_nodes < 1:
+            raise WorkloadError("cluster_nodes must be >= 1")
+        self.params = params
+        self.cluster_nodes = cluster_nodes
+        self._rngs = RngFactory(seed).child(f"workload.{params.system}")
+
+    # -- class construction -------------------------------------------------
+
+    def build_population(self) -> UserPopulation:
+        return UserPopulation(
+            num_users=self.params.num_users,
+            rng=self._rngs.get("users"),
+            pareto_alpha=self.params.pareto_alpha,
+            diverse_fraction=self.params.diverse_fraction,
+        )
+
+    def build_classes(self, population: UserPopulation) -> list[JobClass]:
+        """All job classes of all users, with load-calibrated instance counts."""
+        p = self.params
+        rng = self._rngs.get("classes")
+        classes: list[JobClass] = []
+        class_id = 0
+        for user in population:
+            diverse = len(user.apps) >= 3
+            p_debug = p.p_debug_diverse if diverse else p.p_debug_focused
+            # Lightly active users run proportionally more debug /
+            # pre-post-processing jobs — the driver of the high per-user
+            # power variability (Fig 12).
+            p_debug = float(np.clip(p_debug + p.debug_scale_boost / np.sqrt(user.scale), 0.0, 0.6))
+            # Users reuse preferred node counts and walltimes across
+            # *different* classes, so (user, nodes) clusters genuinely mix
+            # job classes (Fig 13's >10%-σ slices).
+            size_boost = user.scale ** p.scale_size_exponent
+            n_nodes_palette = max(2, int(np.ceil(user.num_classes * 0.35)))
+            # Cap single-job size at a quarter of the machine so scaled-down
+            # replicas keep a schedulable mix (full systems are unaffected:
+            # 64 <= 560/4 and 128 <= 728/4).
+            node_cap = min(p.max_nodes, max(1, self.cluster_nodes // 4))
+            node_palette = np.clip(
+                np.round(
+                    rng.lognormal(
+                        np.log(p.nodes_median * size_boost),
+                        p.nodes_sigma_log,
+                        size=n_nodes_palette,
+                    )
+                ),
+                1,
+                node_cap,
+            ).astype(int)
+            n_wall_palette = max(2, int(np.ceil(user.num_classes * 0.7)))
+            wall_palette = _unique_menu_walls(
+                np.clip(
+                    rng.lognormal(
+                        np.log(p.wall_median_h), p.wall_sigma_log, size=n_wall_palette
+                    ),
+                    p.min_wall_h,
+                    p.max_wall_h,
+                )
+            )
+            # Persistent per-(user, app) power offsets: all of a user's
+            # classes of one application share this level, so a config
+            # the user runs only once is still predictable from their
+            # other runs (Fig 15's per-user accuracy).
+            jitter_boost = float(
+                np.clip(1.0 + p.user_jitter_boost / np.sqrt(user.scale), 1.0, 1.0 + p.user_jitter_boost)
+            )
+            app_offsets = {
+                app: float(rng.lognormal(0.0, p.class_jitter_sigma * jitter_boost))
+                for app in user.apps
+            }
+            # The user's side-job power level is persistent too: their
+            # pre/post-processing pipeline draws a similar fraction of
+            # TDP every time it runs.
+            if user.scale < 4.0:
+                debug_mult = float(rng.uniform(p.debug_power_lo, p.debug_power_hi))
+            else:
+                debug_mult = float(
+                    rng.uniform(p.debug_power_lo + 0.18, p.debug_power_hi + 0.2)
+                )
+            for _ in range(user.num_classes):
+                is_debug = rng.random() < p_debug
+                classes.append(
+                    self._make_class(
+                        class_id, user, is_debug, node_palette, wall_palette,
+                        app_offsets, debug_mult, rng,
+                    )
+                )
+                class_id += 1
+        self._calibrate_instances(classes, rng)
+        return classes
+
+    def _make_class(
+        self,
+        class_id: int,
+        user: User,
+        is_debug: bool,
+        node_palette: np.ndarray,
+        wall_palette: np.ndarray,
+        app_offsets: dict[str, float],
+        debug_mult: float,
+        rng: np.random.Generator,
+    ) -> JobClass:
+        p = self.params
+        app = get_app(str(rng.choice(list(user.apps))))
+        if is_debug:
+            # Debug / pre- and post-processing classes: 1-2 nodes, low
+            # power; walltimes span short test runs through multi-hour
+            # serial post-processing (keeping the power-vs-length
+            # correlation from being dominated by this class family).
+            nodes = int(rng.integers(1, p.debug_max_nodes + 1))
+            wall_h = snap_walltime_h(float(rng.uniform(p.min_wall_h, p.debug_wall_hi_h)))
+            n_instances = int(np.clip(rng.geometric(1 / 4.0), 2, 12))
+        else:
+            nodes = int(rng.choice(node_palette))
+            wall_h = float(rng.choice(wall_palette))
+            n_instances = int(np.clip(rng.geometric(1 / user.instances_per_class), 2, 4000))
+        wall_s = int(round(wall_h * HOUR / 60) * 60)
+
+        # Length/size coupling: standardized log deviations, clipped.
+        z_len = np.clip(
+            (np.log(wall_h) - np.log(p.wall_median_h)) / (2 * p.wall_sigma_log), -1.0, 1.0
+        )
+        z_size = np.clip(
+            (np.log(nodes) - np.log(p.nodes_median)) / (2 * p.nodes_sigma_log), -1.0, 1.0
+        )
+        coupling = 1.0 + p.a_len * z_len + p.a_size * z_size
+        # Residual per-class deviation; shorter jobs carry a wider one
+        # (Fig 5's larger spread among short/small jobs).
+        refinement_sigma = p.class_refinement_sigma * float(
+            np.clip(1.0 - 0.3 * z_len, 0.6, 1.5)
+        )
+        fraction = (
+            app.fraction_on(p.system)
+            * coupling
+            * app_offsets[app.name]
+            * rng.lognormal(0.0, refinement_sigma)
+        )
+        if is_debug:
+            fraction *= debug_mult * rng.lognormal(0.0, 0.035)
+        fraction = float(np.clip(fraction, 0.25, 0.98))
+
+        return JobClass(
+            class_id=class_id,
+            user_id=user.user_id,
+            app=app.name,
+            system=p.system,
+            nodes=nodes,
+            req_walltime_s=max(wall_s, 600),
+            power_fraction=fraction,
+            within_sigma=p.within_class_sigma,
+            profile=make_profile(app.burstiness, rng, mode=p.temporal_mode),
+            spatial=make_spatial_model(app.imbalance, rng, scale=p.spatial_scale),
+            n_instances=n_instances,
+            is_debug=is_debug,
+        )
+
+    def _calibrate_instances(self, classes: list[JobClass], rng: np.random.Generator) -> None:
+        """Scale instance counts so offered load hits the target."""
+        p = self.params
+        target_work = p.target_offered_load * self.cluster_nodes * p.horizon_s
+        expected = sum(c.expected_work_node_seconds for c in classes)
+        if expected <= 0:
+            raise WorkloadError("generated classes carry no work")
+        factor = target_work / expected
+        for i, c in enumerate(classes):
+            scaled = c.n_instances * factor
+            n = int(np.floor(scaled))
+            if rng.random() < scaled - n:
+                n += 1
+            classes[i] = replace(c, n_instances=max(1, n))
+
+    # -- instance materialization --------------------------------------------
+
+    def generate(self) -> list[JobSpec]:
+        """The full submit-ordered job stream."""
+        population = self.build_population()
+        classes = self.build_classes(population)
+        return self.instantiate(classes)
+
+    def instantiate(self, classes: list[JobClass]) -> list[JobSpec]:
+        p = self.params
+        rng = self._rngs.get("instances")
+        arrivals = ArrivalProcess(
+            horizon_s=p.horizon_s,
+            weekly_amplitude=p.weekly_amplitude,
+            holiday=(0.55 * p.horizon_s, 0.62 * p.horizon_s, p.holiday_depth),
+        )
+        jobs: list[JobSpec] = []
+        for cls in classes:
+            quantiles = arrivals.campaign_quantiles(
+                cls.n_instances, rng, spread=p.campaign_spread
+            )
+            submits = arrivals.warp(quantiles)
+            for submit in submits:
+                runtime = cls.sample_runtime(rng)
+                jobs.append(
+                    JobSpec(
+                        job_id=0,  # assigned after the submit-order sort
+                        user_id=cls.user_id,
+                        app=cls.app,
+                        system=cls.system,
+                        class_id=cls.class_id,
+                        nodes=cls.nodes,
+                        req_walltime_s=cls.req_walltime_s,
+                        runtime_s=runtime,
+                        submit_s=int(submit),
+                        power_fraction=cls.sample_power_fraction(rng),
+                        profile=cls.profile,
+                        spatial=cls.spatial,
+                        is_debug=cls.is_debug,
+                    )
+                )
+        jobs.sort(key=lambda j: (j.submit_s, j.user_id))
+        return [replace(job, job_id=i) for i, job in enumerate(jobs)]

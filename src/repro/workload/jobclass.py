@@ -1,0 +1,91 @@
+"""Job classes: repeated (user, app, nodes, walltime) configurations.
+
+The paper's key predictability insight (RQ8–RQ9) is that "HPC jobs tend
+to be repetitive": a user runs many instances of the same configuration,
+and those instances share nodes, requested walltime, and power behavior.
+A :class:`JobClass` is that configuration; the generator samples
+instances from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.phases import TemporalProfile
+from repro.workload.spatial import SpatialModel
+
+__all__ = ["JobClass"]
+
+
+@dataclass(frozen=True)
+class JobClass:
+    """One repeatable job configuration of one user on one system.
+
+    ``power_fraction`` is the class's nominal per-node draw as a fraction
+    of node TDP (already including the application's architecture level,
+    the class-level jitter, and the length/size coupling);
+    ``within_sigma`` is the relative std of per-instance deviation from
+    it. ``runtime_beta`` shapes actual runtime as a fraction of the
+    requested walltime; ``limit_hit_prob`` is the chance an instance runs
+    into its walltime limit.
+    """
+
+    class_id: int
+    user_id: str
+    app: str
+    system: str
+    nodes: int
+    req_walltime_s: int
+    power_fraction: float
+    within_sigma: float
+    profile: TemporalProfile
+    spatial: SpatialModel
+    n_instances: int
+    runtime_beta: tuple[float, float] = (4.0, 1.6)
+    limit_hit_prob: float = 0.08
+    is_debug: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise WorkloadError(f"class {self.class_id}: nodes must be >= 1")
+        if self.req_walltime_s < 60:
+            raise WorkloadError(f"class {self.class_id}: walltime must be >= 60 s")
+        if not 0 < self.power_fraction <= 1:
+            raise WorkloadError(
+                f"class {self.class_id}: power_fraction must be in (0, 1]"
+            )
+        if not 0 <= self.within_sigma <= 0.3:
+            raise WorkloadError(f"class {self.class_id}: within_sigma out of range")
+        if self.n_instances < 1:
+            raise WorkloadError(f"class {self.class_id}: needs >= 1 instance")
+        if not 0 <= self.limit_hit_prob < 1:
+            raise WorkloadError(f"class {self.class_id}: bad limit_hit_prob")
+
+    @property
+    def expected_runtime_s(self) -> float:
+        """Mean actual runtime implied by the beta model and limit hits."""
+        a, b = self.runtime_beta
+        mean_frac = (1 - self.limit_hit_prob) * (a / (a + b)) + self.limit_hit_prob
+        return self.req_walltime_s * mean_frac
+
+    @property
+    def expected_work_node_seconds(self) -> float:
+        """Expected node-seconds contributed by all instances."""
+        return self.n_instances * self.nodes * self.expected_runtime_s
+
+    def sample_runtime(self, rng: np.random.Generator) -> int:
+        """Actual runtime of one instance (seconds, >= 180, <= walltime)."""
+        if rng.random() < self.limit_hit_prob:
+            runtime = float(self.req_walltime_s)
+        else:
+            a, b = self.runtime_beta
+            runtime = self.req_walltime_s * rng.beta(a, b)
+        return int(np.clip(runtime, 180, self.req_walltime_s))
+
+    def sample_power_fraction(self, rng: np.random.Generator) -> float:
+        """Per-instance nominal power fraction (class value ± noise)."""
+        frac = self.power_fraction * rng.lognormal(0.0, self.within_sigma)
+        return float(np.clip(frac, 0.2, 0.99))

@@ -1,0 +1,53 @@
+"""Tests for the markdown characterization report."""
+
+import pytest
+
+from repro.analysis import full_report
+from repro.errors import AnalysisError
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report_text(self, emmy_small):
+        return full_report(emmy_small, n_repeats=2)
+
+    def test_has_all_sections(self, report_text):
+        for heading in (
+            "# Power characterization — emmy",
+            "## System level",
+            "## Job level",
+            "## Dynamic behavior",
+            "## Users",
+            "## Pre-execution power prediction",
+        ):
+            assert heading in report_text
+
+    def test_mentions_models(self, report_text):
+        assert "BDT" in report_text and "FLDA" in report_text
+
+    def test_numbers_are_formatted(self, report_text):
+        assert "%" in report_text and " W" in report_text
+
+    def test_markdown_tables_well_formed(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|")
+
+    def test_without_prediction(self, emmy_small):
+        text = full_report(emmy_small, include_prediction=False)
+        assert "Pre-execution" not in text
+        assert "## Users" in text
+
+    def test_without_traces(self, emmy_small):
+        import dataclasses
+
+        bare = dataclasses.replace(emmy_small, traces={}, trace_allocations={})
+        text = full_report(bare, include_prediction=False)
+        assert "Dynamic behavior" not in text
+
+    def test_empty_dataset_rejected(self, emmy_small):
+        import dataclasses
+
+        empty = dataclasses.replace(emmy_small, jobs=emmy_small.jobs.head(0))
+        with pytest.raises(AnalysisError):
+            full_report(empty)

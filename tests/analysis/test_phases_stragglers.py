@@ -1,0 +1,155 @@
+"""Tests for phase detection and spatial diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_phases,
+    detect_phases,
+    estimate_node_factors,
+    straggler_nodes,
+)
+from repro.errors import AnalysisError
+from repro.telemetry.trace import JobPowerTrace
+
+
+class TestDetectPhases:
+    def test_flat_series_is_one_phase(self, rng):
+        series = 100.0 + rng.normal(0, 1.0, 300)
+        result = detect_phases(series)
+        assert result.is_flat
+        assert result.phases[0].duration == 300
+
+    def test_single_step_detected(self, rng):
+        series = np.concatenate([np.full(100, 100.0), np.full(100, 140.0)])
+        series += rng.normal(0, 1.0, 200)
+        result = detect_phases(series)
+        assert result.num_phases == 2
+        cut = result.phases[0].end
+        assert 95 <= cut <= 105
+        assert result.phases[0].mean_watts < result.phases[1].mean_watts
+
+    def test_three_phases(self, rng):
+        series = np.concatenate(
+            [np.full(80, 100.0), np.full(80, 150.0), np.full(80, 90.0)]
+        ) + rng.normal(0, 1.5, 240)
+        result = detect_phases(series)
+        assert result.num_phases == 3
+
+    def test_high_power_fraction(self, rng):
+        series = np.concatenate([np.full(150, 100.0), np.full(50, 160.0)])
+        series += rng.normal(0, 1.0, 200)
+        result = detect_phases(series)
+        assert result.high_power_fraction(0.10) == pytest.approx(0.25, abs=0.05)
+
+    def test_phase_power_range(self, rng):
+        series = np.concatenate([np.full(100, 100.0), np.full(100, 150.0)])
+        result = detect_phases(series + rng.normal(0, 1.0, 200))
+        assert result.phase_power_range() == pytest.approx(50.0 / 125.0, rel=0.1)
+
+    def test_min_length_respected(self, rng):
+        series = np.full(100, 100.0) + rng.normal(0, 1.0, 100)
+        series[50] = 200.0  # single-sample spike: too short to be a phase
+        result = detect_phases(series, min_length=5)
+        assert all(p.duration >= 5 for p in result.phases)
+
+    def test_slow_wander_not_shredded(self, rng):
+        """An AR(1)-like slow wander is not a phase structure."""
+        from scipy.signal import lfilter
+
+        innovations = rng.normal(0, 1.0, 600)
+        wander = lfilter([1.0], [1.0, -0.95], innovations)
+        series = 150.0 + 2.0 * wander / wander.std()  # ±~1.3% of mean
+        result = detect_phases(series)
+        assert result.num_phases <= 3
+
+    def test_min_jump_filters_small_steps(self, rng):
+        series = np.concatenate([np.full(100, 100.0), np.full(100, 102.0)])
+        series += rng.normal(0, 0.1, 200)
+        # A 2% step is below the default 4% jump threshold.
+        assert detect_phases(series).is_flat
+        # But an explicit lower threshold reveals it.
+        assert detect_phases(series, min_jump=0.01).num_phases == 2
+
+    def test_max_phases_cap(self, rng):
+        # A staircase with many levels cannot exceed the cap.
+        series = np.repeat(np.arange(20, dtype=float) * 50 + 100, 30)
+        result = detect_phases(series + rng.normal(0, 0.5, len(series)), max_phases=4)
+        assert result.num_phases <= 4
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            detect_phases([])
+        with pytest.raises(AnalysisError):
+            detect_phases([1.0], min_length=0)
+
+    def test_analyze_phases_on_trace(self, emmy_small):
+        trace = next(iter(emmy_small.traces.values()))
+        result = analyze_phases(trace)
+        assert result.num_phases >= 1
+        total = sum(p.duration for p in result.phases)
+        assert total == trace.num_minutes
+
+
+class TestStragglerNodes:
+    def make_trace(self, node_levels, minutes=60) -> JobPowerTrace:
+        matrix = np.tile(np.asarray(node_levels, float)[:, None], (1, minutes))
+        return JobPowerTrace(job_id=1, user_id="u", app="a", system="emmy",
+                             matrix=matrix)
+
+    def test_balanced_job_has_no_outliers(self):
+        report = straggler_nodes(self.make_trace([100.0, 101.0, 99.0, 100.0]))
+        assert report.num_outliers == 0
+
+    def test_straggler_flagged(self):
+        report = straggler_nodes(self.make_trace([100.0, 100.0, 100.0, 60.0]))
+        assert report.num_outliers == 1
+        assert bool(report.outlier_mask[3])
+        assert report.worst_deviation == pytest.approx(0.40)
+
+    def test_hot_node_flagged(self):
+        report = straggler_nodes(self.make_trace([100.0, 100.0, 130.0]))
+        assert bool(report.outlier_mask[2])
+
+    def test_threshold_validation(self, emmy_small):
+        trace = next(iter(emmy_small.traces.values()))
+        with pytest.raises(AnalysisError):
+            straggler_nodes(trace, threshold=0.0)
+
+
+class TestNodeFactorEstimation:
+    def test_recovers_ground_truth(self):
+        """The fleet estimate must correlate with the cluster's true
+        manufacturing factors — the validation the simulation enables."""
+        from repro.cluster import Cluster
+        from repro.stats.correlation import pearson
+        from repro.telemetry import generate_dataset
+
+        ds = generate_dataset(
+            "emmy", seed=9, num_nodes=24, num_users=12,
+            horizon_s=12 * 86400, max_traces=400,
+        )
+        estimate = estimate_node_factors(ds, min_observations=3)
+        cluster = Cluster.from_name("emmy", seed=9, num_nodes=24)
+        truth = cluster.power_factors[estimate.node_ids]
+        r = pearson(truth, estimate.factors)
+        assert r.statistic > 0.5
+        assert r.pvalue < 0.01
+
+    def test_requires_traces(self, emmy_small):
+        import dataclasses
+
+        bare = dataclasses.replace(emmy_small, traces={}, trace_allocations={})
+        with pytest.raises(AnalysisError):
+            estimate_node_factors(bare)
+
+    def test_min_observations_gate(self, emmy_small):
+        with pytest.raises(AnalysisError):
+            estimate_node_factors(emmy_small, min_observations=10_000)
+
+    def test_factor_lookup(self, emmy_small):
+        estimate = estimate_node_factors(emmy_small, min_observations=1)
+        nid = int(estimate.node_ids[0])
+        assert estimate.factor_of(nid) == pytest.approx(estimate.factors[0])
+        with pytest.raises(AnalysisError):
+            estimate.factor_of(10_000)

@@ -1,0 +1,33 @@
+"""Shared fixtures: small, seeded datasets reused across test modules.
+
+The pipeline fixtures are session-scoped — generation is deterministic
+for a fixed seed, so sharing them is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry import JobDataset, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def emmy_small() -> JobDataset:
+    """A scaled-down Emmy: ~60 nodes, 10 days, enough jobs for statistics."""
+    return generate_dataset(
+        "emmy", seed=42, num_nodes=60, num_users=30, horizon_s=10 * 86400, max_traces=150
+    )
+
+
+@pytest.fixture(scope="session")
+def meggie_small() -> JobDataset:
+    """A scaled-down Meggie."""
+    return generate_dataset(
+        "meggie", seed=42, num_nodes=80, num_users=25, horizon_s=10 * 86400, max_traces=150
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,93 @@
+"""Property-based tests for the frames substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frames import Table, concat, read_npz, write_npz
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+@st.composite
+def tables(draw, min_rows=0, max_rows=30):
+    n = draw(st.integers(min_rows, max_rows))
+    n_cols = draw(st.integers(1, 4))
+    col_names = draw(
+        st.lists(names, min_size=n_cols, max_size=n_cols, unique=True)
+    )
+    cols = {}
+    for i, name in enumerate(col_names):
+        if i % 2 == 0:
+            cols[name] = draw(
+                st.lists(floats, min_size=n, max_size=n).map(np.asarray)
+            )
+        else:
+            cols[name] = draw(
+                st.lists(st.integers(-100, 100), min_size=n, max_size=n)
+            )
+    return Table(cols)
+
+
+@given(tables())
+@settings(max_examples=50, deadline=None)
+def test_take_filter_roundtrip(t):
+    """Filtering with an all-True mask is the identity."""
+    mask = np.ones(len(t), dtype=bool)
+    assert t.filter(mask) == t
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=50, deadline=None)
+def test_sort_is_permutation(t):
+    """Sorting preserves the multiset of each column."""
+    col = t.column_names[0]
+    s = t.sort_by(col)
+    assert len(s) == len(t)
+    assert sorted(map(str, s[col].tolist())) == sorted(map(str, t[col].tolist()))
+    values = s[col]
+    assert np.all(values[:-1] <= values[1:])
+
+
+@given(tables())
+@settings(max_examples=50, deadline=None)
+def test_concat_lengths(t):
+    assert len(concat([t, t, t])) == (3 * len(t) if t.column_names else 0)
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=30, deadline=None)
+def test_groupby_sizes_partition_rows(t):
+    """Group sizes always sum to the table length."""
+    g = t.group_by(t.column_names[0])
+    assert int(g.sizes().sum()) == len(t)
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=30, deadline=None)
+def test_groupby_sum_conserves_total(t):
+    """Segment sums over any numeric column add up to the column total."""
+    key = t.column_names[0]
+    numeric = [n for n in t.column_names if t[n].dtype.kind in "if"]
+    if not numeric:
+        return
+    col = numeric[0]
+    g = t.group_by(key).agg(s=(col, "sum"))
+    np.testing.assert_allclose(
+        float(np.sum(g["s"])), float(np.sum(t[col])), rtol=1e-6, atol=1e-6
+    )
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=30, deadline=None)
+def test_npz_roundtrip(t):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.npz"
+        write_npz(t, path)
+        assert read_npz(path) == t

@@ -1,0 +1,87 @@
+"""Unit tests for vectorized group-by."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.frames import Table
+
+
+def make_table() -> Table:
+    return Table(
+        {
+            "user": ["a", "b", "a", "b", "a"],
+            "nodes": [1, 2, 1, 2, 4],
+            "power": [10.0, 20.0, 30.0, 40.0, 50.0],
+        }
+    )
+
+
+class TestGroupBy:
+    def test_single_key_mean(self):
+        g = make_table().group_by("user").agg(p=("power", "mean"))
+        assert g["user"].tolist() == ["a", "b"]
+        assert g["p"].tolist() == [30.0, 30.0]
+
+    def test_sum_and_count(self):
+        g = make_table().group_by("user").agg(s=("power", "sum"), n=("power", "count"))
+        assert g["s"].tolist() == [90.0, 60.0]
+        assert g["n"].tolist() == [3, 2]
+
+    def test_min_max_first(self):
+        g = make_table().group_by("user").agg(
+            lo=("power", "min"), hi=("power", "max"), f=("power", "first")
+        )
+        assert g["lo"].tolist() == [10.0, 20.0]
+        assert g["hi"].tolist() == [50.0, 40.0]
+        assert g["f"].tolist() == [10.0, 20.0]
+
+    def test_std_matches_numpy(self):
+        g = make_table().group_by("user").agg(sd=("power", "std"))
+        expected_a = np.std([10.0, 30.0, 50.0])
+        assert g["sd"][0] == pytest.approx(expected_a)
+
+    def test_median(self):
+        g = make_table().group_by("user").agg(m=("power", "median"))
+        assert g["m"].tolist() == [30.0, 30.0]
+
+    def test_multi_key(self):
+        g = make_table().group_by("user", "nodes")
+        assert g.num_groups == 3  # (a,1), (a,4), (b,2)
+        agg = g.agg(n=("power", "count"))
+        lookup = {
+            (agg["user"][i], int(agg["nodes"][i])): int(agg["n"][i])
+            for i in range(len(agg))
+        }
+        assert lookup == {("a", 1): 2, ("a", 4): 1, ("b", 2): 2}
+
+    def test_custom_callable(self):
+        g = make_table().group_by("user").agg(rng=("power", lambda x: x.max() - x.min()))
+        assert g["rng"].tolist() == [40.0, 20.0]
+
+    def test_apply(self):
+        g = make_table().group_by("user")
+        out = g.apply("power", np.median)
+        assert out.tolist() == [30.0, 30.0]
+
+    def test_indices_partition(self):
+        g = make_table().group_by("user")
+        idx = g.indices()
+        combined = np.sort(np.concatenate(idx))
+        assert combined.tolist() == [0, 1, 2, 3, 4]
+
+    def test_unknown_agg(self):
+        with pytest.raises(FrameError, match="unknown aggregation"):
+            make_table().group_by("user").reduce("power", "mode")
+
+    def test_no_keys(self):
+        with pytest.raises(FrameError):
+            make_table().group_by()
+
+    def test_sizes(self):
+        assert make_table().group_by("user").sizes().tolist() == [3, 2]
+
+    def test_integer_keys(self):
+        g = make_table().group_by("nodes").agg(n=("power", "count"))
+        assert g["nodes"].tolist() == [1, 2, 4]
+        assert g["n"].tolist() == [2, 2, 1]

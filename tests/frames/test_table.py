@@ -1,0 +1,201 @@
+"""Unit tests for the Table column store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnMismatchError, FrameError
+from repro.frames import Table, concat
+
+
+def make_table() -> Table:
+    return Table(
+        {
+            "user": ["a", "b", "a", "c"],
+            "nodes": [1, 4, 2, 8],
+            "power": [100.0, 150.0, 120.0, 180.0],
+        }
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = make_table()
+        assert len(t) == 4
+        assert t.column_names == ["user", "nodes", "power"]
+        assert t.num_columns == 3
+
+    def test_empty(self):
+        t = Table({})
+        assert len(t) == 0
+        assert t.column_names == []
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ColumnMismatchError, match="unequal lengths"):
+            Table({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_scalar_column_rejected(self):
+        with pytest.raises(ColumnMismatchError, match="1-D"):
+            Table({"a": 5})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(ColumnMismatchError, match="1-D"):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(ColumnMismatchError, match="object dtype"):
+            Table({"a": [1, "x", None]})
+
+    def test_object_strings_promoted(self):
+        t = Table({"a": np.asarray(["x", "yy"], dtype=object)})
+        assert t["a"].dtype.kind == "U"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ColumnMismatchError):
+            Table({"": [1]})
+
+    def test_from_rows(self):
+        t = Table.from_rows([{"x": 1, "y": "a"}, {"x": 2, "y": "b"}])
+        assert t["x"].tolist() == [1, 2]
+        assert t["y"].tolist() == ["a", "b"]
+
+    def test_from_rows_empty(self):
+        assert len(Table.from_rows([])) == 0
+
+    def test_from_rows_mismatched_keys(self):
+        with pytest.raises(ColumnMismatchError, match="row 1"):
+            Table.from_rows([{"x": 1}, {"y": 2}])
+
+
+class TestAccess:
+    def test_column_access(self):
+        t = make_table()
+        assert t["nodes"].tolist() == [1, 4, 2, 8]
+
+    def test_missing_column(self):
+        with pytest.raises(ColumnMismatchError, match="no column"):
+            make_table()["missing"]
+
+    def test_contains(self):
+        t = make_table()
+        assert "user" in t and "zzz" not in t
+
+    def test_row(self):
+        row = make_table().row(1)
+        assert row == {"user": "b", "nodes": 4, "power": 150.0}
+
+    def test_iter_rows(self):
+        rows = list(make_table().iter_rows())
+        assert len(rows) == 4
+        assert rows[0]["user"] == "a"
+
+    def test_equality(self):
+        assert make_table() == make_table()
+        assert make_table() != make_table().drop("power")
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(make_table())
+
+
+class TestRowOps:
+    def test_filter(self):
+        t = make_table()
+        f = t.filter(t["nodes"] > 1)
+        assert len(f) == 3
+        assert f["user"].tolist() == ["b", "a", "c"]
+
+    def test_filter_requires_bool(self):
+        with pytest.raises(ColumnMismatchError, match="boolean"):
+            make_table().filter(np.asarray([1, 0, 1, 0]))
+
+    def test_filter_wrong_length(self):
+        with pytest.raises(ColumnMismatchError, match="length"):
+            make_table().filter(np.asarray([True, False]))
+
+    def test_take_indices(self):
+        t = make_table().take(np.asarray([3, 0]))
+        assert t["nodes"].tolist() == [8, 1]
+
+    def test_head(self):
+        assert len(make_table().head(2)) == 2
+
+    def test_sort_by_single(self):
+        t = make_table().sort_by("nodes")
+        assert t["nodes"].tolist() == [1, 2, 4, 8]
+
+    def test_sort_by_descending(self):
+        t = make_table().sort_by("nodes", descending=True)
+        assert t["nodes"].tolist() == [8, 4, 2, 1]
+
+    def test_sort_by_multi_stable(self):
+        t = make_table().sort_by("user", "nodes")
+        assert t["user"].tolist() == ["a", "a", "b", "c"]
+        assert t["nodes"].tolist() == [1, 2, 4, 8]
+
+    def test_sort_requires_column(self):
+        with pytest.raises(FrameError):
+            make_table().sort_by()
+
+
+class TestColumnOps:
+    def test_select(self):
+        t = make_table().select(["power", "user"])
+        assert t.column_names == ["power", "user"]
+
+    def test_select_unknown(self):
+        with pytest.raises(ColumnMismatchError, match="unknown columns"):
+            make_table().select(["nope"])
+
+    def test_drop(self):
+        assert make_table().drop("power").column_names == ["user", "nodes"]
+
+    def test_with_column_add(self):
+        t = make_table().with_column("double", [2, 8, 4, 16])
+        assert t["double"].tolist() == [2, 8, 4, 16]
+
+    def test_with_column_replace(self):
+        t = make_table().with_column("nodes", [9, 9, 9, 9])
+        assert t["nodes"].tolist() == [9, 9, 9, 9]
+
+    def test_with_column_wrong_length(self):
+        with pytest.raises(ColumnMismatchError, match="length"):
+            make_table().with_column("x", [1, 2])
+
+    def test_rename(self):
+        t = make_table().rename({"power": "watts"})
+        assert "watts" in t and "power" not in t
+
+    def test_rename_unknown(self):
+        with pytest.raises(ColumnMismatchError):
+            make_table().rename({"nope": "x"})
+
+    def test_unique(self):
+        assert make_table().unique("user").tolist() == ["a", "b", "c"]
+
+    def test_describe(self):
+        d = make_table().describe()
+        # Only numeric columns appear.
+        assert d["column"].tolist() == ["nodes", "power"]
+        row = d.row(1)
+        assert row["mean"] == pytest.approx(137.5)
+
+    def test_copy_is_independent(self):
+        t = make_table()
+        c = t.copy()
+        c["nodes"][0] = 99
+        assert t["nodes"][0] == 1
+
+
+class TestConcat:
+    def test_concat(self):
+        t = make_table()
+        c = concat([t, t])
+        assert len(c) == 8
+        assert c["user"].tolist() == t["user"].tolist() * 2
+
+    def test_concat_empty_list(self):
+        assert len(concat([])) == 0
+
+    def test_concat_mismatched(self):
+        with pytest.raises(ColumnMismatchError):
+            concat([make_table(), make_table().drop("power")])

@@ -1,0 +1,176 @@
+"""Tests for the evaluation protocol, metrics, encoding, and pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError, ValidationError
+from repro.frames import Table
+from repro.ml import (
+    FeatureSpec,
+    absolute_percentage_error,
+    encode_features,
+    error_summary,
+    evaluate_models,
+    per_group_error,
+    repeated_splits,
+    train_validation_split,
+)
+from repro.ml.encoding import CategoryEncoder
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestSplit:
+    def test_partition(self, rng):
+        groups = rng.choice(["a", "b", "c"], size=100)
+        tr, va = train_validation_split(groups, rng=rng)
+        assert len(tr) + len(va) == 100
+        assert len(np.intersect1d(tr, va)) == 0
+
+    def test_seen_group_constraint(self, rng):
+        """Every validation group must appear in training."""
+        groups = np.repeat([f"u{i}" for i in range(20)], 3)
+        tr, va = train_validation_split(groups, rng=rng)
+        assert set(groups[va]) <= set(groups[tr])
+
+    def test_all_singletons_is_an_error(self, rng):
+        """With one job per user the repair empties validation: refuse."""
+        groups = np.asarray([f"u{i}" for i in range(50)])
+        with pytest.raises(ValidationError, match="empty"):
+            train_validation_split(groups, rng=rng)
+
+    def test_constraint_with_many_singletons(self, rng):
+        groups = np.concatenate([["big"] * 50, [f"s{i}" for i in range(20)]])
+        tr, va = train_validation_split(groups, rng=rng)
+        assert set(groups[va]) <= set(groups[tr])
+
+    def test_fraction_roughly_respected(self, rng):
+        groups = rng.choice(["a", "b"], size=1000)
+        tr, va = train_validation_split(groups, train_fraction=0.8, rng=rng)
+        assert 0.75 < len(tr) / 1000 < 0.9
+
+    def test_repeated_splits_differ(self):
+        groups = np.repeat(["a", "b", "c", "d"], 25)
+        splits = list(repeated_splits(groups, n_repeats=10, seed=0))
+        assert len(splits) == 10
+        assert len({tuple(tr.tolist()) for tr, _ in splits}) > 1
+
+    def test_repeated_splits_deterministic(self):
+        groups = np.repeat(["a", "b"], 20)
+        a = [tr.tolist() for tr, _ in repeated_splits(groups, 3, seed=1)]
+        b = [tr.tolist() for tr, _ in repeated_splits(groups, 3, seed=1)]
+        assert a == b
+
+    def test_validation_errors(self):
+        with pytest.raises(ValidationError):
+            train_validation_split(["a"])
+        with pytest.raises(ValidationError):
+            train_validation_split(["a", "b"], train_fraction=1.5)
+        with pytest.raises(ValidationError):
+            list(repeated_splits(["a", "b"], n_repeats=0))
+
+
+class TestMetrics:
+    def test_ape_basic(self):
+        e = absolute_percentage_error([100.0, 200.0], [90.0, 220.0])
+        np.testing.assert_allclose(e, [0.10, 0.10])
+
+    def test_ape_rejects_nonpositive_actual(self):
+        with pytest.raises(ValidationError):
+            absolute_percentage_error([0.0], [1.0])
+
+    def test_ape_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            absolute_percentage_error([1.0], [1.0, 2.0])
+
+    def test_error_summary(self):
+        s = error_summary([0.01, 0.02, 0.06, 0.20])
+        assert s.frac_below_5pct == 0.5
+        assert s.frac_below_10pct == 0.75
+        assert s.n == 4
+        assert set(s.as_dict()) == {
+            "mean", "median", "frac_below_5pct", "frac_below_10pct", "n",
+        }
+
+    def test_per_group_error(self):
+        ids, means = per_group_error(["a", "a", "b"], [0.1, 0.3, 0.5])
+        assert ids.tolist() == ["a", "b"]
+        np.testing.assert_allclose(means, [0.2, 0.5])
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=50)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ape_nonnegative(self, actual):
+        predicted = [a * 1.1 for a in actual]
+        e = absolute_percentage_error(actual, predicted)
+        assert np.all(e >= 0)
+        np.testing.assert_allclose(e, 0.1, rtol=1e-9)
+
+
+class TestEncoding:
+    def test_category_roundtrip(self):
+        enc = CategoryEncoder().fit(["b", "a", "b"])
+        assert enc.transform(["a", "b"]).tolist() == [0, 1]
+
+    def test_unseen_category_rejected(self):
+        enc = CategoryEncoder().fit(["a", "b"])
+        with pytest.raises(ModelError, match="unseen"):
+            enc.transform(["z"])
+
+    def test_encode_features_matrix(self):
+        t = Table({"user": ["a", "b"], "nodes": [2, 4], "req_walltime_s": [600, 1200]})
+        X, encoders = encode_features(t)
+        assert X.shape == (2, 3)
+        # log1p applied to numerics
+        assert X[0, 1] == pytest.approx(np.log1p(2))
+
+    def test_encoders_reused_for_validation(self):
+        spec = FeatureSpec()
+        train = Table({"user": ["a", "b"], "nodes": [1, 2], "req_walltime_s": [60, 60]})
+        val = Table({"user": ["b"], "nodes": [2], "req_walltime_s": [60]})
+        _, encoders = encode_features(train, spec)
+        Xv, _ = encode_features(val, spec, encoders=encoders)
+        assert Xv[0, 0] == 1.0  # "b" keeps its training code
+
+
+class TestPipeline:
+    def make_jobs(self, n=300, seed=0) -> Table:
+        rng = np.random.default_rng(seed)
+        users = rng.choice(["u1", "u2", "u3", "u4"], size=n)
+        nodes = rng.choice([1, 2, 4, 8], size=n)
+        wall = rng.choice([3600, 7200, 14400], size=n)
+        base = {"u1": 100.0, "u2": 140.0, "u3": 170.0, "u4": 120.0}
+        power = np.asarray([base[u] for u in users]) + nodes * 2.0
+        power *= rng.lognormal(0.0, 0.02, size=n)
+        return Table(
+            {
+                "user": users,
+                "nodes": nodes.astype(np.int64),
+                "req_walltime_s": wall.astype(np.int64),
+                "pernode_power_w": power,
+            }
+        )
+
+    def test_evaluate_models_runs(self):
+        jobs = self.make_jobs()
+        results = evaluate_models(
+            jobs,
+            {"tree": lambda: DecisionTreeRegressor(min_samples_leaf=2)},
+            n_repeats=2,
+        )
+        r = results["tree"]
+        assert r.summary.frac_below_10pct > 0.8
+        ids, means = r.per_user_mean_error()
+        assert set(ids.tolist()) <= {"u1", "u2", "u3", "u4"}
+
+    def test_missing_target_rejected(self):
+        jobs = self.make_jobs().drop("pernode_power_w")
+        with pytest.raises(ValidationError, match="target"):
+            evaluate_models(jobs, {"t": DecisionTreeRegressor})
+
+    def test_missing_feature_rejected(self):
+        jobs = self.make_jobs().drop("nodes")
+        with pytest.raises(ValidationError, match="feature"):
+            evaluate_models(jobs, {"t": DecisionTreeRegressor})

@@ -1,0 +1,125 @@
+"""Tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml import DecisionTreeRegressor
+
+
+class TestNumericSplits:
+    def test_perfect_step_function(self):
+        X = np.asarray([[0.0], [1.0], [2.0], [3.0]])
+        y = np.asarray([10.0, 10.0, 20.0, 20.0])
+        t = DecisionTreeRegressor().fit(X, y)
+        np.testing.assert_allclose(t.predict(X), y)
+        assert t.depth() == 1
+
+    def test_piecewise_constant(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((300, 1))
+        y = np.where(X[:, 0] < 0.3, 1.0, np.where(X[:, 0] < 0.7, 5.0, 9.0))
+        t = DecisionTreeRegressor().fit(X, y)
+        np.testing.assert_allclose(t.predict(X), y)
+
+    def test_constant_target_is_single_leaf(self):
+        X = np.random.default_rng(0).random((50, 2))
+        t = DecisionTreeRegressor().fit(X, np.full(50, 3.0))
+        assert t.num_leaves() == 1
+        np.testing.assert_allclose(t.predict(X), 3.0)
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(0)
+        X, y = rng.random((200, 3)), rng.random(200)
+        t = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert t.depth() <= 3
+
+    def test_min_samples_leaf(self):
+        rng = np.random.default_rng(0)
+        X, y = rng.random((100, 1)), rng.random(100)
+        t = DecisionTreeRegressor(min_samples_leaf=10).fit(X, y)
+        # With >=10 samples per leaf there are at most 10 leaves.
+        assert t.num_leaves() <= 10
+
+    def test_predictions_within_target_range(self):
+        rng = np.random.default_rng(1)
+        X, y = rng.random((200, 2)), rng.random(200) * 100
+        t = DecisionTreeRegressor().fit(X, y)
+        preds = t.predict(rng.random((500, 2)))
+        assert preds.min() >= y.min() and preds.max() <= y.max()
+
+
+class TestCategoricalSplits:
+    def test_category_means_recovered(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 5, size=400)
+        means = np.asarray([10.0, 20.0, 30.0, 40.0, 50.0])
+        y = means[codes]
+        X = codes[:, None].astype(float)
+        t = DecisionTreeRegressor().fit(X, y, categorical=(0,))
+        np.testing.assert_allclose(t.predict(X), y)
+
+    def test_categorical_not_ordinal(self):
+        """The split must group categories by target, not by code order."""
+        codes = np.asarray([0, 1, 2, 3] * 50)
+        y = np.where((codes == 0) | (codes == 3), 10.0, 99.0)
+        X = codes[:, None].astype(float)
+        t = DecisionTreeRegressor(max_depth=1).fit(X, y, categorical=(0,))
+        np.testing.assert_allclose(t.predict(X), y)
+        assert t.depth() == 1  # one split suffices despite interleaving
+
+    def test_mixed_features(self):
+        rng = np.random.default_rng(0)
+        user = rng.integers(0, 10, size=600)
+        nodes = rng.integers(1, 20, size=600).astype(float)
+        y = user * 10.0 + np.where(nodes > 10, 5.0, 0.0)
+        X = np.column_stack([user.astype(float), nodes])
+        t = DecisionTreeRegressor().fit(X, y, categorical=(0,))
+        assert np.abs(t.predict(X) - y).mean() < 0.5
+
+    def test_bad_categorical_index(self):
+        with pytest.raises(ModelError, match="out of range"):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.arange(5), categorical=(7,))
+
+
+class TestValidation:
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+    def test_feature_count_mismatch(self):
+        t = DecisionTreeRegressor().fit(np.zeros((4, 2)), np.arange(4.0))
+        with pytest.raises(ModelError, match="features"):
+            t.predict(np.zeros((1, 3)))
+
+    def test_bad_hyperparams(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(min_samples_split=1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor().fit(np.asarray([[np.nan]]), [1.0])
+
+    def test_rejects_1d_X(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor().fit(np.zeros(5), np.zeros(5))
+
+
+@given(st.integers(10, 80), st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_training_error_decreases_with_leaf_size(n, seed):
+    """A leaf-1 tree never has larger training SSE than a leaf-5 tree."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    y = rng.random(n)
+    t1 = DecisionTreeRegressor(min_samples_leaf=1).fit(X, y)
+    t5 = DecisionTreeRegressor(min_samples_leaf=5).fit(X, y)
+    sse1 = float(((t1.predict(X) - y) ** 2).sum())
+    sse5 = float(((t5.predict(X) - y) ** 2).sum())
+    assert sse1 <= sse5 + 1e-9

@@ -1,0 +1,70 @@
+"""Tests for facility energy and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import account_energy, user_bills
+
+
+class TestAccountEnergy:
+    def test_consistency(self, emmy_small):
+        account = account_energy(emmy_small, price_per_kwh=0.30, pue=1.2)
+        assert account.system == "emmy"
+        assert account.facility_kwh < account.provisioned_kwh
+        assert account.facility_cost == pytest.approx(
+            account.facility_kwh * 0.30
+        )
+        assert account.stranded_cost > 0.0
+        # Job energy never exceeds drawn energy (idle floor on top).
+        assert account.job_kwh <= account.facility_kwh / account.pue + 1e-9
+        assert 0.0 <= account.idle_overhead_fraction < 0.5
+
+    def test_pue_scales_bill(self, emmy_small):
+        lean = account_energy(emmy_small, pue=1.0)
+        heavy = account_energy(emmy_small, pue=1.5)
+        assert heavy.facility_kwh == pytest.approx(1.5 * lean.facility_kwh)
+
+    def test_stranded_cost_matches_utilization_gap(self, emmy_small):
+        from repro.analysis import power_utilization
+
+        account = account_energy(emmy_small)
+        stranded = power_utilization(emmy_small).stranded_fraction
+        assert account.stranded_cost / account.provisioned_cost == pytest.approx(
+            stranded, abs=0.02
+        )
+
+    def test_validation(self, emmy_small):
+        with pytest.raises(PolicyError):
+            account_energy(emmy_small, price_per_kwh=0.0)
+        with pytest.raises(PolicyError):
+            account_energy(emmy_small, pue=0.9)
+
+
+class TestUserBills:
+    def test_bills_conserve_the_pot(self, emmy_small):
+        bills = user_bills(emmy_small)
+        assert bills["bill_node_hours"].sum() == pytest.approx(
+            bills["bill_energy_true"].sum()
+        )
+        assert bills["delta"].sum() == pytest.approx(0.0, abs=1e-6)
+
+    def test_sorted_by_delta(self, emmy_small):
+        bills = user_bills(emmy_small)
+        deltas = bills["delta"]
+        assert np.all(np.diff(deltas) <= 1e-12)
+
+    def test_high_power_users_gain_under_node_hours(self, emmy_small):
+        """Users whose jobs draw above-average power are subsidized by
+        node-hour pricing (they pay less than their energy share)."""
+        bills = user_bills(emmy_small)
+        mean_power = bills["energy_j"] / (bills["node_hours"] * 3600.0)
+        # delta > 0 ⇔ node-hour bill above energy bill ⇔ low-power user.
+        winners = bills["delta"] < 0
+        assert mean_power[winners].mean() > mean_power[~winners].mean()
+
+    def test_covers_all_users(self, emmy_small):
+        bills = user_bills(emmy_small)
+        assert set(bills["user"].tolist()) == set(
+            np.unique(emmy_small.jobs["user"]).tolist()
+        )

@@ -1,0 +1,121 @@
+"""Tests for power-aware scheduling under a system budget."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PolicyError, SchedulerError
+from repro.policy import PowerAwareSimulator, evaluate_power_capped_scheduling
+from repro.scheduler.simulator import SchedulerConfig
+from repro.workload.generator import JobSpec
+from repro.workload.phases import TemporalProfile
+from repro.workload.spatial import SpatialModel
+
+TDP = 200.0
+
+
+def job(job_id, nodes, runtime, submit=0, fraction=0.7, walltime=None):
+    return JobSpec(
+        job_id=job_id,
+        user_id="u0001",
+        app="gromacs",
+        system="emmy",
+        class_id=job_id,
+        nodes=nodes,
+        req_walltime_s=walltime or max(600, runtime),
+        runtime_s=runtime,
+        submit_s=submit,
+        power_fraction=fraction,
+        profile=TemporalProfile(kind="flat"),
+        spatial=SpatialModel(static_sigma=0.02),
+    )
+
+
+def oracle(spec: JobSpec) -> float:
+    return spec.power_fraction * TDP
+
+
+def run_capped(jobs, num_nodes, budget_watts, headroom=0.0):
+    sim = PowerAwareSimulator(
+        SchedulerConfig(num_nodes=num_nodes), budget_watts, oracle, headroom
+    )
+    return sim.run(jobs)
+
+
+class TestPowerAwareSimulator:
+    def test_unconstrained_budget_matches_baseline(self):
+        from repro.scheduler import simulate
+
+        jobs = [job(i, 2, 600, submit=i * 10) for i in range(10)]
+        capped = run_capped(jobs, 8, budget_watts=1e9)
+        baseline = simulate(jobs, 8)
+        assert [(r.spec.job_id, r.start_s) for r in capped] == [
+            (r.spec.job_id, r.start_s) for r in baseline
+        ]
+
+    def test_budget_serializes_jobs(self):
+        # Two 1-node jobs at 140 W each; budget 150 W ⇒ they serialize
+        # even though 2 nodes are free.
+        jobs = [job(0, 1, 600, fraction=0.7), job(1, 1, 600, fraction=0.7)]
+        out = run_capped(jobs, 4, budget_watts=150.0)
+        by_id = {r.spec.job_id: r for r in out}
+        assert by_id[1].start_s >= by_id[0].end_s
+
+    def test_budget_allows_parallel_under_cap(self):
+        jobs = [job(0, 1, 600, fraction=0.5), job(1, 1, 600, fraction=0.5)]
+        out = run_capped(jobs, 4, budget_watts=250.0)
+        assert all(r.start_s == 0 for r in out)
+
+    def test_commitment_accounting_drains(self):
+        sim = PowerAwareSimulator(SchedulerConfig(num_nodes=4), 1000.0, oracle)
+        sim.run([job(i, 1, 600, submit=i * 700) for i in range(5)])
+        assert sim.committed_watts == pytest.approx(0.0)
+
+    def test_headroom_charged(self):
+        # 140 W job with 15% headroom = 161 W; 150 W budget refuses it.
+        jobs = [job(0, 1, 600, fraction=0.7)]
+        with pytest.raises(SchedulerError, match="exceeds the power budget"):
+            run_capped(jobs, 4, budget_watts=150.0, headroom=0.15)
+
+    def test_impossible_single_job_raises(self):
+        with pytest.raises(SchedulerError, match="exceeds the power budget"):
+            run_capped([job(0, 4, 600, fraction=0.9)], 4, budget_watts=100.0)
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            PowerAwareSimulator(SchedulerConfig(num_nodes=2), 0.0, oracle)
+        with pytest.raises(PolicyError):
+            PowerAwareSimulator(SchedulerConfig(num_nodes=2), 10.0, oracle, headroom=-1)
+
+
+class TestEvaluate:
+    def make_stream(self, rng, n=80):
+        return [
+            job(i, int(rng.integers(1, 3)), int(rng.integers(600, 2400)),
+                submit=int(rng.integers(0, 4000)),
+                fraction=float(rng.uniform(0.4, 0.9)))
+            for i in range(n)
+        ]
+
+    def test_tighter_budget_costs_more(self, rng):
+        jobs = self.make_stream(rng)
+        loose = evaluate_power_capped_scheduling(jobs, 8, TDP, budget_fraction=1.0)
+        tight = evaluate_power_capped_scheduling(jobs, 8, TDP, budget_fraction=0.5)
+        assert tight.mean_wait_capped_s >= loose.mean_wait_capped_s
+        assert tight.makespan_capped_s >= loose.makespan_capped_s
+
+    def test_peak_commitment_within_budget(self, rng):
+        jobs = self.make_stream(rng)
+        out = evaluate_power_capped_scheduling(jobs, 8, TDP, budget_fraction=0.6)
+        assert out.peak_commitment_fraction <= 1.0 + 1e-9
+
+    def test_generous_budget_is_free(self, rng):
+        jobs = self.make_stream(rng)
+        out = evaluate_power_capped_scheduling(jobs, 8, TDP, budget_fraction=1.0)
+        assert out.wait_penalty_s == pytest.approx(0.0, abs=1.0)
+        assert out.makespan_penalty == pytest.approx(0.0, abs=1e-6)
+
+    def test_validation(self, rng):
+        with pytest.raises(PolicyError):
+            evaluate_power_capped_scheduling([], 8, TDP, 0.5)
+        with pytest.raises(PolicyError):
+            evaluate_power_capped_scheduling(self.make_stream(rng), 8, TDP, 0.0)

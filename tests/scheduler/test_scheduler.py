@@ -1,0 +1,220 @@
+"""Tests for the node pool, backfill math, and the scheduling engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, SchedulerError
+from repro.scheduler import SchedulerConfig, Simulator, accounting_table, simulate
+from repro.scheduler.backfill import shadow_time
+from repro.scheduler.nodepool import NodePool
+from repro.workload.generator import JobSpec
+from repro.workload.phases import TemporalProfile
+from repro.workload.spatial import SpatialModel
+
+
+def job(job_id, nodes, runtime, submit=0, walltime=None, user="u0001"):
+    return JobSpec(
+        job_id=job_id,
+        user_id=user,
+        app="gromacs",
+        system="emmy",
+        class_id=job_id,
+        nodes=nodes,
+        req_walltime_s=walltime or max(600, runtime),
+        runtime_s=runtime,
+        submit_s=submit,
+        power_fraction=0.7,
+        profile=TemporalProfile(kind="flat"),
+        spatial=SpatialModel(static_sigma=0.02),
+    )
+
+
+class TestNodePool:
+    def test_allocate_release_cycle(self):
+        pool = NodePool(8)
+        ids = pool.allocate(3)
+        assert ids.tolist() == [0, 1, 2]
+        assert pool.free_count == 5
+        pool.release(ids)
+        assert pool.free_count == 8
+
+    def test_first_fit_lowest_ids(self):
+        pool = NodePool(8)
+        a = pool.allocate(2)
+        b = pool.allocate(2)
+        pool.release(a)
+        c = pool.allocate(1)
+        assert c.tolist() == [0]
+
+    def test_over_allocation(self):
+        pool = NodePool(4)
+        with pytest.raises(AllocationError, match="only 4 free"):
+            pool.allocate(5)
+
+    def test_double_free(self):
+        pool = NodePool(4)
+        ids = pool.allocate(2)
+        pool.release(ids)
+        with pytest.raises(AllocationError, match="double free"):
+            pool.release(ids)
+
+    def test_zero_allocation(self):
+        with pytest.raises(AllocationError):
+            NodePool(4).allocate(0)
+
+
+class TestShadowTime:
+    def test_basic(self):
+        # Head needs 4, 1 free; jobs of 2 nodes end at t=10 and t=20.
+        shadow, extra = shadow_time(4, 1, [20, 10], [2, 2])
+        assert shadow == 20
+        assert extra == 1  # 1+2+2=5 free at t=20, head takes 4
+
+    def test_first_release_suffices(self):
+        shadow, extra = shadow_time(3, 1, [10, 20], [2, 2])
+        assert shadow == 10 and extra == 0
+
+    def test_head_not_blocked(self):
+        with pytest.raises(ValueError):
+            shadow_time(2, 4, [10], [1])
+
+    def test_nothing_running(self):
+        with pytest.raises(ValueError):
+            shadow_time(2, 0, [], [])
+
+
+class TestSimulator:
+    def test_fcfs_serial_jobs(self):
+        jobs = [job(0, 4, 600, submit=0), job(1, 4, 600, submit=0)]
+        out = simulate(jobs, num_nodes=4)
+        by_id = {j.spec.job_id: j for j in out}
+        assert by_id[0].start_s == 0
+        assert by_id[1].start_s == by_id[0].end_s
+
+    def test_parallel_when_fits(self):
+        jobs = [job(0, 2, 600), job(1, 2, 600)]
+        out = simulate(jobs, num_nodes=4)
+        assert all(j.start_s == 0 for j in out)
+
+    def test_backfill_jumps_blocked_head(self):
+        # job0 occupies 3/4 nodes for 1000 s; job1 (head) needs 4;
+        # job2 needs 1 node for 300 s and fits before job1's shadow time.
+        jobs = [
+            job(0, 3, 1000, submit=0, walltime=1000),
+            job(1, 4, 600, submit=10, walltime=600),
+            job(2, 1, 300, submit=20, walltime=300),
+        ]
+        out = simulate(jobs, num_nodes=4)
+        by_id = {j.spec.job_id: j for j in out}
+        assert by_id[2].start_s == 20  # backfilled immediately
+        assert by_id[1].start_s == 1000  # head starts when job0 ends
+
+    def test_backfill_never_delays_head(self):
+        # A long backfill candidate must NOT start if it would push the
+        # head past its shadow time and needs the head's nodes.
+        jobs = [
+            job(0, 3, 1000, submit=0, walltime=1000),
+            job(1, 4, 600, submit=10, walltime=600),
+            job(2, 1, 5000, submit=20, walltime=5000),
+        ]
+        out = simulate(jobs, num_nodes=4)
+        by_id = {j.spec.job_id: j for j in out}
+        assert by_id[1].start_s == 1000  # head unharmed
+        # job2 would end at 20+5000 > shadow(1000) and needs 1 > extra(0)
+        assert by_id[2].start_s >= by_id[1].start_s
+
+    def test_backfill_uses_spare_nodes(self):
+        # Head needs 3 of 4; one node stays spare at shadow time, so a
+        # 1-node job of any length may run.
+        jobs = [
+            job(0, 3, 1000, submit=0, walltime=1000),
+            job(1, 3, 600, submit=10, walltime=600),
+            job(2, 1, 9000, submit=20, walltime=9000),
+        ]
+        out = simulate(jobs, num_nodes=4)
+        by_id = {j.spec.job_id: j for j in out}
+        assert by_id[2].start_s == 20
+        assert by_id[1].start_s == 1000
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(SchedulerError, match="requests"):
+            simulate([job(0, 10, 600)], num_nodes=4)
+
+    def test_all_jobs_complete(self, rng):
+        jobs = [
+            job(i, int(rng.integers(1, 5)), int(rng.integers(300, 3000)),
+                submit=int(rng.integers(0, 5000)))
+            for i in range(200)
+        ]
+        out = simulate(jobs, num_nodes=8)
+        assert len(out) == 200
+        assert {j.spec.job_id for j in out} == set(range(200))
+
+    def test_no_node_oversubscription(self, rng):
+        """At no instant do concurrent jobs share a node (exclusivity)."""
+        jobs = [
+            job(i, int(rng.integers(1, 4)), int(rng.integers(300, 2000)),
+                submit=int(rng.integers(0, 2000)))
+            for i in range(120)
+        ]
+        out = simulate(jobs, num_nodes=6)
+        events = []
+        for s in out:
+            events.append((s.start_s, 1, s))
+            events.append((s.end_s, 0, s))
+        events.sort(key=lambda e: (e[0], e[1]))
+        active: dict[int, set] = {}
+        busy: set = set()
+        for _, kind, s in events:
+            ids = set(s.node_ids.tolist())
+            if kind == 0:
+                busy -= ids
+            else:
+                assert not (busy & ids), "node shared by two jobs"
+                busy |= ids
+
+    def test_accounting_table(self):
+        out = simulate([job(0, 2, 600), job(1, 1, 300, submit=100)], num_nodes=4)
+        table = accounting_table(out)
+        assert len(table) == 2
+        assert set(table.column_names) >= {
+            "job_id", "user", "nodes", "submit_s", "start_s", "end_s", "wait_s",
+        }
+        assert np.all(table["wait_s"] >= 0)
+        assert np.all(table["end_s"] - table["start_s"] == table["runtime_s"])
+
+    def test_config_validation(self):
+        with pytest.raises(SchedulerError):
+            SchedulerConfig(num_nodes=0)
+        with pytest.raises(SchedulerError):
+            SchedulerConfig(num_nodes=4, backfill_depth=-1)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(1, 4),      # nodes
+            st.integers(300, 5000), # runtime
+            st.integers(0, 3000),   # submit
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_scheduler_invariants(jobspecs):
+    """Every job starts at/after submit, runs exactly runtime_s, and the
+    allocation never exceeds the machine."""
+    jobs = [
+        job(i, n, r, submit=s, walltime=max(600, r))
+        for i, (n, r, s) in enumerate(jobspecs)
+    ]
+    out = simulate(jobs, num_nodes=4)
+    assert len(out) == len(jobs)
+    for s in out:
+        assert s.start_s >= s.spec.submit_s
+        assert s.end_s - s.start_s == s.spec.runtime_s
+        assert len(s.node_ids) == s.spec.nodes
+        assert s.node_ids.max() < 4

@@ -1,0 +1,101 @@
+"""Tests for concentration curves and bootstrap CIs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import bootstrap_ci, lorenz_curve, overlap_fraction, top_share
+from repro.stats.concentration import gini, top_k_ids
+
+
+class TestLorenz:
+    def test_equal_distribution(self):
+        frac, share = lorenz_curve([1.0, 1.0, 1.0, 1.0])
+        np.testing.assert_allclose(share, frac)
+
+    def test_extreme_concentration(self):
+        frac, share = lorenz_curve([100.0, 0.0, 0.0, 0.0])
+        assert share[0] == 1.0
+
+    def test_monotone(self, rng):
+        _, share = lorenz_curve(rng.random(50))
+        assert np.all(np.diff(share) >= -1e-12)
+        assert share[-1] == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([-1.0, 2.0])
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([0.0, 0.0])
+
+
+class TestTopShare:
+    def test_pareto_like(self):
+        totals = [80.0, 10.0, 5.0, 3.0, 2.0]
+        assert top_share(totals, 0.2) == pytest.approx(0.80)
+
+    def test_full_fraction(self):
+        assert top_share([1.0, 2.0], 1.0) == pytest.approx(1.0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            top_share([1.0], 0.0)
+
+
+class TestGini:
+    def test_equal_is_zero(self):
+        assert gini([5.0] * 10) == pytest.approx(0.0)
+
+    def test_concentrated_near_one(self):
+        values = [0.0] * 99 + [100.0]
+        assert gini(values) > 0.95
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=2, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded(self, xs):
+        assert 0.0 <= gini(xs) < 1.0
+
+
+class TestOverlap:
+    def test_identical_metrics(self):
+        ids = np.asarray(["a", "b", "c", "d", "e"])
+        totals = np.asarray([5.0, 4.0, 3.0, 2.0, 1.0])
+        assert overlap_fraction(ids, totals, totals, 0.4) == 1.0
+
+    def test_disjoint_metrics(self):
+        ids = np.asarray(["a", "b", "c", "d"])
+        a = np.asarray([4.0, 3.0, 2.0, 1.0])
+        b = np.asarray([1.0, 2.0, 3.0, 4.0])
+        assert overlap_fraction(ids, a, b, 0.5) == 0.0
+
+    def test_top_k_ids(self):
+        ids = np.asarray(["a", "b", "c"])
+        assert top_k_ids(ids, [1.0, 9.0, 5.0], 0.3).tolist() == ["b"]
+        assert top_k_ids(ids, [1.0, 9.0, 5.0], 0.6).tolist() == ["b", "c"]
+
+
+class TestBootstrap:
+    def test_mean_ci_contains_truth(self, rng):
+        sample = rng.normal(loc=10.0, scale=1.0, size=400)
+        result = bootstrap_ci(sample, np.mean, rng=rng)
+        assert result.low < 10.0 < result.high
+        assert result.contains(result.estimate)
+
+    def test_interval_ordering(self, rng):
+        r = bootstrap_ci(rng.random(50), np.median, rng=rng)
+        assert r.low <= r.estimate <= r.high or r.low <= r.high  # percentile CI
+
+    def test_callable_without_axis(self, rng):
+        r = bootstrap_ci(rng.random(30), lambda x: float(np.percentile(x, 90)), rng=rng)
+        assert r.low <= r.high
+
+    def test_bad_level(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], level=1.5)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])

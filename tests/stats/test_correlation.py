@@ -1,0 +1,95 @@
+"""Correlation kernels cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.stats.correlation import pearson, rankdata, spearman
+
+
+class TestRankdata:
+    def test_no_ties(self):
+        assert rankdata([30.0, 10.0, 20.0]).tolist() == [3.0, 1.0, 2.0]
+
+    def test_ties_get_midranks(self):
+        assert rankdata([1.0, 2.0, 2.0, 3.0]).tolist() == [1.0, 2.5, 2.5, 4.0]
+
+    def test_matches_scipy(self, rng):
+        x = rng.integers(0, 10, size=200).astype(float)
+        np.testing.assert_allclose(rankdata(x), sps.rankdata(x))
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        r = spearman([1, 2, 3, 4], [10, 20, 30, 40])
+        assert r.statistic == pytest.approx(1.0)
+        assert r.pvalue == pytest.approx(0.0, abs=1e-12)
+
+    def test_perfect_inverse(self):
+        r = spearman([1, 2, 3, 4], [4, 3, 2, 1])
+        assert r.statistic == pytest.approx(-1.0)
+
+    def test_matches_scipy_continuous(self, rng):
+        x = rng.normal(size=300)
+        y = 0.5 * x + rng.normal(size=300)
+        ours = spearman(x, y)
+        ref = sps.spearmanr(x, y)
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-10)
+        assert ours.pvalue == pytest.approx(ref.pvalue, rel=1e-6)
+
+    def test_matches_scipy_with_ties(self, rng):
+        x = rng.integers(0, 5, size=400).astype(float)
+        y = x + rng.integers(0, 3, size=400)
+        ours = spearman(x, y)
+        ref = sps.spearmanr(x, y)
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-10)
+        assert ours.pvalue == pytest.approx(ref.pvalue, rel=1e-6)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [3, 4])
+
+    def test_constant_input(self):
+        with pytest.raises(ValueError):
+            spearman([1, 1, 1], [1, 2, 3])
+
+
+class TestPearson:
+    def test_matches_scipy(self, rng):
+        x = rng.normal(size=250)
+        y = -0.3 * x + rng.normal(size=250)
+        ours = pearson(x, y)
+        ref = sps.pearsonr(x, y)
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-12)
+        assert ours.pvalue == pytest.approx(ref.pvalue, rel=1e-6)
+
+    def test_result_iterable(self):
+        r, p = pearson([1.0, 2.0, 3.0], [1.0, 2.1, 2.9])
+        assert -1 <= r <= 1 and 0 <= p <= 1
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=5,
+        max_size=60,
+    ).filter(lambda xs: len(set(xs)) > 1)
+)
+@settings(max_examples=40, deadline=None)
+def test_spearman_bounded_and_monotone_invariant(xs):
+    """rho stays in [-1,1] and is invariant under monotone transforms."""
+    x = np.asarray(xs)
+    rng = np.random.default_rng(0)
+    y = x + rng.normal(scale=0.1 * (np.std(x) + 1), size=len(x))
+    r1 = spearman(x, y).statistic
+    assert -1.0 <= r1 <= 1.0
+    # Scaling by a power of two is exact in binary floating point, so the
+    # transform is strictly monotone and tie-preserving.
+    r2 = spearman(8.0 * x, y).statistic
+    assert r1 == pytest.approx(r2, abs=1e-9)

@@ -1,0 +1,90 @@
+"""Tests for the time-resolved node-sample schema."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.telemetry import (
+    load_samples,
+    samples_table,
+    save_samples,
+    traces_from_samples,
+)
+from repro.telemetry.samples_schema import validate_samples
+
+
+class TestSamplesTable:
+    def test_row_count(self, emmy_small):
+        samples = samples_table(emmy_small)
+        expected = sum(t.matrix.size for t in emmy_small.traces.values())
+        assert len(samples) == expected
+
+    def test_schema_valid(self, emmy_small):
+        validate_samples(samples_table(emmy_small))
+
+    def test_physical_node_ids_recorded(self, emmy_small):
+        samples = samples_table(emmy_small)
+        assert samples["node_id"].max() < emmy_small.spec.num_nodes
+
+    def test_requires_traces(self, emmy_small):
+        import dataclasses
+
+        with pytest.raises(SchemaError):
+            samples_table(dataclasses.replace(emmy_small, traces={}))
+
+
+class TestRoundTrip:
+    def test_traces_reconstructed_exactly(self, emmy_small):
+        samples = samples_table(emmy_small)
+        traces, allocations = traces_from_samples(samples, emmy_small.jobs)
+        assert set(traces) == set(emmy_small.traces)
+        for job_id, original in emmy_small.traces.items():
+            np.testing.assert_array_equal(traces[job_id].matrix, original.matrix)
+            assert traces[job_id].user_id == original.user_id
+            np.testing.assert_array_equal(
+                allocations[job_id], emmy_small.trace_allocations[job_id]
+            )
+
+    def test_identity_placeholder_without_jobs(self, emmy_small):
+        samples = samples_table(emmy_small)
+        traces, _ = traces_from_samples(samples)
+        assert next(iter(traces.values())).user_id == "unknown"
+
+    def test_metrics_survive_roundtrip(self, emmy_small):
+        """Temporal/spatial metrics from reloaded samples match exactly."""
+        samples = samples_table(emmy_small)
+        traces, _ = traces_from_samples(samples, emmy_small.jobs)
+        for job_id, original in emmy_small.traces.items():
+            rebuilt = traces[job_id]
+            assert rebuilt.peak_overshoot() == original.peak_overshoot()
+            assert rebuilt.avg_spatial_spread() == original.avg_spatial_spread()
+
+    def test_missing_samples_rejected(self, emmy_small):
+        samples = samples_table(emmy_small).take(slice(0, -1))  # drop one row
+        with pytest.raises(SchemaError, match="expected"):
+            traces_from_samples(samples)
+
+
+class TestPersistence:
+    def test_npz_roundtrip(self, emmy_small, tmp_path):
+        samples = samples_table(emmy_small)
+        path = tmp_path / "samples.npz"
+        save_samples(samples, path)
+        assert load_samples(path) == samples
+
+    def test_csv_roundtrip(self, emmy_small, tmp_path):
+        samples = samples_table(emmy_small).head(500)
+        path = tmp_path / "samples.csv"
+        save_samples(samples, path)
+        back = load_samples(path)
+        np.testing.assert_allclose(back["power_w"], samples["power_w"])
+
+    def test_bad_suffix(self, emmy_small, tmp_path):
+        with pytest.raises(SchemaError, match="suffix"):
+            save_samples(samples_table(emmy_small), tmp_path / "x.parquet")
+
+    def test_negative_power_rejected(self, emmy_small):
+        samples = samples_table(emmy_small)
+        bad = samples.with_column("power_w", -samples["power_w"])
+        with pytest.raises(SchemaError, match="non-negative"):
+            validate_samples(bad)

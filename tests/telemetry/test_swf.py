@@ -1,0 +1,88 @@
+"""Tests for SWF export/import interoperability."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.scheduler import simulate
+from repro.telemetry.swf import SWF_FIELDS, jobspecs_from_swf, load_swf, save_swf
+
+
+class TestSaveLoad:
+    @pytest.fixture()
+    def swf_path(self, emmy_small, tmp_path):
+        path = tmp_path / "trace.swf"
+        save_swf(emmy_small, path)
+        return path
+
+    def test_header_present(self, swf_path):
+        text = swf_path.read_text()
+        assert text.startswith("; SWF version: 2.2")
+        assert "; Computer: emmy" in text
+        assert "; UserID mapping:" in text
+
+    def test_roundtrip_counts(self, emmy_small, swf_path):
+        table = load_swf(swf_path)
+        assert len(table) == emmy_small.num_jobs
+        assert list(table.column_names) == list(SWF_FIELDS)
+
+    def test_roundtrip_values(self, emmy_small, swf_path):
+        table = load_swf(swf_path).sort_by("job_number")
+        jobs = emmy_small.jobs.sort_by("job_id")
+        np.testing.assert_array_equal(table["run_time"], jobs["runtime_s"])
+        np.testing.assert_array_equal(table["allocated_processors"], jobs["nodes"])
+        np.testing.assert_array_equal(table["requested_time"], jobs["req_walltime_s"])
+        np.testing.assert_array_equal(table["wait_time"], jobs["wait_s"])
+
+    def test_submit_order(self, swf_path):
+        table = load_swf(swf_path)
+        assert np.all(np.diff(table["submit_time"]) >= 0)
+
+    def test_missing_fields_are_minus_one(self, swf_path):
+        table = load_swf(swf_path)
+        assert np.all(table["used_memory"] == -1)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text("1 2 3\n")
+        with pytest.raises(SchemaError, match="expected 18 fields"):
+            load_swf(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.swf"
+        path.write_text("; only comments\n")
+        with pytest.raises(SchemaError, match="no job records"):
+            load_swf(path)
+
+
+class TestJobSpecsFromSwf:
+    def test_reschedulable(self, emmy_small, tmp_path):
+        """An exported trace can be re-imported and re-scheduled."""
+        path = tmp_path / "trace.swf"
+        save_swf(emmy_small, path)
+        specs = jobspecs_from_swf(load_swf(path), system="emmy")
+        assert len(specs) == emmy_small.num_jobs
+        out = simulate(specs, emmy_small.spec.num_nodes)
+        assert len(out) == len(specs)
+
+    def test_constant_power_model(self, emmy_small, tmp_path):
+        path = tmp_path / "trace.swf"
+        save_swf(emmy_small, path)
+        specs = jobspecs_from_swf(load_swf(path), power_fraction=0.55)
+        assert all(s.power_fraction == 0.55 for s in specs)
+
+    def test_callable_power_model(self, emmy_small, tmp_path):
+        path = tmp_path / "trace.swf"
+        save_swf(emmy_small, path)
+        specs = jobspecs_from_swf(
+            load_swf(path),
+            power_fraction=lambda user, procs, wall: 0.5 + 0.01 * (user % 10),
+        )
+        assert len({s.power_fraction for s in specs}) > 1
+
+    def test_missing_fields_rejected(self, emmy_small, tmp_path):
+        path = tmp_path / "trace.swf"
+        save_swf(emmy_small, path)
+        table = load_swf(path).drop("run_time")
+        with pytest.raises(SchemaError, match="lacks fields"):
+            jobspecs_from_swf(table)

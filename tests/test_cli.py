@@ -1,0 +1,70 @@
+"""CLI smoke tests (argument parsing plus end-to-end subcommands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--system", "meggie", "--out", "x.csv", "--num-nodes", "16"]
+        )
+        assert args.system == "meggie"
+        assert args.num_nodes == 16
+
+
+SCALE = [
+    "--num-nodes", "16", "--num-users", "8",
+    "--horizon-days", "2", "--max-traces", "5", "--seed", "1",
+]
+
+
+class TestCommands:
+    def test_specs(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "emmy" in out and "meggie" in out and "560" in out
+
+    def test_generate_csv(self, tmp_path, capsys):
+        out = tmp_path / "jobs.csv"
+        assert main(["generate", "--out", str(out), *SCALE]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_npz(self, tmp_path):
+        out = tmp_path / "jobs.npz"
+        assert main(["generate", "--out", str(out), *SCALE]) == 0
+        from repro.telemetry.schema import load_jobs_npz
+
+        assert len(load_jobs_npz(out)) > 0
+
+    def test_generate_bad_suffix(self, tmp_path, capsys):
+        assert main(["generate", "--out", str(tmp_path / "jobs.txt"), *SCALE]) == 2
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "power utilization" in out
+        assert "Spearman" in out
+
+    def test_predict(self, capsys):
+        assert main(["predict", "--repeats", "2", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "BDT" in out and "FLDA" in out
+
+    def test_report(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out), "--no-prediction", *SCALE]) == 0
+        text = out.read_text()
+        assert text.startswith("# Power characterization")
+        assert "## Users" in text
+
+    def test_figures(self, tmp_path, capsys):
+        out = tmp_path / "figs"
+        assert main(["figures", "--out-dir", str(out), "--repeats", "2", *SCALE]) == 0
+        assert len(list(out.glob("*.svg"))) >= 10

@@ -1,0 +1,28 @@
+"""Run every docstring example in the package as a test.
+
+Keeps the examples in module/class docstrings honest — they are the
+first code a new user copies.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_module_names():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+@pytest.mark.parametrize("module_name", sorted(_iter_module_names()))
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    failures, _tests = doctest.testmod(
+        module, raise_on_error=False, verbose=False
+    ).failed, None
+    assert failures == 0, f"doctest failures in {module_name}"

@@ -1,0 +1,88 @@
+"""Tests for the RNG factory and unit helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngFactory, spawn_rngs
+from repro.units import (
+    DAY,
+    HOUR,
+    MINUTE,
+    energy_joules,
+    hours,
+    joules_to_kwh,
+    minutes,
+    node_seconds_to_node_hours,
+    watts_to_kilowatts,
+)
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        a = RngFactory(7).get("x").random(5)
+        b = RngFactory(7).get("x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_differ(self):
+        f = RngFactory(7)
+        assert not np.array_equal(f.get("x").random(5), f.get("y").random(5))
+
+    def test_order_independent(self):
+        f1 = RngFactory(7)
+        _ = f1.get("a").random()
+        x1 = f1.get("b").random()
+        f2 = RngFactory(7)
+        x2 = f2.get("b").random()
+        assert x1 == x2
+
+    def test_different_seeds_differ(self):
+        assert RngFactory(1).get("x").random() != RngFactory(2).get("x").random()
+
+    def test_child_is_deterministic(self):
+        a = RngFactory(3).child("sub").get("s").random()
+        b = RngFactory(3).child("sub").get("s").random()
+        assert a == b
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(0).get("")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngFactory("seed")
+
+    def test_spawn_rngs_independent(self):
+        streams = list(spawn_rngs(5, 3))
+        assert len(streams) == 3
+        values = [s.random() for s in streams]
+        assert len(set(values)) == 3
+
+    def test_spawn_rngs_negative(self):
+        with pytest.raises(ValueError):
+            list(spawn_rngs(0, -1))
+
+
+class TestUnits:
+    def test_constants(self):
+        assert MINUTE == 60 and HOUR == 3600 and DAY == 86400
+
+    def test_minutes_hours(self):
+        assert minutes(2) == 120.0
+        assert hours(1.5) == 5400.0
+
+    def test_watts_to_kilowatts(self):
+        assert watts_to_kilowatts(1500.0) == 1.5
+        np.testing.assert_allclose(watts_to_kilowatts([1000, 2000]), [1.0, 2.0])
+
+    def test_joules_to_kwh(self):
+        assert joules_to_kwh(3.6e6) == 1.0
+
+    def test_node_hours(self):
+        assert node_seconds_to_node_hours(7200) == 2.0
+
+    def test_energy(self):
+        assert energy_joules(100.0, 60.0) == 6000.0
+
+    def test_energy_negative_duration(self):
+        with pytest.raises(ValueError):
+            energy_joules(100.0, -1.0)

@@ -1,0 +1,178 @@
+"""Tests for the SVG plotting substrate and figure renderers."""
+
+import xml.dom.minidom
+
+import numpy as np
+import pytest
+
+from repro.viz import Chart, LinearScale, SvgDocument, nice_ticks
+from repro.viz.charts import pie_chart
+
+
+def valid_svg(text: str) -> bool:
+    xml.dom.minidom.parseString(text)
+    return text.startswith("<?xml") and "</svg>" in text
+
+
+class TestSvgDocument:
+    def test_empty_doc(self):
+        assert valid_svg(SvgDocument(100, 60).render())
+
+    def test_primitives(self):
+        doc = SvgDocument(200, 100)
+        doc.rect(0, 0, 200, 100, fill="#fff")
+        doc.line(0, 0, 200, 100)
+        doc.polyline([(0, 0), (10, 10), (20, 5)])
+        doc.polygon([(0, 0), (10, 0), (5, 10)], fill="#f00")
+        doc.circle(50, 50, 5)
+        doc.path("M 0 0 L 10 10", stroke="#000")
+        doc.text(10, 10, "hello <world> & co")
+        text = doc.render()
+        assert valid_svg(text)
+        assert "hello" in text and "&lt;world&gt;" in text
+
+    def test_rotated_text(self):
+        doc = SvgDocument(100, 100)
+        doc.text(50, 50, "ylabel", rotate=-90)
+        assert "rotate(-90" in doc.render()
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SvgDocument(0, 10)
+
+    def test_short_polyline_rejected(self):
+        with pytest.raises(ValueError):
+            SvgDocument(10, 10).polyline([(0, 0)])
+
+    def test_save(self, tmp_path):
+        doc = SvgDocument(50, 50)
+        path = tmp_path / "out.svg"
+        doc.save(path)
+        assert valid_svg(path.read_text())
+
+
+class TestScale:
+    def test_forward_mapping(self):
+        s = LinearScale(0, 10, 100, 200)
+        assert s(0) == 100.0
+        assert s(10) == 200.0
+        assert s(5) == 150.0
+
+    def test_inverted_pixels(self):
+        s = LinearScale(0, 1, 300, 0)  # y axis: up is smaller pixel
+        assert s(0) == 300.0 and s(1) == 0.0
+
+    def test_vectorized(self):
+        s = LinearScale(0, 10, 0, 100)
+        np.testing.assert_allclose(s(np.asarray([0.0, 5.0, 10.0])), [0, 50, 100])
+
+    def test_degenerate_domain(self):
+        s = LinearScale(5, 5, 0, 100)
+        assert np.isfinite(s(5))
+
+    def test_nice_ticks_cover_range(self):
+        ticks = nice_ticks(0.13, 9.7)
+        assert len(ticks) >= 2
+        assert ticks[0] >= 0.13 - 1e-9 and ticks[-1] <= 9.7 + 1e-9
+        steps = np.diff(ticks)
+        np.testing.assert_allclose(steps, steps[0])
+
+    def test_nice_ticks_bad_range(self):
+        with pytest.raises(ValueError):
+            nice_ticks(float("nan"), 1.0)
+
+
+class TestChart:
+    def test_line_chart(self):
+        chart = Chart(title="t", xlabel="x", ylabel="y")
+        chart.line([0, 1, 2], [1.0, 3.0, 2.0], label="series")
+        assert valid_svg(chart.render())
+
+    def test_cdf_chart(self, rng):
+        chart = Chart()
+        chart.cdf(rng.random(50), label="cdf")
+        assert valid_svg(chart.render())
+
+    def test_histogram_chart(self, rng):
+        from repro.stats import histogram_pdf
+
+        pdf = histogram_pdf(rng.normal(size=200))
+        chart = Chart()
+        chart.histogram(pdf.edges, pdf.density)
+        assert valid_svg(chart.render())
+
+    def test_area_and_vline(self):
+        chart = Chart()
+        chart.area([0, 1, 2], [0.5, 0.8, 0.6], label="used")
+        chart.vline(1.0, label="marker")
+        assert valid_svg(chart.render())
+
+    def test_grouped_bars(self):
+        chart = Chart()
+        chart.grouped_bars(
+            ["a", "b"], {"g1": [1.0, 2.0], "g2": [1.5, 0.5]},
+            errors={"g1": [0.1, 0.2]},
+        )
+        assert valid_svg(chart.render())
+
+    def test_grouped_bars_validation(self):
+        chart = Chart()
+        with pytest.raises(ValueError):
+            chart.grouped_bars(["a"], {"g": [1.0, 2.0]})
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError, match="no data"):
+            Chart().render()
+
+    def test_histogram_edge_mismatch(self):
+        with pytest.raises(ValueError):
+            Chart().histogram([0, 1], [1.0, 2.0])
+
+    def test_save(self, tmp_path):
+        chart = Chart()
+        chart.line([0, 1], [0, 1])
+        chart.save(tmp_path / "c.svg")
+        assert (tmp_path / "c.svg").exists()
+
+
+class TestPieChart:
+    def test_basic(self):
+        svg = pie_chart(["a", "b", "c"], [0.5, 0.3, 0.2], title="pie")
+        assert valid_svg(svg)
+
+    def test_normalizes(self):
+        assert valid_svg(pie_chart(["a", "b"], [2.0, 2.0]))
+
+    def test_single_full_slice(self):
+        assert valid_svg(pie_chart(["a"], [1.0]))
+
+    def test_zero_slice_skipped(self):
+        assert valid_svg(pie_chart(["a", "b"], [1.0, 0.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pie_chart(["a"], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            pie_chart(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            pie_chart(["a", "b"], [0.0, 0.0])
+
+
+class TestFigureRenderers:
+    def test_render_all(self, emmy_small, meggie_small, tmp_path):
+        from repro.viz import render_all_figures
+
+        paths = render_all_figures(
+            {"emmy": emmy_small, "meggie": meggie_small}, tmp_path, n_repeats=2
+        )
+        assert len(paths) >= 25
+        names = {p.name for p in paths}
+        assert "fig04_apps_cross_system.svg" in names
+        for p in paths:
+            assert valid_svg(p.read_text())
+
+    def test_single_system_skips_fig4(self, emmy_small, tmp_path):
+        from repro.viz import render_all_figures
+
+        paths = render_all_figures({"emmy": emmy_small}, tmp_path, n_repeats=2)
+        assert not any("fig04" in p.name for p in paths)

@@ -1,0 +1,73 @@
+"""Tests for the generative-mechanism ablation knobs."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import WorkloadError
+from repro.workload.phases import make_profile
+from repro.workload.spatial import make_spatial_model
+
+SCALE = dict(num_nodes=32, num_users=10, horizon_s=4 * 86400, max_traces=30)
+
+
+class TestProfileModes:
+    def test_flat_mode_only_flat(self, rng):
+        kinds = {make_profile(0.8, rng, mode="flat").kind for _ in range(100)}
+        assert kinds == {"flat"}
+
+    def test_burst_only_mode(self, rng):
+        kinds = {make_profile(0.2, rng, mode="burst-only").kind for _ in range(100)}
+        assert kinds == {"burst"}
+
+    def test_unknown_mode(self, rng):
+        with pytest.raises(WorkloadError, match="unknown profile mode"):
+            make_profile(0.5, rng, mode="sawtooth")
+
+
+class TestSpatialScale:
+    def test_zero_scale_removes_imbalance(self, rng):
+        model = make_spatial_model(0.8, rng, scale=0.0)
+        assert model.static_sigma == 0.0
+        assert model.dynamic_sigma == 0.0
+        assert model.event_prob == 0.0
+
+    def test_scale_monotone(self, rng):
+        small = np.mean([make_spatial_model(0.5, rng, scale=0.5).static_sigma
+                         for _ in range(100)])
+        big = np.mean([make_spatial_model(0.5, rng, scale=1.5).static_sigma
+                       for _ in range(100)])
+        assert big > small
+
+    def test_negative_scale_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            make_spatial_model(0.5, rng, scale=-1.0)
+
+
+class TestPipelineKnobs:
+    def test_flat_mode_collapses_temporal_variance(self):
+        default = repro.generate_dataset("emmy", seed=6, **SCALE)
+        flat = repro.generate_dataset(
+            "emmy", seed=6, **SCALE, params_overrides={"temporal_mode": "flat"}
+        )
+        t_default = repro.temporal_summary(default)
+        t_flat = repro.temporal_summary(flat)
+        assert t_flat.mean_temporal_cov < t_default.mean_temporal_cov
+
+    def test_zero_variability_and_imbalance(self):
+        ds = repro.generate_dataset(
+            "emmy", seed=6, **SCALE,
+            params_overrides={"spatial_scale": 0.0}, variability_sigma=0.0,
+        )
+        s = repro.spatial_summary(ds)
+        # Only RAPL measurement noise remains.
+        assert s.mean_spread_fraction < 0.06
+        assert s.frac_jobs_energy_imbalance_over_15pct == 0.0
+
+    def test_overrides_dont_change_schema(self):
+        from repro.telemetry.schema import validate_jobs
+
+        ds = repro.generate_dataset(
+            "emmy", seed=6, **SCALE, params_overrides={"temporal_mode": "flat"}
+        )
+        validate_jobs(ds.jobs)

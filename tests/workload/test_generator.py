@@ -1,0 +1,125 @@
+"""Tests for the workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import DAY
+from repro.workload import WorkloadGenerator, default_params
+from repro.workload.generator import WALLTIME_MENU_H, snap_walltime_h
+
+
+@pytest.fixture(scope="module")
+def emmy_jobs():
+    params = default_params("emmy", num_users=25, horizon_s=8 * DAY)
+    return WorkloadGenerator(params, cluster_nodes=64, seed=11).generate()
+
+
+class TestDefaults:
+    def test_both_systems_have_defaults(self):
+        assert default_params("emmy").system == "emmy"
+        assert default_params("MEGGIE").system == "meggie"
+
+    def test_unknown_system(self):
+        with pytest.raises(WorkloadError):
+            default_params("frontier")
+
+    def test_overrides(self):
+        p = default_params("emmy", num_users=10, horizon_s=2 * DAY)
+        assert p.num_users == 10 and p.horizon_s == 2 * DAY
+
+    def test_emmy_stronger_length_coupling(self):
+        """Table 2: Emmy couples power to length, Meggie to size.
+
+        Meggie's coupling is explicit (a_size); Emmy's length coupling is
+        partly structural — its debug/side jobs are short (low
+        debug_wall_hi_h), which ties low power to short runtimes.
+        """
+        emmy, meggie = default_params("emmy"), default_params("meggie")
+        assert meggie.a_size > emmy.a_size
+        assert emmy.debug_wall_hi_h < meggie.debug_wall_hi_h
+
+    def test_validation(self):
+        from dataclasses import replace
+
+        with pytest.raises(WorkloadError):
+            replace(default_params("emmy"), num_users=1)
+        with pytest.raises(WorkloadError):
+            replace(default_params("emmy"), target_offered_load=0.0)
+
+
+class TestSnap:
+    def test_snaps_to_menu(self):
+        assert snap_walltime_h(3.7) in WALLTIME_MENU_H
+        assert snap_walltime_h(23.0) == 24.0
+        assert snap_walltime_h(0.1) == 0.25
+
+
+class TestGeneration:
+    def test_jobs_sorted_and_ids_dense(self, emmy_jobs):
+        submits = [j.submit_s for j in emmy_jobs]
+        assert submits == sorted(submits)
+        assert [j.job_id for j in emmy_jobs] == list(range(len(emmy_jobs)))
+
+    def test_geometry_valid(self, emmy_jobs):
+        for j in emmy_jobs:
+            assert 1 <= j.nodes <= 64 // 4
+            assert 180 <= j.runtime_s <= j.req_walltime_s
+            assert 0 <= j.submit_s
+            assert 0.2 <= j.power_fraction <= 0.99
+
+    def test_offered_load_near_target(self, emmy_jobs):
+        params = default_params("emmy", num_users=25, horizon_s=8 * DAY)
+        work = sum(j.node_seconds for j in emmy_jobs)
+        offered = work / (64 * params.horizon_s)
+        # Runtime realizations add variance around the expectation-based
+        # calibration; the band is deliberately loose.
+        assert 0.6 * params.target_offered_load < offered < 1.4 * params.target_offered_load
+
+    def test_classes_repeat(self, emmy_jobs):
+        from collections import Counter
+
+        counts = Counter(j.class_id for j in emmy_jobs)
+        assert max(counts.values()) >= 5  # production classes repeat
+
+    def test_instances_share_configuration(self, emmy_jobs):
+        by_class = {}
+        for j in emmy_jobs:
+            by_class.setdefault(j.class_id, []).append(j)
+        for instances in by_class.values():
+            assert len({(j.nodes, j.req_walltime_s, j.user_id, j.app) for j in instances}) == 1
+
+    def test_determinism(self):
+        params = default_params("emmy", num_users=10, horizon_s=3 * DAY)
+        a = WorkloadGenerator(params, 32, seed=5).generate()
+        b = WorkloadGenerator(params, 32, seed=5).generate()
+        assert len(a) == len(b)
+        assert all(
+            x.submit_s == y.submit_s and x.power_fraction == y.power_fraction
+            for x, y in zip(a, b)
+        )
+
+    def test_different_seeds_differ(self):
+        params = default_params("emmy", num_users=10, horizon_s=3 * DAY)
+        a = WorkloadGenerator(params, 32, seed=5).generate()
+        b = WorkloadGenerator(params, 32, seed=6).generate()
+        assert [j.submit_s for j in a] != [j.submit_s for j in b]
+
+    def test_debug_jobs_small_and_low_power(self, emmy_jobs):
+        debug = [j for j in emmy_jobs if j.is_debug]
+        production = [j for j in emmy_jobs if not j.is_debug]
+        if debug and production:
+            assert np.mean([j.nodes for j in debug]) <= np.mean(
+                [j.nodes for j in production]
+            )
+            assert np.mean([j.power_fraction for j in debug]) < np.mean(
+                [j.power_fraction for j in production]
+            )
+
+    def test_walltimes_on_menu(self, emmy_jobs):
+        for j in emmy_jobs:
+            assert j.req_walltime_s / 3600 in WALLTIME_MENU_H
+
+    def test_bad_cluster_nodes(self):
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(default_params("emmy"), 0)

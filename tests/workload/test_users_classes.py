@@ -1,0 +1,171 @@
+"""Tests for the user population, job classes, arrivals, and applications."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import DAY
+from repro.workload import (
+    ArrivalProcess,
+    CATALOG,
+    JobClass,
+    UserPopulation,
+    app_names,
+    get_app,
+)
+from repro.workload.applications import KEY_APPS
+from repro.workload.phases import TemporalProfile
+from repro.workload.spatial import SpatialModel
+
+
+class TestApplications:
+    def test_catalog_shares_sum_to_one(self):
+        assert sum(app.share for app in CATALOG) == pytest.approx(1.0)
+
+    def test_all_apps_cover_both_systems(self):
+        for app in CATALOG:
+            assert {"emmy", "meggie"} <= set(app.power_fraction)
+
+    def test_every_app_draws_less_on_meggie_in_watts(self):
+        """Fig 4: absolute per-node power is lower on Meggie for key apps."""
+        from repro.cluster import EMMY, MEGGIE
+
+        for name in KEY_APPS:
+            app = get_app(name)
+            emmy_w = app.fraction_on("emmy") * EMMY.node_tdp_watts
+            meggie_w = app.fraction_on("meggie") * MEGGIE.node_tdp_watts
+            assert meggie_w < emmy_w, name
+
+    def test_ranking_flip_md0_vs_fastest(self):
+        """Fig 4's headline: MD-0 > FASTEST on Emmy but not on Meggie."""
+        md0, fastest = get_app("md0"), get_app("fastest")
+        assert md0.fraction_on("emmy") > fastest.fraction_on("emmy")
+        assert md0.fraction_on("meggie") < fastest.fraction_on("meggie")
+
+    def test_lookup(self):
+        assert get_app("gromacs").domain == "md"
+        with pytest.raises(WorkloadError):
+            get_app("hpl")
+        assert "misc" in app_names()
+
+
+class TestUserPopulation:
+    def test_sizes_and_ids(self, rng):
+        pop = UserPopulation(50, rng)
+        assert len(pop) == 50
+        ids = [u.user_id for u in pop]
+        assert len(set(ids)) == 50
+
+    def test_scales_sorted_heaviest_first(self, rng):
+        pop = UserPopulation(40, rng)
+        scales = pop.scales
+        assert np.all(np.diff(scales) <= 0)
+        assert scales.max() <= 300.0
+
+    def test_portfolios_non_empty(self, rng):
+        for user in UserPopulation(30, rng):
+            assert len(user.apps) >= 1
+            assert user.num_classes >= 3
+
+    def test_diverse_users_exist(self, rng):
+        pop = UserPopulation(60, rng, diverse_fraction=1.0)
+        assert all(len(u.apps) >= 3 for u in pop)
+        assert all("misc" in u.apps for u in pop)
+
+    def test_by_id(self, rng):
+        pop = UserPopulation(10, rng)
+        assert pop.by_id("u0003").user_id == "u0003"
+        with pytest.raises(WorkloadError):
+            pop.by_id("u9999")
+
+    def test_too_small(self, rng):
+        with pytest.raises(WorkloadError):
+            UserPopulation(1, rng)
+
+
+def make_class(**overrides) -> JobClass:
+    defaults = dict(
+        class_id=0,
+        user_id="u0001",
+        app="gromacs",
+        system="emmy",
+        nodes=4,
+        req_walltime_s=3600,
+        power_fraction=0.7,
+        within_sigma=0.03,
+        profile=TemporalProfile(kind="flat"),
+        spatial=SpatialModel(static_sigma=0.03),
+        n_instances=5,
+    )
+    defaults.update(overrides)
+    return JobClass(**defaults)
+
+
+class TestJobClass:
+    def test_runtime_respects_walltime(self, rng):
+        cls = make_class()
+        for _ in range(100):
+            runtime = cls.sample_runtime(rng)
+            assert 180 <= runtime <= cls.req_walltime_s
+
+    def test_limit_hits_occur(self, rng):
+        cls = make_class(limit_hit_prob=0.5, req_walltime_s=7200)
+        runtimes = [cls.sample_runtime(rng) for _ in range(300)]
+        assert runtimes.count(7200) > 50
+
+    def test_power_fraction_noise_small(self, rng):
+        cls = make_class()
+        fracs = np.asarray([cls.sample_power_fraction(rng) for _ in range(500)])
+        assert abs(fracs.mean() - 0.7) < 0.02
+        assert fracs.std() / fracs.mean() < 0.06
+
+    def test_expected_runtime_between_bounds(self):
+        cls = make_class()
+        assert 0 < cls.expected_runtime_s <= cls.req_walltime_s
+
+    def test_expected_work(self):
+        cls = make_class(nodes=2, n_instances=3)
+        assert cls.expected_work_node_seconds == pytest.approx(
+            3 * 2 * cls.expected_runtime_s
+        )
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_class(nodes=0)
+        with pytest.raises(WorkloadError):
+            make_class(power_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            make_class(req_walltime_s=30)
+
+
+class TestArrivals:
+    def test_warp_monotone_and_bounded(self, rng):
+        proc = ArrivalProcess(horizon_s=30 * DAY)
+        q = np.linspace(0, 1, 100)
+        t = proc.warp(q)
+        assert np.all(np.diff(t) >= 0)
+        assert t[0] == 0.0 and t[-1] == pytest.approx(30 * DAY)
+
+    def test_holiday_dip_reduces_density(self, rng):
+        horizon = 100 * DAY
+        proc = ArrivalProcess(
+            horizon_s=horizon, holiday=(0.4 * horizon, 0.5 * horizon, 0.9)
+        )
+        t = proc.warp(np.linspace(0, 1, 20000))
+        in_holiday = np.mean((t >= 0.4 * horizon) & (t < 0.5 * horizon))
+        assert in_holiday < 0.05  # well below the 10% of an even spread
+
+    def test_campaign_quantiles_clustered(self, rng):
+        proc = ArrivalProcess(horizon_s=DAY)
+        q = proc.campaign_quantiles(200, rng, spread=0.05)
+        assert np.all((q >= 0) & (q <= 1))
+        assert q.std() < 0.15
+
+    def test_invalid_quantiles(self):
+        proc = ArrivalProcess(horizon_s=DAY)
+        with pytest.raises(WorkloadError):
+            proc.warp([1.5])
+
+    def test_invalid_horizon(self):
+        with pytest.raises(WorkloadError):
+            ArrivalProcess(horizon_s=0)
