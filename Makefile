@@ -1,0 +1,23 @@
+# Developer entry points. PYTHONPATH=src keeps every target working in
+# environments without an editable install.
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke docs-check pipeline clean-cache all
+
+all: test docs-check
+
+test:                ## tier-1 suite (unit + property + integration)
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:         ## one cheap benchmark end-to-end (cache-backed fixtures)
+	$(PYTHON) -m pytest benchmarks/bench_table2_correlation.py -q
+
+docs-check:          ## every public symbol has a docstring and an API.md entry
+	$(PYTHON) tools/docs_check.py
+
+pipeline:            ## build both paper-scale datasets through the cache
+	$(PYTHON) -m repro pipeline run --both-systems --workers 2
+
+clean-cache:         ## drop the benchmark artifact cache
+	$(PYTHON) -m repro pipeline clean --all --cache-dir benchmarks/.cache

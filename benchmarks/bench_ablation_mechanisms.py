@@ -12,7 +12,7 @@ and only that finding — collapses:
   becomes impossible (high σ_t forces high above-mean time).
 """
 
-from conftest import BENCH_SEED, fmt_pct
+from conftest import cached_dataset, fmt_pct
 
 import repro
 
@@ -20,7 +20,7 @@ SCALE = dict(num_nodes=200, num_users=80, horizon_s=40 * 86400, max_traces=500)
 
 
 def _dataset(**kwargs):
-    return repro.generate_dataset("emmy", seed=BENCH_SEED, **SCALE, **kwargs)
+    return cached_dataset("emmy", **SCALE, **kwargs)
 
 
 def test_ablation_mechanisms(benchmark, report):

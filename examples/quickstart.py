@@ -1,8 +1,11 @@
 #!/usr/bin/env python
 """Quickstart: generate a scaled-down Emmy trace and tour every analysis.
 
-Runs in a few seconds. For the paper-scale reproduction of each figure
-and table, see the ``benchmarks/`` harness.
+Runs in a few seconds the first time; repeat runs with the same seed
+load the trace from the :mod:`repro.pipeline` artifact cache in
+milliseconds. For the paper-scale reproduction of each figure and
+table, see the ``benchmarks/`` harness or
+``python -m repro pipeline run-all``.
 
 Usage::
 
@@ -18,8 +21,10 @@ def main() -> None:
     seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
 
     # A 1/8-scale Emmy over two weeks; same generative model as the full
-    # configuration, fewer nodes and users.
-    dataset = repro.generate_dataset(
+    # configuration, fewer nodes and users. build_dataset is the cached
+    # drop-in for generate_dataset — byte-identical output, warm reruns
+    # come straight from the on-disk artifact cache.
+    dataset = repro.build_dataset(
         "emmy",
         seed=seed,
         num_nodes=70,

@@ -12,7 +12,10 @@ The package has four layers:
    figure/table.
 3. **Policies** — :mod:`repro.policy`, the paper's implications turned
    into simulators (power capping, over-provisioning, pricing).
-4. **Harness** — ``benchmarks/`` regenerate every figure/table;
+4. **Pipeline** — :mod:`repro.pipeline`, a staged experiment runner
+   with a content-addressed artifact cache and multiprocessing fan-out
+   (``python -m repro pipeline run|run-all|status|clean``).
+5. **Harness** — ``benchmarks/`` regenerate every figure/table;
    ``examples/`` show the public API.
 
 Quickstart
@@ -42,6 +45,13 @@ from repro.analysis import (
 )
 from repro.cluster import EMMY, MEGGIE, Cluster, SystemSpec, get_spec
 from repro.frames import Table
+from repro.pipeline import (
+    ArtifactCache,
+    RunManifest,
+    ShardConfig,
+    build_dataset,
+    run_pipeline,
+)
 from repro.telemetry import JobDataset, generate_dataset
 from repro.workload import WorkloadGenerator, default_params
 
@@ -58,6 +68,12 @@ __all__ = [
     "default_params",
     "JobDataset",
     "generate_dataset",
+    # pipeline
+    "ArtifactCache",
+    "RunManifest",
+    "ShardConfig",
+    "build_dataset",
+    "run_pipeline",
     # analyses
     "system_utilization",
     "power_utilization",

@@ -8,6 +8,9 @@ Subcommands
                 and print paper-style summaries.
 ``predict``   — run the Fig 14/15 prediction evaluation.
 ``specs``     — print Table 1.
+``pipeline``  — the cached, parallel experiment runner
+                (``run`` / ``run-all`` / ``status`` / ``clean``); see
+                docs/PIPELINE.md.
 """
 
 from __future__ import annotations
@@ -17,6 +20,8 @@ import sys
 from pathlib import Path
 
 import numpy as np
+
+from repro.errors import PipelineError
 
 __all__ = ["main", "build_parser"]
 
@@ -65,6 +70,56 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--no-prediction", action="store_true")
 
     sub.add_parser("specs", help="print the Table 1 system specifications")
+
+    pipe = sub.add_parser(
+        "pipeline",
+        help="cached, parallel experiment pipeline (see docs/PIPELINE.md)",
+    )
+    psub = pipe.add_subparsers(dest="pipeline_command", required=True)
+
+    def add_cache_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", type=Path, default=None,
+                       help="artifact cache root (default: $REPRO_CACHE_DIR "
+                       "or ~/.cache/repro-pipeline)")
+
+    prun = psub.add_parser("run", help="build dataset artifacts through the cache")
+    add_scale_args(prun)
+    add_cache_arg(prun)
+    prun.add_argument("--seeds", type=int, nargs="+", default=None,
+                      help="one shard per seed (default: just --seed)")
+    prun.add_argument("--both-systems", action="store_true",
+                      help="build emmy AND meggie shards")
+    prun.add_argument("--workers", type=int, default=1,
+                      help="process count for the shard fan-out")
+    prun.add_argument("--manifest", type=Path, default=None,
+                      help="also write the run manifest JSON here")
+    prun.add_argument("--force", action="store_true",
+                      help="recompute every stage even on cache hits")
+
+    pall = psub.add_parser(
+        "run-all",
+        help="regenerate every figure and report from cached artifacts",
+    )
+    add_scale_args(pall)
+    add_cache_arg(pall)
+    pall.add_argument("--out-dir", type=Path, required=True,
+                      help="output directory for figures and reports")
+    pall.add_argument("--workers", type=int, default=2)
+    pall.add_argument("--repeats", type=int, default=3,
+                      help="prediction repeats for figures/reports")
+    pall.add_argument("--manifest", type=Path, default=None)
+
+    pstat = psub.add_parser("status", help="list cached artifacts")
+    add_cache_arg(pstat)
+
+    pclean = psub.add_parser("clean", help="remove cached artifacts (targeted)")
+    add_cache_arg(pclean)
+    pclean.add_argument("--stage", choices=("workload", "schedule", "telemetry", "dataset"),
+                        default=None, help="only this stage's entries")
+    pclean.add_argument("--system", default=None, help="only this system's entries")
+    pclean.add_argument("--seed", type=int, default=None, help="only this seed's entries")
+    pclean.add_argument("--all", action="store_true",
+                        help="required to wipe the whole cache (no filters)")
     return parser
 
 
@@ -197,8 +252,157 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pipeline_shards(args: argparse.Namespace) -> list:
+    from repro.pipeline import ShardConfig
+
+    systems = [args.system]
+    if getattr(args, "both_systems", False):
+        systems = ["emmy", "meggie"]
+    seeds = getattr(args, "seeds", None) or [args.seed]
+    horizon = int(args.horizon_days * 86400) if args.horizon_days else None
+    return [
+        ShardConfig(
+            system=system, seed=seed, num_nodes=args.num_nodes,
+            num_users=args.num_users, horizon_s=horizon,
+            max_traces=args.max_traces,
+        )
+        for system in systems
+        for seed in seeds
+    ]
+
+
+def _print_manifest(manifest) -> None:
+    for shard in manifest.shards:
+        parts = []
+        for t in shard.stages:
+            if t.cached:
+                tag = "hit"
+            elif t.seconds > 0:
+                tag = f"{t.n_items / t.seconds:,.0f} items/s"
+            else:
+                tag = "built"
+            parts.append(f"{t.stage} {t.seconds:.2f}s ({tag})")
+        print(f"  {shard.config.label:16s} {shard.n_jobs:6d} jobs  " + "  ".join(parts))
+    hit = manifest.stages_cached
+    print(f"total {manifest.total_seconds:.2f}s, {manifest.workers} worker(s), "
+          f"{hit}/{manifest.stages_total} stage(s) from cache")
+
+
+def _cmd_pipeline_run(args: argparse.Namespace) -> int:
+    from repro.pipeline import run_pipeline
+
+    manifest = run_pipeline(
+        _pipeline_shards(args), cache_dir=args.cache_dir,
+        workers=args.workers, manifest_path=args.manifest, force=args.force,
+    )
+    _print_manifest(manifest)
+    print(f"manifest: {Path(manifest.cache_dir) / 'manifest-latest.json'}")
+    return 0
+
+
+def _cmd_pipeline_run_all(args: argparse.Namespace) -> int:
+    from repro.analysis import full_report
+    from repro.pipeline import build_dataset, run_pipeline
+    from repro.viz import render_all_figures
+
+    args.both_systems = True
+    args.seeds = None
+    manifest = run_pipeline(
+        _pipeline_shards(args), cache_dir=args.cache_dir,
+        workers=args.workers, manifest_path=args.manifest,
+    )
+    _print_manifest(manifest)
+
+    out_dir: Path = args.out_dir
+    out_dir.mkdir(parents=True, exist_ok=True)
+    horizon = int(args.horizon_days * 86400) if args.horizon_days else None
+    datasets = {
+        shard.config.system: build_dataset(
+            system=shard.config.system, seed=shard.config.seed,
+            num_nodes=args.num_nodes, num_users=args.num_users,
+            horizon_s=horizon, max_traces=args.max_traces,
+            cache_dir=args.cache_dir,
+        )
+        for shard in manifest.shards
+    }
+    figures = render_all_figures(datasets, out_dir / "figures", n_repeats=args.repeats)
+    print(f"wrote {len(figures)} figures to {out_dir / 'figures'}")
+    for system, ds in datasets.items():
+        report_path = out_dir / f"report_{system}.md"
+        report_path.write_text(full_report(ds, n_repeats=args.repeats))
+        print(f"wrote {report_path}")
+    return 0
+
+
+def _cmd_pipeline_status(args: argparse.Namespace) -> int:
+    from repro.pipeline import STAGES, ArtifactCache, default_cache_dir
+
+    cache = ArtifactCache(args.cache_dir or default_cache_dir())
+    entries = cache.entries()
+    print(f"cache: {cache.root}")
+    if not entries:
+        print("  (empty)")
+        return 0
+    for stage in STAGES:
+        stage_entries = [e for e in entries if e.stage == stage]
+        if not stage_entries:
+            continue
+        total_mb = sum(e.size_bytes for e in stage_entries) / 1e6
+        print(f"{stage}: {len(stage_entries)} entries, {total_mb:.1f} MB")
+        for e in stage_entries:
+            label = e.meta.get("label", "?")
+            n = e.meta.get("n_items", e.meta.get("n_jobs", "?"))
+            print(f"  {e.key[:12]}…  {label:16s} {n} items  "
+                  f"{e.size_bytes / 1e6:.1f} MB")
+    print(f"total: {cache.size_bytes() / 1e6:.1f} MB")
+    return 0
+
+
+def _cmd_pipeline_clean(args: argparse.Namespace) -> int:
+    from repro.pipeline import ArtifactCache, default_cache_dir
+
+    targeted = args.stage or args.system or args.seed is not None
+    if not targeted and not args.all:
+        print("error: pass --stage/--system/--seed to target entries, "
+              "or --all to wipe the cache", file=sys.stderr)
+        return 2
+    cache = ArtifactCache(args.cache_dir or default_cache_dir())
+    removed = cache.remove(stage=args.stage, system=args.system, seed=args.seed)
+    print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+          f"from {cache.root}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    if args.pipeline_command == "run":
+        return _cmd_pipeline_run(args)
+    if args.pipeline_command == "run-all":
+        return _cmd_pipeline_run_all(args)
+    if args.pipeline_command == "status":
+        return _cmd_pipeline_status(args)
+    if args.pipeline_command == "clean":
+        return _cmd_pipeline_clean(args)
+    raise AssertionError(f"unhandled pipeline command {args.pipeline_command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. `... status | head`); exit quietly the
+        # way a well-behaved unix tool does.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+
+
+def _dispatch(args) -> int:
     if args.command == "specs":
         return _cmd_specs()
     if args.command == "generate":
@@ -211,6 +415,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figures(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "pipeline":
+        return _cmd_pipeline(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -62,3 +62,11 @@ class AnalysisError(ReproError):
 
 class PolicyError(ReproError):
     """Invalid power-policy configuration."""
+
+
+class PipelineError(ReproError):
+    """Invalid pipeline-runner configuration or a failed shard."""
+
+
+class CacheError(PipelineError):
+    """A cache entry is missing, corrupt, or cannot be written."""

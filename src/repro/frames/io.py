@@ -10,6 +10,7 @@ from __future__ import annotations
 import csv
 import io
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -75,11 +76,30 @@ def _infer(cells: list[str]) -> np.ndarray:
     return np.asarray(cells, dtype=str)
 
 
+# Fixed zip member timestamp (the zip epoch). ``np.savez_compressed``
+# stamps members with the current time, which makes two writes of the
+# same table differ at the byte level; the pipeline's determinism
+# guarantee (serial == parallel, cold == warm) compares artifact bytes,
+# so NPZ writing pins the timestamp instead.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
 def write_npz(table: Table, path: str | os.PathLike) -> None:
-    """Write ``table`` to a compressed NPZ file preserving dtypes."""
-    arrays = {f"col::{n}": table[n] for n in table.column_names}
+    """Write ``table`` to a compressed NPZ file preserving dtypes.
+
+    Byte-deterministic: writing the same table twice produces identical
+    files (member order, contents, and timestamps are all fixed).
+    """
+    arrays = {f"col::{n}": np.ascontiguousarray(table[n]) for n in table.column_names}
     arrays["__order__"] = np.asarray(table.column_names, dtype=str)
-    np.savez_compressed(Path(path), **arrays)
+    with zipfile.ZipFile(Path(path), "w", zipfile.ZIP_DEFLATED) as zf:
+        for name, arr in arrays.items():
+            buf = io.BytesIO()
+            np.lib.format.write_array(buf, arr, allow_pickle=False)
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_DEFLATED
+            info.external_attr = 0o644 << 16
+            zf.writestr(info, buf.getvalue())
 
 
 def read_npz(path: str | os.PathLike) -> Table:

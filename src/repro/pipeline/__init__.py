@@ -1,0 +1,69 @@
+"""Cached, parallel experiment pipeline runner.
+
+The substrate every figure/table build shares: a staged experiment
+runner (``workload → schedule → telemetry → dataset``) with a
+content-addressed on-disk artifact cache and multiprocessing fan-out
+over independent (system, seed) shards.
+
+* :func:`build_dataset` — cached drop-in for
+  :func:`repro.telemetry.generate_dataset` (one shard, returns the
+  dataset).
+* :func:`run_pipeline` — build many shards, optionally in parallel;
+  returns a :class:`RunManifest` with per-stage wall time, throughput,
+  and cache-hit records.
+* :class:`ArtifactCache` — the content-addressed store
+  (``pipeline status`` / ``pipeline clean`` in the CLI).
+
+See docs/PIPELINE.md for the stage graph, cache layout, invalidation
+keys, parallelism model, and manifest schema; the CLI surface is
+``python -m repro pipeline run|run-all|status|clean``.
+"""
+
+from repro.pipeline.artifacts import load_dataset, save_dataset
+from repro.pipeline.cache import (
+    ArtifactCache,
+    CacheEntry,
+    CacheError,
+    canonical_json,
+    content_key,
+    default_cache_dir,
+)
+from repro.pipeline.runner import (
+    MANIFEST_NAME,
+    RunManifest,
+    build_dataset,
+    run_pipeline,
+)
+from repro.pipeline.stages import (
+    STAGE_FIELDS,
+    STAGE_VERSIONS,
+    STAGES,
+    ShardConfig,
+    ShardReport,
+    StageTiming,
+    run_shard,
+    stage_key,
+)
+
+__all__ = [
+    "STAGES",
+    "STAGE_FIELDS",
+    "STAGE_VERSIONS",
+    "MANIFEST_NAME",
+    "ArtifactCache",
+    "CacheEntry",
+    "CacheError",
+    "RunManifest",
+    "ShardConfig",
+    "ShardReport",
+    "StageTiming",
+    "build_dataset",
+    "canonical_json",
+    "content_key",
+    "default_cache_dir",
+    "load_dataset",
+    "run_pipeline",
+    "run_shard",
+    "save_dataset",
+    "stage_key",
+]

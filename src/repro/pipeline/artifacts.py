@@ -1,0 +1,117 @@
+"""The dataset stage's on-disk artifact: a build-once, analyze-many dir.
+
+A cached dataset is stored in the repository's *open-data* formats (the
+same schemas ``repro.telemetry.schema`` / ``samples_schema`` document
+for the paper's Zenodo-style release), not as an opaque pickle:
+
+========================  ====================================================
+file                      contents
+========================  ====================================================
+``jobs.npz``              job-level table (``JOB_COLUMNS`` schema)
+``samples.npz``           flat (job, node, minute) power samples of the
+                          instrumented subset (absent when there are none)
+``timeline.npz``          per-minute ``active_nodes`` / ``job_power_watts``
+``dataset.json``          system spec fields, horizon, trace order, counts
+========================  ====================================================
+
+Because every file is written with the byte-deterministic NPZ writer
+(:func:`repro.frames.write_npz`), two builds of the same configuration —
+serial or parallel, on any worker — commit byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.specs import SystemSpec
+from repro.errors import CacheError
+from repro.frames import Table, read_npz, write_npz
+from repro.telemetry.dataset import JobDataset
+from repro.telemetry.samples_schema import (
+    load_samples,
+    samples_table,
+    save_samples,
+    traces_from_samples,
+)
+from repro.telemetry.schema import load_jobs_npz, save_jobs_npz
+
+__all__ = ["DATASET_META_NAME", "save_dataset", "load_dataset"]
+
+DATASET_META_NAME = "dataset.json"
+
+_JOBS_NAME = "jobs.npz"
+_SAMPLES_NAME = "samples.npz"
+_TIMELINE_NAME = "timeline.npz"
+
+
+def save_dataset(dataset: JobDataset, out_dir: str | os.PathLike) -> dict:
+    """Write ``dataset`` into ``out_dir`` as the open-data artifact.
+
+    Returns the summary dict also stored in ``dataset.json``.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    save_jobs_npz(dataset.jobs, out_dir / _JOBS_NAME)
+    if dataset.traces:
+        save_samples(samples_table(dataset), out_dir / _SAMPLES_NAME)
+    write_npz(
+        Table(
+            {
+                "active_nodes": dataset.active_nodes,
+                "job_power_watts": dataset.job_power_watts,
+            }
+        ),
+        out_dir / _TIMELINE_NAME,
+    )
+    spec_fields = {
+        f: getattr(dataset.spec, f) for f in dataset.spec.__dataclass_fields__
+    }
+    meta = {
+        "system": dataset.spec.name,
+        "horizon_s": int(dataset.horizon_s),
+        "n_jobs": dataset.num_jobs,
+        "n_traces": len(dataset.traces),
+        "n_minutes": dataset.num_minutes,
+        "spec": spec_fields,
+        # Traces are keyed by job id; preserve the assembly (start-order)
+        # iteration order so a reloaded dataset is indistinguishable.
+        "trace_order": [int(k) for k in dataset.traces],
+    }
+    (out_dir / DATASET_META_NAME).write_text(json.dumps(meta, indent=2, sort_keys=True))
+    return meta
+
+
+def load_dataset(artifact_dir: str | os.PathLike) -> JobDataset:
+    """Rebuild a :class:`JobDataset` from a :func:`save_dataset` artifact."""
+    artifact_dir = Path(artifact_dir)
+    meta_path = artifact_dir / DATASET_META_NAME
+    if not meta_path.is_file():
+        raise CacheError(f"{artifact_dir} is not a dataset artifact (no dataset.json)")
+    meta = json.loads(meta_path.read_text())
+    spec_fields = dict(meta["spec"])
+    spec_fields["inflow_temperature_c"] = tuple(spec_fields["inflow_temperature_c"])
+    spec = SystemSpec(**spec_fields)
+
+    jobs = load_jobs_npz(artifact_dir / _JOBS_NAME)
+    timeline = read_npz(artifact_dir / _TIMELINE_NAME)
+
+    traces: dict[int, np.ndarray] = {}
+    allocations: dict[int, np.ndarray] = {}
+    samples_path = artifact_dir / _SAMPLES_NAME
+    if samples_path.is_file():
+        rebuilt, allocations = traces_from_samples(load_samples(samples_path), jobs)
+        traces = {jid: rebuilt[jid] for jid in meta["trace_order"]}
+
+    return JobDataset(
+        spec=spec,
+        jobs=jobs,
+        traces=traces,
+        horizon_s=int(meta["horizon_s"]),
+        active_nodes=timeline["active_nodes"],
+        job_power_watts=timeline["job_power_watts"],
+        trace_allocations=allocations,
+    )

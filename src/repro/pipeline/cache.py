@@ -1,0 +1,232 @@
+"""Content-addressed on-disk artifact cache.
+
+Every pipeline stage output is stored under
+``<root>/<stage>/<sha256-key>/`` where the key hashes the *complete
+configuration the stage depends on* (see
+:func:`repro.pipeline.stages.stage_key`). An entry is a directory
+holding the payload (``payload.pkl`` for intermediate stages, the
+open-data NPZ/JSON artifact files for the final dataset stage) plus a
+``meta.json`` sidecar describing what it is and how long it took to
+build.
+
+Commits are atomic: payloads are written into a temporary sibling
+directory and ``os.rename``-d into place, so concurrent workers racing
+on the same key cannot publish a half-written entry — the loser of the
+race simply discards its copy (both copies are byte-identical by
+construction).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import CacheError
+
+__all__ = [
+    "CacheError",
+    "CacheEntry",
+    "ArtifactCache",
+    "canonical_json",
+    "content_key",
+    "default_cache_dir",
+]
+
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+META_NAME = "meta.json"
+PAYLOAD_NAME = "payload.pkl"
+
+
+def default_cache_dir() -> Path:
+    """The cache root used when none is given.
+
+    ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-pipeline``.
+    """
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-pipeline"
+
+
+def _jsonable(obj: Any) -> Any:
+    # numpy scalars carry .item(); anything else unserializable is a bug
+    # in the caller's config, so let json raise.
+    if hasattr(obj, "item") and not isinstance(obj, (str, bytes)):
+        return obj.item()
+    raise TypeError(f"not canonically serializable: {type(obj).__name__}")
+
+
+def canonical_json(obj: Any) -> str:
+    """Whitespace-free, key-sorted JSON — the hashable form of a config."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=_jsonable)
+
+
+def content_key(payload: dict) -> str:
+    """SHA-256 over the canonical JSON of ``payload`` (hex digest)."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One committed cache entry: its address plus the meta sidecar."""
+
+    stage: str
+    key: str
+    path: Path
+    meta: dict
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-disk size of the entry's files."""
+        return sum(p.stat().st_size for p in self.path.iterdir() if p.is_file())
+
+
+class ArtifactCache:
+    """Content-addressed store of pipeline stage outputs.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily). Layout is
+        ``<root>/<stage>/<key>/{meta.json, payload...}``.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    # -- addressing ------------------------------------------------------
+
+    def entry_dir(self, stage: str, key: str) -> Path:
+        """Directory a (stage, key) entry lives in (may not exist yet)."""
+        return self.root / stage / key
+
+    def has(self, stage: str, key: str) -> bool:
+        """True if a committed entry exists for (stage, key)."""
+        return (self.entry_dir(stage, key) / META_NAME).is_file()
+
+    def load_meta(self, stage: str, key: str) -> dict:
+        """The meta.json of a committed entry."""
+        path = self.entry_dir(stage, key) / META_NAME
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            raise CacheError(f"no cache entry for {stage}/{key[:12]}…") from None
+
+    # -- commit / load ---------------------------------------------------
+
+    def _commit(self, stage: str, key: str, tmp: Path) -> Path:
+        final = self.entry_dir(stage, key)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.rename(tmp, final)
+        except OSError:
+            # Lost a race with another worker building the same key; the
+            # published entry is byte-identical, keep it.
+            shutil.rmtree(tmp, ignore_errors=True)
+        return final
+
+    def _tmp_dir(self) -> Path:
+        tmp = self.root / "tmp" / uuid.uuid4().hex
+        tmp.mkdir(parents=True)
+        return tmp
+
+    def _write_meta(self, where: Path, stage: str, key: str, meta: dict) -> dict:
+        full = {"stage": stage, "key": key, "created_unix": time.time(), **meta}
+        (where / META_NAME).write_text(json.dumps(full, indent=2, sort_keys=True))
+        return full
+
+    def store_pickle(self, stage: str, key: str, obj: Any, meta: dict) -> Path:
+        """Commit a pickled payload under (stage, key). Atomic."""
+        tmp = self._tmp_dir()
+        with (tmp / PAYLOAD_NAME).open("wb") as fh:
+            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        self._write_meta(tmp, stage, key, meta)
+        return self._commit(stage, key, tmp)
+
+    def load_pickle(self, stage: str, key: str) -> Any:
+        """Load a payload committed by :meth:`store_pickle`."""
+        path = self.entry_dir(stage, key) / PAYLOAD_NAME
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            raise CacheError(f"no cached payload for {stage}/{key[:12]}…") from None
+
+    def store_tree(
+        self, stage: str, key: str, build: Callable[[Path], dict], meta: dict
+    ) -> Path:
+        """Commit a multi-file artifact under (stage, key). Atomic.
+
+        ``build(tmp_dir)`` writes the artifact files into ``tmp_dir`` and
+        returns extra meta fields to merge into the sidecar.
+        """
+        tmp = self._tmp_dir()
+        extra = build(tmp) or {}
+        self._write_meta(tmp, stage, key, {**meta, **extra})
+        return self._commit(stage, key, tmp)
+
+    # -- inspection / cleaning -------------------------------------------
+
+    def entries(self, stage: str | None = None) -> list[CacheEntry]:
+        """All committed entries, sorted by (stage, key)."""
+        found: list[CacheEntry] = []
+        if stage is not None:
+            stages = [stage]
+        elif self.root.is_dir():
+            stages = sorted(
+                p.name for p in self.root.iterdir() if p.is_dir() and p.name != "tmp"
+            )
+        else:
+            stages = []
+        for s in stages:
+            stage_dir = self.root / s
+            if not stage_dir.is_dir():
+                continue
+            for entry in sorted(stage_dir.iterdir()):
+                meta_path = entry / META_NAME
+                if meta_path.is_file():
+                    found.append(
+                        CacheEntry(s, entry.name, entry, json.loads(meta_path.read_text()))
+                    )
+        return found
+
+    def remove(
+        self,
+        stage: str | None = None,
+        system: str | None = None,
+        seed: int | None = None,
+    ) -> int:
+        """Delete entries matching *all* given filters; returns the count.
+
+        With no filters, every entry is removed. Filtering on ``system``
+        and ``seed`` matches the shard identity recorded in each entry's
+        meta sidecar, so e.g. ``remove(system="emmy")`` leaves Meggie's
+        artifacts untouched.
+        """
+        removed = 0
+        for entry in self.entries(stage):
+            config = entry.meta.get("config", {})
+            if system is not None and config.get("system") != system:
+                continue
+            if seed is not None and config.get("seed") != seed:
+                continue
+            shutil.rmtree(entry.path)
+            removed += 1
+        # Drop now-empty stage directories so status output stays clean.
+        if self.root.is_dir():
+            for stage_dir in self.root.iterdir():
+                if stage_dir.is_dir() and not any(stage_dir.iterdir()):
+                    stage_dir.rmdir()
+        return removed
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all committed entries."""
+        return sum(e.size_bytes for e in self.entries())

@@ -10,16 +10,28 @@ a :class:`JobDataset` holding
   key applications (the paper logged these for one month), and
 * per-minute system timelines of active nodes and drawn power, feeding
   the Fig 1 / Fig 2 analyses.
+
+The pipeline is factored into the four stages :mod:`repro.pipeline`
+caches independently (see docs/PIPELINE.md):
+
+1. **workload** — :func:`build_inputs` + :meth:`WorkloadGenerator.generate`
+2. **schedule** — :func:`repro.scheduler.simulate`
+3. **telemetry** — :func:`sample_telemetry` (RAPL sampling, instrumented
+   traces)
+4. **dataset** — :func:`join_dataset` (accounting join + system timelines)
+
+:func:`assemble` remains the one-call combination of stages 3 + 4.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.cluster.specs import SystemSpec
+from repro.cluster.specs import SystemSpec, get_spec
 from repro.cluster.system import Cluster
+from repro.cluster.variability import VariabilityModel
 from repro.errors import TelemetryError
 from repro.frames import Table
 from repro.rng import RngFactory
@@ -29,9 +41,21 @@ from repro.telemetry.sampler import PowerSampler
 from repro.telemetry.trace import JobPowerTrace
 from repro.units import MINUTE
 from repro.workload.applications import KEY_APPS
-from repro.workload.generator import WorkloadGenerator, default_params
+from repro.workload.generator import (
+    WorkloadGenerator,
+    WorkloadParams,
+    default_params,
+)
 
-__all__ = ["JobDataset", "generate_dataset"]
+__all__ = [
+    "JobDataset",
+    "TelemetrySample",
+    "build_inputs",
+    "sample_telemetry",
+    "join_dataset",
+    "assemble",
+    "generate_dataset",
+]
 
 # RAPL floor of an allocated-but-unloaded or unallocated node, as used by
 # the node model (kept in sync with repro.cluster.node._IDLE_FRACTION).
@@ -103,6 +127,65 @@ class JobDataset:
         )
 
 
+@dataclass
+class TelemetrySample:
+    """Per-job sampled power aggregates plus the instrumented traces.
+
+    This is the output of the **telemetry** pipeline stage
+    (:func:`sample_telemetry`): everything the monitoring system
+    measured, before it is joined with the batch system's accounting
+    records by :func:`join_dataset`. All arrays are indexed by position
+    in the scheduled-job list they were sampled from.
+    """
+
+    pernode_power: np.ndarray  # mean watts per node over the runtime
+    power_sum: np.ndarray  # summed node watts (the job's draw while running)
+    energy: np.ndarray  # total joules over the runtime
+    instrumented: np.ndarray  # bool: has a time-resolved trace
+    is_debug: np.ndarray  # bool: debug / pre-post-processing job
+    traces: dict[int, JobPowerTrace]
+    trace_allocations: dict[int, np.ndarray]
+
+    def __post_init__(self) -> None:
+        n = len(self.pernode_power)
+        for name in ("power_sum", "energy", "instrumented", "is_debug"):
+            if len(getattr(self, name)) != n:
+                raise TelemetryError(f"telemetry array {name!r} has mismatched length")
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.pernode_power)
+
+
+def build_inputs(
+    system: str,
+    seed: int = 0,
+    num_nodes: int | None = None,
+    num_users: int | None = None,
+    horizon_s: int | None = None,
+    params_overrides: dict | None = None,
+    variability_sigma: float | None = None,
+) -> tuple[Cluster, WorkloadParams]:
+    """Construct the (cluster, workload params) pair the pipeline shares.
+
+    Every stage of the pipeline derives from these two objects plus the
+    seed; factoring their construction out guarantees the staged runner
+    (:mod:`repro.pipeline`) and the one-shot :func:`generate_dataset`
+    build byte-identical datasets for the same configuration.
+    """
+    if variability_sigma is None:
+        cluster = Cluster.from_name(system, seed=seed, num_nodes=num_nodes)
+    else:
+        cluster = Cluster(
+            get_spec(system), seed=seed, num_nodes=num_nodes,
+            variability=VariabilityModel(sigma=variability_sigma),
+        )
+    params = default_params(system, num_users=num_users, horizon_s=horizon_s)
+    if params_overrides:
+        params = replace(params, **params_overrides)
+    return cluster, params
+
+
 def generate_dataset(
     system: str = "emmy",
     seed: int = 0,
@@ -130,55 +213,49 @@ def generate_dataset(
         replace (ablation knobs like ``temporal_mode``/``spatial_scale``).
     variability_sigma:
         Override the manufacturing-variability sigma (0 disables it).
+
+    .. note::
+       :func:`repro.pipeline.build_dataset` is a drop-in replacement that
+       caches each stage on disk, so repeated builds of the same
+       configuration are near-instant.
     """
-    from dataclasses import replace as _replace
-
-    from repro.cluster.variability import VariabilityModel
-
-    if variability_sigma is None:
-        cluster = Cluster.from_name(system, seed=seed, num_nodes=num_nodes)
-    else:
-        from repro.cluster.specs import get_spec
-
-        cluster = Cluster(
-            get_spec(system), seed=seed, num_nodes=num_nodes,
-            variability=VariabilityModel(sigma=variability_sigma),
-        )
-    params = default_params(system, num_users=num_users, horizon_s=horizon_s)
-    if params_overrides:
-        params = _replace(params, **params_overrides)
+    cluster, params = build_inputs(
+        system, seed=seed, num_nodes=num_nodes, num_users=num_users,
+        horizon_s=horizon_s, params_overrides=params_overrides,
+        variability_sigma=variability_sigma,
+    )
     generator = WorkloadGenerator(params, cluster.num_nodes, seed=seed)
     specs = generator.generate()
     scheduled = simulate(specs, cluster.num_nodes, backfill_depth=backfill_depth)
     return assemble(cluster, scheduled, params.horizon_s, seed=seed, max_traces=max_traces)
 
 
-def assemble(
+def sample_telemetry(
     cluster: Cluster,
     scheduled: list[ScheduledJob],
     horizon_s: int,
     seed: int = 0,
     max_traces: int = 2000,
-) -> JobDataset:
-    """Join scheduling output with sampled power into a :class:`JobDataset`."""
+) -> TelemetrySample:
+    """The monitoring system's view of a scheduled job stream.
+
+    Samples RAPL aggregates for every job and full node×minute matrices
+    for an instrumented subset of key-app, multi-node, non-trivial-length
+    jobs inside a one-month window (the paper's time-resolved logging
+    period). Deterministic for a fixed ``(cluster, scheduled, seed)``.
+    """
     if not scheduled:
-        raise TelemetryError("no scheduled jobs to assemble")
+        raise TelemetryError("no scheduled jobs to sample")
     rngs = RngFactory(seed).child(f"telemetry.{cluster.name}")
     sampler = PowerSampler(cluster, rngs.get("aggregate"))
     trace_sampler = PowerSampler(cluster, rngs.get("traces"))
 
-    end_minute = max(j.end_s for j in scheduled) // MINUTE + 1
-    n_minutes = max(end_minute, int(np.ceil(horizon_s / MINUTE)))
-    active = np.zeros(n_minutes, dtype=np.int64)
-    job_power = np.zeros(n_minutes, dtype=float)
-
     pernode_power = np.empty(len(scheduled))
+    power_sum = np.empty(len(scheduled))
     energy = np.empty(len(scheduled))
     instrumented = np.zeros(len(scheduled), dtype=bool)
     is_debug = np.zeros(len(scheduled), dtype=bool)
 
-    # Instrument key-app, multi-node, non-trivial-length jobs inside a
-    # one-month window (the paper's time-resolved logging period).
     window_lo = 0.30 * horizon_s
     window_hi = min(horizon_s, window_lo + horizon_s / 5.0)
     traces: dict[int, JobPowerTrace] = {}
@@ -189,11 +266,9 @@ def assemble(
         spec = job.spec
         levels = sampler.sample_aggregate(job)
         pernode_power[i] = levels.mean()
+        power_sum[i] = levels.sum()
         energy[i] = levels.sum() * spec.runtime_s
         is_debug[i] = spec.is_debug
-        a, b = job.start_s // MINUTE, max(job.start_s // MINUTE + 1, job.end_s // MINUTE)
-        active[a:b] += spec.nodes
-        job_power[a:b] += levels.sum()
         if (
             len(traces) < max_traces
             and spec.app in key_apps
@@ -212,25 +287,79 @@ def assemble(
             trace_allocations[spec.job_id] = job.node_ids.copy()
             instrumented[i] = True
 
+    return TelemetrySample(
+        pernode_power=pernode_power,
+        power_sum=power_sum,
+        energy=energy,
+        instrumented=instrumented,
+        is_debug=is_debug,
+        traces=traces,
+        trace_allocations=trace_allocations,
+    )
+
+
+def join_dataset(
+    cluster: Cluster,
+    scheduled: list[ScheduledJob],
+    horizon_s: int,
+    sample: TelemetrySample,
+) -> JobDataset:
+    """Join accounting records with sampled power into a :class:`JobDataset`.
+
+    The **dataset** pipeline stage: builds the per-minute system
+    timelines from the schedule and the sampled per-job draw, then joins
+    the batch system's accounting table with the power aggregates.
+    Purely deterministic — all randomness lives in the earlier stages.
+    """
+    if not scheduled:
+        raise TelemetryError("no scheduled jobs to join")
+    if sample.num_jobs != len(scheduled):
+        raise TelemetryError(
+            f"telemetry covers {sample.num_jobs} jobs, schedule has {len(scheduled)}"
+        )
+    end_minute = max(j.end_s for j in scheduled) // MINUTE + 1
+    n_minutes = max(end_minute, int(np.ceil(horizon_s / MINUTE)))
+    active = np.zeros(n_minutes, dtype=np.int64)
+    job_power = np.zeros(n_minutes, dtype=float)
+    for i, job in enumerate(scheduled):
+        a = job.start_s // MINUTE
+        b = max(a + 1, job.end_s // MINUTE)
+        active[a:b] += job.spec.nodes
+        job_power[a:b] += sample.power_sum[i]
+
     if np.any(active > cluster.num_nodes):
         raise TelemetryError("scheduler over-allocated nodes (timeline check)")
 
     jobs = accounting_table(scheduled)
-    jobs = jobs.with_column("pernode_power_w", pernode_power)
-    jobs = jobs.with_column("energy_j", energy)
+    jobs = jobs.with_column("pernode_power_w", sample.pernode_power)
+    jobs = jobs.with_column("energy_j", sample.energy)
     jobs = jobs.with_column(
         "node_hours",
         jobs["nodes"].astype(float) * jobs["runtime_s"].astype(float) / 3600.0,
     )
-    jobs = jobs.with_column("is_debug", is_debug)
-    jobs = jobs.with_column("instrumented", instrumented)
+    jobs = jobs.with_column("is_debug", sample.is_debug)
+    jobs = jobs.with_column("instrumented", sample.instrumented)
 
     return JobDataset(
         spec=cluster.spec,
         jobs=jobs,
-        traces=traces,
+        traces=sample.traces,
         horizon_s=int(horizon_s),
         active_nodes=active,
         job_power_watts=job_power,
-        trace_allocations=trace_allocations,
+        trace_allocations=sample.trace_allocations,
     )
+
+
+def assemble(
+    cluster: Cluster,
+    scheduled: list[ScheduledJob],
+    horizon_s: int,
+    seed: int = 0,
+    max_traces: int = 2000,
+) -> JobDataset:
+    """Join scheduling output with sampled power into a :class:`JobDataset`."""
+    sample = sample_telemetry(
+        cluster, scheduled, horizon_s, seed=seed, max_traces=max_traces
+    )
+    return join_dataset(cluster, scheduled, horizon_s, sample)

@@ -95,6 +95,7 @@ def save_jobs_npz(jobs: Table, path: str | os.PathLike) -> None:
 
 
 def load_jobs_npz(path: str | os.PathLike) -> Table:
+    """Binary (exact-dtype) variant of :func:`load_jobs_csv`."""
     jobs = read_npz(Path(path))
     validate_jobs(jobs)
     return jobs

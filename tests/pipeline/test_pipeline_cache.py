@@ -1,0 +1,157 @@
+"""Cache correctness: keys, invalidation selectivity, targeted cleaning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CacheError, PipelineError
+from repro.pipeline import (
+    STAGES,
+    ArtifactCache,
+    ShardConfig,
+    canonical_json,
+    content_key,
+    stage_key,
+)
+
+TINY = dict(num_nodes=16, num_users=8, horizon_s=2 * 86400, max_traces=5)
+
+
+def keys_for(shard: ShardConfig) -> dict[str, str]:
+    return {stage: stage_key(shard, stage) for stage in STAGES}
+
+
+class TestContentKey:
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == canonical_json({"a": [2, 3], "b": 1})
+
+    def test_canonical_json_handles_numpy_scalars(self):
+        assert canonical_json({"x": np.int64(5)}) == canonical_json({"x": 5})
+
+    def test_canonical_json_rejects_unserializable(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+    def test_content_key_is_stable(self):
+        assert content_key({"a": 1}) == content_key({"a": 1})
+        assert content_key({"a": 1}) != content_key({"a": 2})
+        assert len(content_key({"a": 1})) == 64
+
+
+class TestShardConfig:
+    def test_overrides_normalized(self):
+        a = ShardConfig("emmy", params_overrides={"b": 1, "a": 2})
+        b = ShardConfig("emmy", params_overrides=(("a", 2), ("b", 1)))
+        assert a == b
+        assert a.overrides_dict == {"a": 2, "b": 1}
+
+    def test_round_trip(self):
+        shard = ShardConfig("meggie", seed=3, params_overrides={"spatial_scale": 0.0}, **TINY)
+        assert ShardConfig.from_dict(shard.to_dict()) == shard
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(PipelineError):
+            ShardConfig("")
+
+
+class TestKeySelectivity:
+    """Which config changes invalidate which stages (STAGE_FIELDS contract)."""
+
+    def test_same_config_same_keys(self):
+        assert keys_for(ShardConfig("emmy", seed=1, **TINY)) == keys_for(
+            ShardConfig("emmy", seed=1, **TINY)
+        )
+
+    def test_seed_invalidates_everything(self):
+        a, b = keys_for(ShardConfig("emmy", seed=1, **TINY)), keys_for(
+            ShardConfig("emmy", seed=2, **TINY)
+        )
+        assert all(a[s] != b[s] for s in STAGES)
+
+    def test_max_traces_keeps_workload_and_schedule(self):
+        base = dict(TINY)
+        a = keys_for(ShardConfig("emmy", seed=1, **base))
+        base["max_traces"] = 9
+        b = keys_for(ShardConfig("emmy", seed=1, **base))
+        assert a["workload"] == b["workload"]
+        assert a["schedule"] == b["schedule"]
+        assert a["telemetry"] != b["telemetry"]
+        assert a["dataset"] != b["dataset"]
+
+    def test_backfill_depth_keeps_workload_only(self):
+        a = keys_for(ShardConfig("emmy", seed=1, **TINY))
+        b = keys_for(ShardConfig("emmy", seed=1, backfill_depth=7, **TINY))
+        assert a["workload"] == b["workload"]
+        assert a["schedule"] != b["schedule"]
+        assert a["telemetry"] != b["telemetry"]
+        assert a["dataset"] != b["dataset"]
+
+    def test_variability_sigma_keeps_schedule(self):
+        a = keys_for(ShardConfig("emmy", seed=1, **TINY))
+        b = keys_for(ShardConfig("emmy", seed=1, variability_sigma=0.0, **TINY))
+        assert a["schedule"] == b["schedule"]
+        assert a["telemetry"] != b["telemetry"]
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(PipelineError):
+            stage_key(ShardConfig("emmy"), "render")
+
+
+class TestArtifactCache:
+    def test_pickle_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = content_key({"k": 1})
+        assert not cache.has("workload", key)
+        cache.store_pickle("workload", key, [1, 2, 3], {"n_items": 3})
+        assert cache.has("workload", key)
+        assert cache.load_pickle("workload", key) == [1, 2, 3]
+        assert cache.load_meta("workload", key)["n_items"] == 3
+
+    def test_missing_entry_raises(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(CacheError):
+            cache.load_pickle("workload", "0" * 64)
+        with pytest.raises(CacheError):
+            cache.load_meta("workload", "0" * 64)
+
+    def test_store_tree_merges_build_meta(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = content_key({"k": 2})
+
+        def build(tmp):
+            (tmp / "data.txt").write_text("hello")
+            return {"n_files": 1}
+
+        cache.store_tree("dataset", key, build, {"label": "x"})
+        assert (cache.entry_dir("dataset", key) / "data.txt").read_text() == "hello"
+        meta = cache.load_meta("dataset", key)
+        assert meta["n_files"] == 1 and meta["label"] == "x"
+
+    def test_entries_sorted_and_filtered(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(3):
+            cache.store_pickle("workload", content_key({"i": i}), i, {})
+        cache.store_pickle("schedule", content_key({"i": 0}), 0, {})
+        assert len(cache.entries()) == 4
+        assert len(cache.entries("workload")) == 3
+        keys = [e.key for e in cache.entries("workload")]
+        assert keys == sorted(keys)
+
+    def test_remove_filters_by_stage_system_seed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for system in ("emmy", "meggie"):
+            for seed in (1, 2):
+                meta = {"config": {"system": system, "seed": seed}}
+                cache.store_pickle("workload", content_key({"s": system, "n": seed}), 0, meta)
+                cache.store_pickle("schedule", content_key({"s": system, "n": seed}), 0, meta)
+        assert cache.remove(stage="workload", system="emmy") == 2
+        assert len(cache.entries("workload")) == 2  # meggie survives
+        assert len(cache.entries("schedule")) == 4  # other stage untouched
+        assert cache.remove(seed=1) == 3
+        assert cache.remove() == 3  # no filters: everything left
+        assert cache.entries() == []
+
+    def test_size_bytes_counts_committed_files(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.size_bytes() == 0
+        cache.store_pickle("workload", content_key({"z": 1}), list(range(100)), {})
+        assert cache.size_bytes() > 0

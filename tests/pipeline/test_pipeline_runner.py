@@ -1,0 +1,145 @@
+"""Runner behavior: parity, warm-cache speedup, parallel determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline import (
+    MANIFEST_NAME,
+    ArtifactCache,
+    RunManifest,
+    ShardConfig,
+    build_dataset,
+    load_dataset,
+    run_pipeline,
+    save_dataset,
+    stage_key,
+)
+from repro.telemetry import generate_dataset
+from repro.telemetry.schema import save_jobs_csv
+
+TINY = dict(num_nodes=16, num_users=8, horizon_s=2 * 86400, max_traces=5)
+
+SHARDS = [
+    ShardConfig(system, seed=seed, **TINY)
+    for system in ("emmy", "meggie")
+    for seed in (1, 2)
+]
+
+
+def assert_datasets_identical(a, b) -> None:
+    """Exact (bitwise) equality of every array the dataset carries."""
+    assert a.spec == b.spec
+    assert a.horizon_s == b.horizon_s
+    assert sorted(a.jobs.column_names) == sorted(b.jobs.column_names)
+    for col in a.jobs.column_names:
+        assert np.array_equal(a.jobs[col], b.jobs[col]), col
+    assert np.array_equal(a.active_nodes, b.active_nodes)
+    assert np.array_equal(a.job_power_watts, b.job_power_watts)
+    assert list(a.traces) == list(b.traces)
+    for jid in a.traces:
+        ta, tb = a.traces[jid], b.traces[jid]
+        assert (ta.job_id, ta.user_id, ta.app) == (tb.job_id, tb.user_id, tb.app)
+        assert np.array_equal(ta.matrix, tb.matrix), jid
+
+
+class TestBuildDataset:
+    def test_matches_generate_dataset_exactly(self, tmp_path):
+        direct = generate_dataset("emmy", seed=1, **TINY)
+        cached = build_dataset("emmy", seed=1, cache_dir=tmp_path, **TINY)
+        assert_datasets_identical(direct, cached)
+        # Second call is a cache hit and still identical.
+        warm = build_dataset("emmy", seed=1, cache_dir=tmp_path, **TINY)
+        assert_datasets_identical(direct, warm)
+
+    def test_partial_invalidation_reuses_schedule(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        build_dataset("emmy", seed=1, cache_dir=tmp_path, **TINY)
+        changed = dict(TINY, max_traces=3)
+        build_dataset("emmy", seed=1, cache_dir=tmp_path, **changed)
+        # workload/schedule shared; telemetry/dataset exist for both.
+        assert len(cache.entries("workload")) == 1
+        assert len(cache.entries("schedule")) == 1
+        assert len(cache.entries("telemetry")) == 2
+        assert len(cache.entries("dataset")) == 2
+
+
+class TestArtifactRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        dataset = generate_dataset("meggie", seed=2, **TINY)
+        meta = save_dataset(dataset, tmp_path / "art")
+        assert meta["n_jobs"] == dataset.num_jobs
+        reloaded = load_dataset(tmp_path / "art")
+        assert_datasets_identical(dataset, reloaded)
+
+
+class TestRunPipeline:
+    def test_empty_shards_rejected(self, tmp_path):
+        with pytest.raises(PipelineError):
+            run_pipeline([], cache_dir=tmp_path)
+
+    def test_bad_workers_rejected(self, tmp_path):
+        with pytest.raises(PipelineError):
+            run_pipeline(SHARDS, cache_dir=tmp_path, workers=0)
+
+    def test_warm_cache_at_least_5x_faster(self, tmp_path):
+        cold = run_pipeline(SHARDS[:2], cache_dir=tmp_path)
+        warm = run_pipeline(SHARDS[:2], cache_dir=tmp_path)
+        assert not cold.fully_cached
+        assert warm.fully_cached
+        assert warm.stages_cached == warm.stages_total
+        # The acceptance bar from the issue; in practice it is >100x.
+        assert warm.total_seconds * 5 <= cold.total_seconds
+
+    def test_manifest_round_trip(self, tmp_path):
+        manifest = run_pipeline(
+            SHARDS[:1], cache_dir=tmp_path / "c", manifest_path=tmp_path / "m.json"
+        )
+        assert (tmp_path / "c" / MANIFEST_NAME).is_file()
+        loaded = RunManifest.load(tmp_path / "m.json")
+        assert loaded.to_dict() == manifest.to_dict()
+        assert loaded.n_jobs == manifest.n_jobs > 0
+        report = loaded.shards[0]
+        assert [t.stage for t in report.stages] == [
+            "workload", "schedule", "telemetry", "dataset",
+        ]
+        assert all(t.n_items > 0 for t in report.stages)
+
+    def test_shards_deduplicated_and_dicts_accepted(self, tmp_path):
+        manifest = run_pipeline(
+            [SHARDS[0], SHARDS[0].to_dict()], cache_dir=tmp_path
+        )
+        assert len(manifest.shards) == 1
+
+
+class TestParallelDeterminism:
+    def test_serial_and_parallel_runs_are_byte_identical(self, tmp_path):
+        serial_root, parallel_root = tmp_path / "serial", tmp_path / "parallel"
+        serial = run_pipeline(SHARDS, cache_dir=serial_root, workers=1)
+        parallel = run_pipeline(SHARDS, cache_dir=parallel_root, workers=4)
+        assert parallel.workers == 4
+        assert [s.config for s in serial.shards] == [s.config for s in parallel.shards]
+
+        for shard in SHARDS:
+            key = stage_key(shard, "dataset")
+            a = ArtifactCache(serial_root).entry_dir("dataset", key)
+            b = ArtifactCache(parallel_root).entry_dir("dataset", key)
+            # Same artifact files, byte for byte (meta.json carries a
+            # wall-clock timestamp, so it is excluded by design).
+            names = sorted(p.name for p in a.iterdir() if p.name != "meta.json")
+            assert names == sorted(p.name for p in b.iterdir() if p.name != "meta.json")
+            assert "jobs.npz" in names and "dataset.json" in names
+            for name in names:
+                assert (a / name).read_bytes() == (b / name).read_bytes(), (
+                    f"{shard.label}/{name} differs between serial and parallel runs"
+                )
+
+        # CSV exports of the reloaded datasets match byte for byte too.
+        for shard in SHARDS[:1]:
+            key = stage_key(shard, "dataset")
+            for i, root in enumerate((serial_root, parallel_root)):
+                ds = load_dataset(ArtifactCache(root).entry_dir("dataset", key))
+                save_jobs_csv(ds.jobs, tmp_path / f"jobs{i}.csv")
+            assert (tmp_path / "jobs0.csv").read_bytes() == (
+                tmp_path / "jobs1.csv"
+            ).read_bytes()

@@ -68,3 +68,42 @@ class TestCommands:
         out = tmp_path / "figs"
         assert main(["figures", "--out-dir", str(out), "--repeats", "2", *SCALE]) == 0
         assert len(list(out.glob("*.svg"))) >= 10
+
+
+class TestPipelineCommands:
+    def test_run_status_clean(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+
+        assert main(["pipeline", "run", *SCALE, *cache]) == 0
+        out = capsys.readouterr().out
+        assert "emmy/seed1" in out and "dataset" in out
+
+        # Warm rerun reports every stage as a cache hit.
+        assert main(["pipeline", "run", *SCALE, *cache]) == 0
+        assert "hit" in capsys.readouterr().out
+
+        assert main(["pipeline", "status", *cache]) == 0
+        out = capsys.readouterr().out
+        assert "workload" in out and "dataset" in out
+
+        # Targeted clean: only the matching stage goes away.
+        assert main(["pipeline", "clean", "--stage", "workload", *cache]) == 0
+        assert main(["pipeline", "status", *cache]) == 0
+        out = capsys.readouterr().out
+        assert "workload" not in out and "dataset" in out
+
+    def test_clean_requires_filter_or_all(self, tmp_path, capsys):
+        assert main(["pipeline", "clean", "--cache-dir", str(tmp_path)]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_run_writes_manifest(self, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        assert main([
+            "pipeline", "run", *SCALE,
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(manifest),
+        ]) == 0
+        from repro.pipeline import RunManifest
+
+        loaded = RunManifest.load(manifest)
+        assert loaded.n_jobs > 0 and loaded.stages_total >= 4

