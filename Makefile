@@ -3,12 +3,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke docs-check pipeline clean-cache all
+.PHONY: test bench bench-check bench-smoke docs-check pipeline clean-cache all
 
 all: test docs-check
 
 test:                ## tier-1 suite (unit + property + integration)
 	$(PYTHON) -m pytest -x -q
+
+bench:               ## measure the hot path, rewrite BENCH_dataset.json
+	$(PYTHON) tools/perf_check.py --update
+
+bench-check:         ## CI gate: fail on >25% throughput regression
+	$(PYTHON) tools/perf_check.py --check
 
 bench-smoke:         ## one cheap benchmark end-to-end (cache-backed fixtures)
 	$(PYTHON) -m pytest benchmarks/bench_table2_correlation.py -q

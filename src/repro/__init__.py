@@ -18,6 +18,11 @@ The package has four layers:
 5. **Harness** — ``benchmarks/`` regenerate every figure/table;
    ``examples/`` show the public API.
 
+Every public symbol resolves lazily (PEP 562): ``import repro`` is
+near-free, and each name pays only for the layer it lives in on first
+access. CLI bookkeeping commands therefore skip the ~2 s scipy import
+entirely.
+
 Quickstart
 ----------
 >>> from repro import generate_dataset, per_node_power_distribution
@@ -29,31 +34,6 @@ True
 """
 
 from repro._version import __version__
-from repro.analysis import (
-    app_power_comparison,
-    cluster_variability,
-    concentration_analysis,
-    feature_power_correlations,
-    per_node_power_distribution,
-    power_utilization,
-    run_prediction,
-    spatial_summary,
-    split_analysis,
-    system_utilization,
-    temporal_summary,
-    user_power_variability,
-)
-from repro.cluster import EMMY, MEGGIE, Cluster, SystemSpec, get_spec
-from repro.frames import Table
-from repro.pipeline import (
-    ArtifactCache,
-    RunManifest,
-    ShardConfig,
-    build_dataset,
-    run_pipeline,
-)
-from repro.telemetry import JobDataset, generate_dataset
-from repro.workload import WorkloadGenerator, default_params
 
 __all__ = [
     "__version__",
@@ -88,3 +68,53 @@ __all__ = [
     "cluster_variability",
     "run_prediction",
 ]
+
+# Lazy attribute map (PEP 562): name -> defining module. Importing repro
+# stays light; each symbol pulls in its layer on first access.
+_LAZY_ATTRS = {
+    # substrates
+    "SystemSpec": "repro.cluster",
+    "EMMY": "repro.cluster",
+    "MEGGIE": "repro.cluster",
+    "get_spec": "repro.cluster",
+    "Cluster": "repro.cluster",
+    "Table": "repro.frames",
+    "WorkloadGenerator": "repro.workload",
+    "default_params": "repro.workload",
+    "JobDataset": "repro.telemetry",
+    "generate_dataset": "repro.telemetry",
+    # pipeline
+    "ArtifactCache": "repro.pipeline",
+    "RunManifest": "repro.pipeline",
+    "ShardConfig": "repro.pipeline",
+    "build_dataset": "repro.pipeline",
+    "run_pipeline": "repro.pipeline",
+    # analyses
+    "system_utilization": "repro.analysis",
+    "power_utilization": "repro.analysis",
+    "per_node_power_distribution": "repro.analysis",
+    "app_power_comparison": "repro.analysis",
+    "feature_power_correlations": "repro.analysis",
+    "split_analysis": "repro.analysis",
+    "temporal_summary": "repro.analysis",
+    "spatial_summary": "repro.analysis",
+    "concentration_analysis": "repro.analysis",
+    "user_power_variability": "repro.analysis",
+    "cluster_variability": "repro.analysis",
+    "run_prediction": "repro.analysis",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_ATTRS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache so later lookups skip this hook
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_ATTRS))

@@ -19,8 +19,6 @@ import argparse
 import sys
 from pathlib import Path
 
-import numpy as np
-
 from repro.errors import PipelineError
 
 __all__ = ["main", "build_parser"]
@@ -278,11 +276,15 @@ def _print_manifest(manifest) -> None:
             if t.cached:
                 tag = "hit"
             elif t.seconds > 0:
-                tag = f"{t.n_items / t.seconds:,.0f} items/s"
+                tag = f"{t.items_per_second:,.0f} jobs/s"
+                if t.n_traces:
+                    tag += f", {t.traces_per_second:,.0f} traces/s"
             else:
                 tag = "built"
             parts.append(f"{t.stage} {t.seconds:.2f}s ({tag})")
-        print(f"  {shard.config.label:16s} {shard.n_jobs:6d} jobs  " + "  ".join(parts))
+        rate = "" if shard.fully_cached else f"  [{shard.jobs_per_second:,.0f} jobs/s]"
+        print(f"  {shard.config.label:16s} {shard.n_jobs:6d} jobs  "
+              + "  ".join(parts) + rate)
     hit = manifest.stages_cached
     print(f"total {manifest.total_seconds:.2f}s, {manifest.workers} worker(s), "
           f"{hit}/{manifest.stages_total} stage(s) from cache")
@@ -352,8 +354,12 @@ def _cmd_pipeline_status(args: argparse.Namespace) -> int:
         for e in stage_entries:
             label = e.meta.get("label", "?")
             n = e.meta.get("n_items", e.meta.get("n_jobs", "?"))
+            secs = e.meta.get("seconds")
+            rate = ""
+            if secs and isinstance(n, (int, float)):
+                rate = f"  {n / secs:,.0f} items/s"
             print(f"  {e.key[:12]}…  {label:16s} {n} items  "
-                  f"{e.size_bytes / 1e6:.1f} MB")
+                  f"{e.size_bytes / 1e6:.1f} MB{rate}")
     print(f"total: {cache.size_bytes() / 1e6:.1f} MB")
     return 0
 

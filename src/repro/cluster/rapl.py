@@ -57,6 +57,12 @@ def average_to_minutes(signal: np.ndarray, seconds_per_step: float = 1.0) -> np.
     steps_per_minute = int(round(MINUTE / seconds_per_step))
     if steps_per_minute < 1:
         raise TelemetryError("seconds_per_step must be <= 60")
+    if steps_per_minute == 1:
+        # One step per minute: the mean of each single-sample window is
+        # the sample itself (x / 1.0 is exact), so skip the reshape and
+        # reduction. Copy to keep the fresh-output contract.
+        out = sig.copy()
+        return out[0] if squeeze else out
     n_nodes, n_steps = sig.shape
     n_minutes = int(np.ceil(n_steps / steps_per_minute))
     out = np.empty((n_nodes, n_minutes), dtype=float)

@@ -14,12 +14,18 @@ over independent (system, seed) shards.
 * :class:`ArtifactCache` — the content-addressed store
   (``pipeline status`` / ``pipeline clean`` in the CLI).
 
+Only the light bookkeeping surface (the cache and
+:mod:`repro.pipeline.config`) is imported eagerly; the execution surface
+(:func:`build_dataset`, :func:`run_pipeline`, :func:`run_shard`, the
+artifact serializers) loads on first attribute access via PEP 562, so
+``python -m repro pipeline status``/``clean`` never import numpy, scipy,
+or the simulation layers.
+
 See docs/PIPELINE.md for the stage graph, cache layout, invalidation
 keys, parallelism model, and manifest schema; the CLI surface is
 ``python -m repro pipeline run|run-all|status|clean``.
 """
 
-from repro.pipeline.artifacts import load_dataset, save_dataset
 from repro.pipeline.cache import (
     ArtifactCache,
     CacheEntry,
@@ -28,20 +34,13 @@ from repro.pipeline.cache import (
     content_key,
     default_cache_dir,
 )
-from repro.pipeline.runner import (
-    MANIFEST_NAME,
-    RunManifest,
-    build_dataset,
-    run_pipeline,
-)
-from repro.pipeline.stages import (
+from repro.pipeline.config import (
     STAGE_FIELDS,
     STAGE_VERSIONS,
     STAGES,
     ShardConfig,
     ShardReport,
     StageTiming,
-    run_shard,
     stage_key,
 )
 
@@ -67,3 +66,29 @@ __all__ = [
     "save_dataset",
     "stage_key",
 ]
+
+# Heavy symbols resolved lazily (PEP 562): name -> defining submodule.
+_LAZY_ATTRS = {
+    "MANIFEST_NAME": "repro.pipeline.runner",
+    "RunManifest": "repro.pipeline.runner",
+    "build_dataset": "repro.pipeline.runner",
+    "run_pipeline": "repro.pipeline.runner",
+    "run_shard": "repro.pipeline.stages",
+    "load_dataset": "repro.pipeline.artifacts",
+    "save_dataset": "repro.pipeline.artifacts",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_ATTRS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache so later lookups skip this hook
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_ATTRS))

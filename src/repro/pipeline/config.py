@@ -1,0 +1,235 @@
+"""Stage graph, shard configuration, cache keys, and timing records.
+
+This module is deliberately light — it imports neither numpy nor any
+simulation layer — so the CLI's bookkeeping subcommands
+(``pipeline status`` / ``pipeline clean``) and the PEP 562 lazy package
+surface can load it without paying for scipy or the engine.
+
+The pipeline runs four stages per (system, seed) shard::
+
+    workload ──▶ schedule ──▶ telemetry ──▶ dataset
+    (job stream) (placements)  (RAPL samples) (joined artifact)
+
+Each stage's cache key is a SHA-256 over the *subset* of the shard
+configuration that can change its output (``STAGE_FIELDS``) plus the
+stage-version counters of it and every upstream stage
+(``STAGE_VERSIONS`` — bump one when changing a stage's semantics to
+invalidate stale artifacts). Consequences:
+
+* changing ``max_traces`` re-runs only telemetry + dataset (the job
+  stream and placements are cache hits);
+* changing ``backfill_depth`` keeps the workload stage cached;
+* changing ``seed``, scale, or any workload knob misses everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from repro.errors import PipelineError
+from repro.pipeline.cache import content_key
+
+__all__ = [
+    "STAGES",
+    "STAGE_FIELDS",
+    "STAGE_VERSIONS",
+    "ShardConfig",
+    "StageTiming",
+    "ShardReport",
+    "stage_key",
+]
+
+STAGES: tuple[str, ...] = ("workload", "schedule", "telemetry", "dataset")
+
+# Bump a stage's version when its semantics change; every downstream key
+# incorporates the versions of its upstream stages too.
+STAGE_VERSIONS: dict[str, int] = {
+    "workload": 1,
+    "schedule": 1,
+    "telemetry": 1,
+    "dataset": 1,
+}
+
+_WORKLOAD_FIELDS = (
+    "system", "seed", "num_nodes", "num_users", "horizon_s", "params_overrides",
+)
+_SCHEDULE_FIELDS = _WORKLOAD_FIELDS + ("backfill_depth",)
+_TELEMETRY_FIELDS = _SCHEDULE_FIELDS + ("variability_sigma", "max_traces")
+
+# Which ShardConfig fields feed each stage's cache key.
+STAGE_FIELDS: dict[str, tuple[str, ...]] = {
+    "workload": _WORKLOAD_FIELDS,
+    "schedule": _SCHEDULE_FIELDS,
+    "telemetry": _TELEMETRY_FIELDS,
+    "dataset": _TELEMETRY_FIELDS,
+}
+
+_CACHE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """One (system, seed, scale) unit of pipeline work.
+
+    Mirrors the signature of
+    :func:`repro.telemetry.generate_dataset`; a shard built through the
+    pipeline is byte-identical to a dataset generated directly with the
+    same arguments.
+    """
+
+    system: str
+    seed: int = 0
+    num_nodes: int | None = None
+    num_users: int | None = None
+    horizon_s: int | None = None
+    max_traces: int = 2000
+    backfill_depth: int = 100
+    variability_sigma: float | None = None
+    # Workload ablation knobs; normalized to a sorted tuple of pairs so
+    # the config stays hashable and order-independent.
+    params_overrides: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.system:
+            raise PipelineError("shard needs a system name")
+        overrides = self.params_overrides
+        if isinstance(overrides, dict):
+            overrides = overrides.items()
+        normalized = tuple(sorted((str(k), v) for k, v in overrides))
+        object.__setattr__(self, "params_overrides", normalized)
+
+    @property
+    def overrides_dict(self) -> dict[str, Any]:
+        """``params_overrides`` as the dict ``generate_dataset`` expects."""
+        return dict(self.params_overrides)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable shard name, e.g. ``emmy/seed1``."""
+        return f"{self.system}/seed{self.seed}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (used for hashing, manifests, and workers)."""
+        out: dict[str, Any] = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["params_overrides"] = [list(pair) for pair in self.params_overrides]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardConfig":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        data["params_overrides"] = tuple(
+            (k, v) for k, v in data.get("params_overrides", [])
+        )
+        return cls(**data)
+
+
+def stage_key(shard: ShardConfig, stage: str) -> str:
+    """Content-address of one stage's output for one shard."""
+    if stage not in STAGES:
+        raise PipelineError(f"unknown stage {stage!r}; known: {list(STAGES)}")
+    upstream = STAGES[: STAGES.index(stage) + 1]
+    config = shard.to_dict()
+    return content_key(
+        {
+            "format": _CACHE_FORMAT,
+            "stage": stage,
+            "versions": {s: STAGE_VERSIONS[s] for s in upstream},
+            "config": {f: config[f] for f in STAGE_FIELDS[stage]},
+        }
+    )
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall time and throughput of one stage execution (or cache load)."""
+
+    stage: str
+    key: str
+    seconds: float
+    cached: bool
+    n_items: int  # jobs the stage produced/sampled/joined
+    n_traces: int = 0  # instrumented traces (telemetry/dataset stages)
+
+    @property
+    def items_per_second(self) -> float:
+        """Job throughput counter recorded in the run manifest."""
+        return self.n_items / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def traces_per_second(self) -> float:
+        """Trace throughput; 0.0 for stages that produce no traces."""
+        if self.n_traces == 0:
+            return 0.0
+        return self.n_traces / self.seconds if self.seconds > 0 else float("inf")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "key": self.key,
+            "seconds": self.seconds,
+            "cached": self.cached,
+            "n_items": self.n_items,
+            "n_traces": self.n_traces,
+            "items_per_second": round(self.items_per_second, 3),
+            "traces_per_second": round(self.traces_per_second, 3),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StageTiming":
+        # .get keeps manifests written before the throughput fields loadable.
+        return cls(
+            stage=data["stage"], key=data["key"], seconds=data["seconds"],
+            cached=data["cached"], n_items=data["n_items"],
+            n_traces=data.get("n_traces", 0),
+        )
+
+
+@dataclass
+class ShardReport:
+    """Per-stage outcome of one shard for the run manifest."""
+
+    config: ShardConfig
+    stages: list[StageTiming] = field(default_factory=list)
+    n_jobs: int = 0
+    n_traces: int = 0
+    dataset_key: str = ""
+
+    @property
+    def seconds(self) -> float:
+        """Total wall time across this shard's stages."""
+        return sum(t.seconds for t in self.stages)
+
+    @property
+    def jobs_per_second(self) -> float:
+        """End-to-end shard throughput (jobs over total stage wall time)."""
+        secs = self.seconds
+        return self.n_jobs / secs if secs > 0 else float("inf")
+
+    @property
+    def fully_cached(self) -> bool:
+        """True when every stage was served from the cache."""
+        return bool(self.stages) and all(t.cached for t in self.stages)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config.to_dict(),
+            "label": self.config.label,
+            "stages": [t.to_dict() for t in self.stages],
+            "n_jobs": self.n_jobs,
+            "n_traces": self.n_traces,
+            "dataset_key": self.dataset_key,
+            "seconds": round(self.seconds, 4),
+            "jobs_per_second": round(self.jobs_per_second, 3),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardReport":
+        return cls(
+            config=ShardConfig.from_dict(data["config"]),
+            stages=[StageTiming.from_dict(t) for t in data["stages"]],
+            n_jobs=data["n_jobs"],
+            n_traces=data["n_traces"],
+            dataset_key=data["dataset_key"],
+        )

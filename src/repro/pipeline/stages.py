@@ -1,31 +1,29 @@
-"""Stage graph, shard configuration, and cache keys.
+"""Stage execution: run one shard through the staged artifact cache.
 
-The pipeline runs four stages per (system, seed) shard::
-
-    workload ──▶ schedule ──▶ telemetry ──▶ dataset
-    (job stream) (placements)  (RAPL samples) (joined artifact)
-
-Each stage's cache key is a SHA-256 over the *subset* of the shard
-configuration that can change its output (``STAGE_FIELDS``) plus the
-stage-version counters of it and every upstream stage
-(``STAGE_VERSIONS`` — bump one when changing a stage's semantics to
-invalidate stale artifacts). Consequences:
-
-* changing ``max_traces`` re-runs only telemetry + dataset (the job
-  stream and placements are cache hits);
-* changing ``backfill_depth`` keeps the workload stage cached;
-* changing ``seed``, scale, or any workload knob misses everywhere.
+The stage graph, shard configuration, cache keys, and timing records
+live in :mod:`repro.pipeline.config` (kept import-light for the CLI's
+bookkeeping subcommands); this module owns the heavy part — actually
+running the ``workload -> schedule -> telemetry -> dataset`` stages,
+which pulls in the workload generator, the scheduler engine, and the
+telemetry samplers.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, fields
 from typing import Any
 
-from repro.errors import PipelineError
 from repro.pipeline.artifacts import load_dataset, save_dataset
-from repro.pipeline.cache import ArtifactCache, content_key
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.config import (
+    STAGE_FIELDS,
+    STAGE_VERSIONS,
+    STAGES,
+    ShardConfig,
+    ShardReport,
+    StageTiming,
+    stage_key,
+)
 from repro.scheduler import simulate
 from repro.telemetry.dataset import (
     JobDataset,
@@ -46,182 +44,6 @@ __all__ = [
     "run_shard",
 ]
 
-STAGES: tuple[str, ...] = ("workload", "schedule", "telemetry", "dataset")
-
-# Bump a stage's version when its semantics change; every downstream key
-# incorporates the versions of its upstream stages too.
-STAGE_VERSIONS: dict[str, int] = {
-    "workload": 1,
-    "schedule": 1,
-    "telemetry": 1,
-    "dataset": 1,
-}
-
-_WORKLOAD_FIELDS = (
-    "system", "seed", "num_nodes", "num_users", "horizon_s", "params_overrides",
-)
-_SCHEDULE_FIELDS = _WORKLOAD_FIELDS + ("backfill_depth",)
-_TELEMETRY_FIELDS = _SCHEDULE_FIELDS + ("variability_sigma", "max_traces")
-
-# Which ShardConfig fields feed each stage's cache key.
-STAGE_FIELDS: dict[str, tuple[str, ...]] = {
-    "workload": _WORKLOAD_FIELDS,
-    "schedule": _SCHEDULE_FIELDS,
-    "telemetry": _TELEMETRY_FIELDS,
-    "dataset": _TELEMETRY_FIELDS,
-}
-
-_CACHE_FORMAT = 1
-
-
-@dataclass(frozen=True)
-class ShardConfig:
-    """One (system, seed, scale) unit of pipeline work.
-
-    Mirrors the signature of
-    :func:`repro.telemetry.generate_dataset`; a shard built through the
-    pipeline is byte-identical to a dataset generated directly with the
-    same arguments.
-    """
-
-    system: str
-    seed: int = 0
-    num_nodes: int | None = None
-    num_users: int | None = None
-    horizon_s: int | None = None
-    max_traces: int = 2000
-    backfill_depth: int = 100
-    variability_sigma: float | None = None
-    # Workload ablation knobs; normalized to a sorted tuple of pairs so
-    # the config stays hashable and order-independent.
-    params_overrides: tuple[tuple[str, Any], ...] = ()
-
-    def __post_init__(self) -> None:
-        if not self.system:
-            raise PipelineError("shard needs a system name")
-        overrides = self.params_overrides
-        if isinstance(overrides, dict):
-            overrides = overrides.items()
-        normalized = tuple(sorted((str(k), v) for k, v in overrides))
-        object.__setattr__(self, "params_overrides", normalized)
-
-    @property
-    def overrides_dict(self) -> dict[str, Any]:
-        """``params_overrides`` as the dict ``generate_dataset`` expects."""
-        return dict(self.params_overrides)
-
-    @property
-    def label(self) -> str:
-        """Short human-readable shard name, e.g. ``emmy/seed1``."""
-        return f"{self.system}/seed{self.seed}"
-
-    def to_dict(self) -> dict[str, Any]:
-        """Plain-JSON form (used for hashing, manifests, and workers)."""
-        out: dict[str, Any] = {f.name: getattr(self, f.name) for f in fields(self)}
-        out["params_overrides"] = [list(pair) for pair in self.params_overrides]
-        return out
-
-    @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "ShardConfig":
-        """Inverse of :meth:`to_dict`."""
-        data = dict(data)
-        data["params_overrides"] = tuple(
-            (k, v) for k, v in data.get("params_overrides", [])
-        )
-        return cls(**data)
-
-
-def stage_key(shard: ShardConfig, stage: str) -> str:
-    """Content-address of one stage's output for one shard."""
-    if stage not in STAGES:
-        raise PipelineError(f"unknown stage {stage!r}; known: {list(STAGES)}")
-    upstream = STAGES[: STAGES.index(stage) + 1]
-    config = shard.to_dict()
-    return content_key(
-        {
-            "format": _CACHE_FORMAT,
-            "stage": stage,
-            "versions": {s: STAGE_VERSIONS[s] for s in upstream},
-            "config": {f: config[f] for f in STAGE_FIELDS[stage]},
-        }
-    )
-
-
-@dataclass(frozen=True)
-class StageTiming:
-    """Wall time and throughput of one stage execution (or cache load)."""
-
-    stage: str
-    key: str
-    seconds: float
-    cached: bool
-    n_items: int  # jobs the stage produced/sampled/joined
-
-    @property
-    def items_per_second(self) -> float:
-        """Throughput counter recorded in the run manifest."""
-        return self.n_items / self.seconds if self.seconds > 0 else float("inf")
-
-    def to_dict(self) -> dict[str, Any]:
-        return {
-            "stage": self.stage,
-            "key": self.key,
-            "seconds": self.seconds,
-            "cached": self.cached,
-            "n_items": self.n_items,
-            "items_per_second": round(self.items_per_second, 3),
-        }
-
-    @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "StageTiming":
-        return cls(
-            stage=data["stage"], key=data["key"], seconds=data["seconds"],
-            cached=data["cached"], n_items=data["n_items"],
-        )
-
-
-@dataclass
-class ShardReport:
-    """Per-stage outcome of one shard for the run manifest."""
-
-    config: ShardConfig
-    stages: list[StageTiming] = field(default_factory=list)
-    n_jobs: int = 0
-    n_traces: int = 0
-    dataset_key: str = ""
-
-    @property
-    def seconds(self) -> float:
-        """Total wall time across this shard's stages."""
-        return sum(t.seconds for t in self.stages)
-
-    @property
-    def fully_cached(self) -> bool:
-        """True when every stage was served from the cache."""
-        return bool(self.stages) and all(t.cached for t in self.stages)
-
-    def to_dict(self) -> dict[str, Any]:
-        return {
-            "config": self.config.to_dict(),
-            "label": self.config.label,
-            "stages": [t.to_dict() for t in self.stages],
-            "n_jobs": self.n_jobs,
-            "n_traces": self.n_traces,
-            "dataset_key": self.dataset_key,
-            "seconds": round(self.seconds, 4),
-        }
-
-    @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "ShardReport":
-        return cls(
-            config=ShardConfig.from_dict(data["config"]),
-            stages=[StageTiming.from_dict(t) for t in data["stages"]],
-            n_jobs=data["n_jobs"],
-            n_traces=data["n_traces"],
-            dataset_key=data["dataset_key"],
-        )
-
-
 def run_shard(
     shard: ShardConfig,
     cache: ArtifactCache,
@@ -240,11 +62,14 @@ def run_shard(
     report = ShardReport(config=shard, dataset_key=keys["dataset"])
     meta_common = {"config": shard.to_dict(), "label": shard.label}
 
-    def timed(stage: str, cached: bool, n_items: int, t0: float) -> None:
+    def timed(
+        stage: str, cached: bool, n_items: int, t0: float, n_traces: int = 0
+    ) -> None:
         report.stages.append(
             StageTiming(
                 stage=stage, key=keys[stage],
-                seconds=time.perf_counter() - t0, cached=cached, n_items=n_items,
+                seconds=time.perf_counter() - t0, cached=cached,
+                n_items=n_items, n_traces=n_traces,
             )
         )
 
@@ -257,7 +82,7 @@ def run_shard(
             if want_dataset
             else None
         )
-        timed("dataset", True, meta.get("n_jobs", 0), t0)
+        timed("dataset", True, meta.get("n_jobs", 0), t0, meta.get("n_traces", 0))
         report.n_jobs = meta.get("n_jobs", 0)
         report.n_traces = meta.get("n_traces", 0)
         return report, dataset
@@ -267,7 +92,7 @@ def run_shard(
     if not force and cache.has("telemetry", keys["telemetry"]):
         t0 = time.perf_counter()
         sample = cache.load_pickle("telemetry", keys["telemetry"])
-        timed("telemetry", True, sample.num_jobs, t0)
+        timed("telemetry", True, sample.num_jobs, t0, len(sample.traces))
     if not force and cache.has("schedule", keys["schedule"]):
         t0 = time.perf_counter()
         scheduled = cache.load_pickle("schedule", keys["schedule"])
@@ -291,7 +116,8 @@ def run_shard(
             specs = generator.generate()
             cache.store_pickle(
                 "workload", keys["workload"], specs,
-                {**meta_common, "n_items": len(specs)},
+                {**meta_common, "n_items": len(specs),
+                 "seconds": round(time.perf_counter() - t0, 4)},
             )
             timed("workload", False, len(specs), t0)
         t0 = time.perf_counter()
@@ -300,7 +126,8 @@ def run_shard(
         )
         cache.store_pickle(
             "schedule", keys["schedule"], scheduled,
-            {**meta_common, "n_items": len(scheduled)},
+            {**meta_common, "n_items": len(scheduled),
+             "seconds": round(time.perf_counter() - t0, 4)},
         )
         timed("schedule", False, len(scheduled), t0)
 
@@ -312,9 +139,11 @@ def run_shard(
         )
         cache.store_pickle(
             "telemetry", keys["telemetry"], sample,
-            {**meta_common, "n_items": sample.num_jobs, "n_traces": len(sample.traces)},
+            {**meta_common, "n_items": sample.num_jobs,
+             "n_traces": len(sample.traces),
+             "seconds": round(time.perf_counter() - t0, 4)},
         )
-        timed("telemetry", False, sample.num_jobs, t0)
+        timed("telemetry", False, sample.num_jobs, t0, len(sample.traces))
 
     t0 = time.perf_counter()
     dataset = join_dataset(cluster, scheduled, params.horizon_s, sample)
@@ -328,8 +157,11 @@ def run_shard(
             "n_minutes": artifact_meta["n_minutes"],
         }
 
-    cache.store_tree("dataset", keys["dataset"], build, meta_common)
-    timed("dataset", False, dataset.num_jobs, t0)
+    cache.store_tree(
+        "dataset", keys["dataset"], build,
+        {**meta_common, "seconds": round(time.perf_counter() - t0, 4)},
+    )
+    timed("dataset", False, dataset.num_jobs, t0, len(dataset.traces))
     report.n_jobs = dataset.num_jobs
     report.n_traces = len(dataset.traces)
     return report, dataset if want_dataset else None

@@ -10,6 +10,8 @@ the inputs the telemetry layer and the Fig 1 utilization analysis need.
 
 from repro.scheduler.accounting import accounting_table
 from repro.scheduler.job import ScheduledJob
+from repro.scheduler.queueing import JobQueue, RunningSet
+from repro.scheduler.reference import ReferenceSimulator, reference_simulate
 from repro.scheduler.simulator import SchedulerConfig, Simulator, simulate
 
 __all__ = [
@@ -18,4 +20,8 @@ __all__ = [
     "SchedulerConfig",
     "simulate",
     "accounting_table",
+    "JobQueue",
+    "RunningSet",
+    "ReferenceSimulator",
+    "reference_simulate",
 ]

@@ -8,6 +8,8 @@ across ids) but makes traces deterministic and easy to inspect.
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 from repro.errors import AllocationError
@@ -16,13 +18,22 @@ __all__ = ["NodePool"]
 
 
 class NodePool:
-    """Boolean free-map over ``num_nodes`` node ids."""
+    """Boolean free-map over ``num_nodes`` node ids.
+
+    A min-heap free-list backs allocation: popping the ``n`` smallest
+    free ids is O(n log num_nodes), replacing the O(num_nodes)
+    ``np.flatnonzero`` scan of the free-map per allocation. The boolean
+    map is kept in lockstep as the double-free guard (and for cheap
+    membership queries in diagnostics).
+    """
 
     def __init__(self, num_nodes: int) -> None:
         if num_nodes < 1:
             raise AllocationError("pool needs at least one node")
         self._free = np.ones(num_nodes, dtype=bool)
         self._free_count = num_nodes
+        # Ascending range is already a valid min-heap.
+        self._free_heap = list(range(num_nodes))
 
     @property
     def num_nodes(self) -> int:
@@ -47,7 +58,11 @@ class NodePool:
             raise AllocationError(
                 f"requested {n} nodes but only {self._free_count} free"
             )
-        ids = np.flatnonzero(self._free)[:n]
+        heap = self._free_heap
+        pop = heapq.heappop
+        # Successive min-pops yield the lowest free ids in ascending
+        # order — the same ids (and intp dtype) flatnonzero produced.
+        ids = np.array([pop(heap) for _ in range(n)], dtype=np.intp)
         self._free[ids] = False
         self._free_count -= n
         return ids
@@ -55,7 +70,11 @@ class NodePool:
     def release(self, ids: np.ndarray) -> None:
         """Return nodes to the pool; double-free is an error."""
         ids = np.asarray(ids)
-        if np.any(self._free[ids]):
+        if self._free[ids].any():
             raise AllocationError(f"double free of nodes {ids[self._free[ids]].tolist()}")
         self._free[ids] = True
         self._free_count += len(ids)
+        heap = self._free_heap
+        push = heapq.heappush
+        for i in ids.tolist():
+            push(heap, i)

@@ -1,0 +1,163 @@
+"""Incremental scheduler containers: the wait queue and the running set.
+
+These two structures carry the hot state of the discrete-event engine
+(:class:`repro.scheduler.simulator.Simulator`). Both replace per-pass
+O(n) rebuilds with incremental maintenance:
+
+* :class:`JobQueue` — an intrusive doubly-linked FCFS queue. The engine
+  pops the head (FCFS start) and removes arbitrary interior entries
+  (backfill start) in O(1), where the previous ``list``-backed queue
+  paid an O(n) memmove per ``pop``.
+* :class:`RunningSet` — the running jobs ordered by *requested* end
+  time, maintained with one ``bisect.insort`` per start and one lookup
+  + delete per completion. The EASY shadow-time computation becomes a
+  pure-Python cumulative scan over an already-sorted list that stops at
+  the first feasible release point, instead of re-sorting every running
+  job with ``np.argsort`` on every schedule pass.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+from repro.workload.generator import JobSpec
+
+__all__ = ["JobQueue", "QueueNode", "RunningSet"]
+
+
+class QueueNode:
+    """One linked-queue cell; exposed so the engine can unlink it in O(1).
+
+    ``nodes`` and ``req_walltime_s`` mirror the spec fields the backfill
+    scan tests millions of times — caching them on the slotted cell
+    saves a dataclass attribute chase per scanned job.
+    """
+
+    __slots__ = ("spec", "nodes", "req_walltime_s", "prev", "next")
+
+    def __init__(self, spec: JobSpec) -> None:
+        self.spec = spec
+        self.nodes = spec.nodes
+        self.req_walltime_s = spec.req_walltime_s
+        self.prev: QueueNode | None = None
+        self.next: QueueNode | None = None
+
+
+class JobQueue:
+    """Doubly-linked FCFS queue with O(1) head pop and interior removal."""
+
+    __slots__ = ("_head", "_tail", "_len")
+
+    def __init__(self) -> None:
+        self._head: QueueNode | None = None
+        self._tail: QueueNode | None = None
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __iter__(self):
+        """Queued specs in FCFS order (diagnostics and tests)."""
+        node = self._head
+        while node is not None:
+            yield node.spec
+            node = node.next
+
+    @property
+    def head(self) -> QueueNode | None:
+        """The FCFS head cell, or ``None`` when empty."""
+        return self._head
+
+    @property
+    def tail(self) -> QueueNode | None:
+        """The most recently appended cell, or ``None`` when empty."""
+        return self._tail
+
+    def append(self, spec: JobSpec) -> QueueNode:
+        """Enqueue at the tail; returns the new cell."""
+        node = QueueNode(spec)
+        if self._tail is None:
+            self._head = self._tail = node
+        else:
+            node.prev = self._tail
+            self._tail.next = node
+            self._tail = node
+        self._len += 1
+        return node
+
+    def popleft(self) -> JobSpec:
+        """Dequeue the FCFS head."""
+        node = self._head
+        if node is None:
+            raise IndexError("pop from empty JobQueue")
+        self.remove(node)
+        return node.spec
+
+    def remove(self, node: QueueNode) -> None:
+        """Unlink ``node`` wherever it sits — O(1)."""
+        prev, nxt = node.prev, node.next
+        if prev is None:
+            self._head = nxt
+        else:
+            prev.next = nxt
+        if nxt is None:
+            self._tail = prev
+        else:
+            nxt.prev = prev
+        node.prev = node.next = None
+        self._len -= 1
+
+
+class RunningSet:
+    """Running jobs sorted by requested end time, maintained incrementally.
+
+    Entries are ``(requested_end_s, start_seq, nodes)`` triples; the
+    monotone ``start_seq`` breaks end-time ties in start order, which is
+    exactly the order a stable sort over the engine's insertion-ordered
+    running dict produced before — so :meth:`shadow` returns the same
+    (shadow time, extra nodes) pair as the old per-pass
+    ``np.argsort``-based recomputation.
+    """
+
+    __slots__ = ("_entries", "_by_job", "_seq")
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[int, int, int]] = []
+        self._by_job: dict[int, tuple[int, int, int]] = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, job_id: int, requested_end_s: int, nodes: int) -> None:
+        """Insert a newly started job — O(log n) search + one insort."""
+        entry = (requested_end_s, self._seq, nodes)
+        self._seq += 1
+        insort(self._entries, entry)
+        self._by_job[job_id] = entry
+
+    def discard(self, job_id: int) -> None:
+        """Remove a completed job; unique ``start_seq`` makes the hit exact."""
+        entry = self._by_job.pop(job_id)
+        del self._entries[bisect_left(self._entries, entry)]
+
+    def shadow(self, head_nodes: int, free_now: int) -> tuple[int, int] | None:
+        """EASY shadow time and extra nodes for a blocked queue head.
+
+        Returns ``None`` when the head is not actually blocked (e.g. an
+        admission rule, not the node count, is holding it) or when the
+        running jobs can never free enough nodes — the two conditions
+        :func:`repro.scheduler.backfill.shadow_time` signals with
+        ``ValueError``; both mean "no backfill this pass".
+        """
+        if free_now >= head_nodes:
+            return None
+        cumulative = free_now
+        for end_s, _, nodes in self._entries:
+            cumulative += nodes
+            if cumulative >= head_nodes:
+                return end_s, cumulative - head_nodes
+        return None

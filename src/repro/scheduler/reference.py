@@ -1,0 +1,183 @@
+"""The naive reference scheduler, retained verbatim for equivalence tests.
+
+This module preserves the original list-backed, rebuild-everything
+implementation of the FCFS + EASY engine exactly as it was before the
+incremental rewrite of :mod:`repro.scheduler.simulator`: an O(n)
+``list.pop`` queue, per-pass reconstruction of the running jobs'
+``ends``/``counts`` lists, per-pass ``np.argsort`` inside
+:func:`~repro.scheduler.backfill.shadow_time`, and an O(num_nodes)
+``np.flatnonzero`` scan per allocation. It is deliberately slow and
+must stay semantically frozen — the property tests in
+``tests/scheduler/test_equivalence.py`` check the optimized engine
+against it on randomized workloads, and any divergence (start times,
+node ids, completion order) is a bug in the optimized engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AllocationError, SchedulerError
+from repro.scheduler.backfill import shadow_time
+from repro.scheduler.job import ScheduledJob
+from repro.scheduler.simulator import SchedulerConfig
+from repro.workload.generator import JobSpec
+
+__all__ = ["ReferenceNodePool", "ReferenceSimulator", "reference_simulate"]
+
+
+class ReferenceNodePool:
+    """The original boolean free-map pool: O(num_nodes) scan per allocation."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise AllocationError("pool needs at least one node")
+        self._free = np.ones(num_nodes, dtype=bool)
+        self._free_count = num_nodes
+
+    @property
+    def free_count(self) -> int:
+        """How many nodes are currently unallocated."""
+        return self._free_count
+
+    def fits(self, n: int) -> bool:
+        """Whether ``n`` nodes are free right now."""
+        return n <= self._free_count
+
+    def allocate(self, n: int) -> np.ndarray:
+        """Claim the ``n`` lowest-id free nodes via a full free-map scan."""
+        if n < 1:
+            raise AllocationError("must allocate at least one node")
+        if n > self._free_count:
+            raise AllocationError(
+                f"requested {n} nodes but only {self._free_count} free"
+            )
+        ids = np.flatnonzero(self._free)[:n]
+        self._free[ids] = False
+        self._free_count -= n
+        return ids
+
+    def release(self, ids: np.ndarray) -> None:
+        """Return nodes to the pool; double-free is an error."""
+        ids = np.asarray(ids)
+        if np.any(self._free[ids]):
+            raise AllocationError(f"double free of nodes {ids[self._free[ids]].tolist()}")
+        self._free[ids] = True
+        self._free_count += len(ids)
+
+
+class ReferenceSimulator:
+    """FCFS + EASY backfill, original per-pass-rebuild implementation."""
+
+    def __init__(self, config: SchedulerConfig) -> None:
+        self.config = config
+        self.pool = ReferenceNodePool(config.num_nodes)
+        self._queue: list[JobSpec] = []
+        self._running: dict[int, ScheduledJob] = {}
+        self._results: list[ScheduledJob] = []
+
+    def run(self, jobs: Sequence[JobSpec]) -> list[ScheduledJob]:
+        """Schedule all jobs; returns completions in start order."""
+        jobs = sorted(jobs, key=lambda j: (j.submit_s, j.job_id))
+        for job in jobs:
+            if job.nodes > self.config.num_nodes:
+                raise SchedulerError(
+                    f"job {job.job_id} requests {job.nodes} nodes; "
+                    f"system has {self.config.num_nodes}"
+                )
+        completions: list[tuple[int, int, int]] = []
+        seq = 0
+        cursor = 0
+        n_jobs = len(jobs)
+        while cursor < n_jobs or completions or self._queue:
+            next_arrival = jobs[cursor].submit_s if cursor < n_jobs else None
+            next_completion = completions[0][0] if completions else None
+            if next_arrival is None and next_completion is None:
+                raise SchedulerError(
+                    f"deadlock: {len(self._queue)} queued jobs can never start "
+                    "(machine too small or admission constraint unsatisfiable)"
+                )
+            if next_completion is not None and (
+                next_arrival is None or next_completion <= next_arrival
+            ):
+                now, _, job_id = heapq.heappop(completions)
+                finished = self._running.pop(job_id)
+                self.pool.release(finished.node_ids)
+                self._on_finish(finished)
+            else:
+                now = next_arrival
+                while cursor < n_jobs and jobs[cursor].submit_s == now:
+                    self._queue.append(jobs[cursor])
+                    cursor += 1
+            for started in self._schedule_pass(now):
+                heapq.heappush(completions, (started.end_s, seq, started.spec.job_id))
+                seq += 1
+        return self._results
+
+    def _schedule_pass(self, now: int) -> list[ScheduledJob]:
+        """One FCFS + backfill pass; rebuilds running-set views from scratch."""
+        started: list[ScheduledJob] = []
+        while (
+            self._queue
+            and self.pool.fits(self._queue[0].nodes)
+            and self._admissible(self._queue[0])
+        ):
+            started.append(self._start(self._queue.pop(0), now))
+        if not self._queue or not self._running:
+            return started
+        head = self._queue[0]
+        ends = [r.requested_end_s for r in self._running.values()]
+        counts = [r.spec.nodes for r in self._running.values()]
+        try:
+            shadow, extra = shadow_time(head.nodes, self.pool.free_count, ends, counts)
+        except ValueError:
+            return started
+        i = 1
+        scanned = 0
+        while i < len(self._queue) and scanned < self.config.backfill_depth:
+            job = self._queue[i]
+            scanned += 1
+            if (
+                self.pool.fits(job.nodes)
+                and self._admissible(job)
+                and (now + job.req_walltime_s <= shadow or job.nodes <= extra)
+            ):
+                if job.nodes <= extra:
+                    extra -= job.nodes
+                started.append(self._start(self._queue.pop(i), now))
+            else:
+                i += 1
+        return started
+
+    def _start(self, spec: JobSpec, now: int) -> ScheduledJob:
+        node_ids = self.pool.allocate(spec.nodes)
+        job = ScheduledJob(spec=spec, start_s=now, node_ids=node_ids)
+        self._running[spec.job_id] = job
+        self._results.append(job)
+        self._on_start(job)
+        return job
+
+    # -- subclass hooks (mirror the optimized engine) ---------------------
+
+    def _admissible(self, spec: JobSpec) -> bool:
+        """Extra admission constraint; base engine admits everything."""
+        return True
+
+    def _on_start(self, job: ScheduledJob) -> None:
+        """Called after a job is placed."""
+
+    def _on_finish(self, job: ScheduledJob) -> None:
+        """Called after a job completes and its nodes are released."""
+
+
+def reference_simulate(
+    jobs: Iterable[JobSpec], num_nodes: int, backfill_depth: int = 100
+) -> list[ScheduledJob]:
+    """One-shot wrapper around :class:`ReferenceSimulator` (tests only)."""
+    sim = ReferenceSimulator(
+        SchedulerConfig(num_nodes=num_nodes, backfill_depth=backfill_depth)
+    )
+    return sim.run(list(jobs))

@@ -250,11 +250,18 @@ def sample_telemetry(
     sampler = PowerSampler(cluster, rngs.get("aggregate"))
     trace_sampler = PowerSampler(cluster, rngs.get("traces"))
 
-    pernode_power = np.empty(len(scheduled))
-    power_sum = np.empty(len(scheduled))
-    energy = np.empty(len(scheduled))
+    # Aggregates for every job come from the fused batch sweep — one RNG
+    # draw and one clip pass over all node slots, bit-identical to the
+    # per-job sample_aggregate loop it replaced.
+    pernode_power, power_sum = sampler.sample_aggregate_batch(scheduled)
+    runtimes = np.fromiter(
+        (job.spec.runtime_s for job in scheduled), dtype=float, count=len(scheduled)
+    )
+    energy = power_sum * runtimes
     instrumented = np.zeros(len(scheduled), dtype=bool)
-    is_debug = np.zeros(len(scheduled), dtype=bool)
+    is_debug = np.fromiter(
+        (job.spec.is_debug for job in scheduled), dtype=bool, count=len(scheduled)
+    )
 
     window_lo = 0.30 * horizon_s
     window_hi = min(horizon_s, window_lo + horizon_s / 5.0)
@@ -264,11 +271,6 @@ def sample_telemetry(
     key_apps = set(KEY_APPS)
     for i, job in enumerate(scheduled):
         spec = job.spec
-        levels = sampler.sample_aggregate(job)
-        pernode_power[i] = levels.mean()
-        power_sum[i] = levels.sum()
-        energy[i] = levels.sum() * spec.runtime_s
-        is_debug[i] = spec.is_debug
         if (
             len(traces) < max_traces
             and spec.app in key_apps
@@ -319,13 +321,24 @@ def join_dataset(
         )
     end_minute = max(j.end_s for j in scheduled) // MINUTE + 1
     n_minutes = max(end_minute, int(np.ceil(horizon_s / MINUTE)))
-    active = np.zeros(n_minutes, dtype=np.int64)
+    m = len(scheduled)
+    a_min = np.fromiter((j.start_s // MINUTE for j in scheduled), np.int64, count=m)
+    b_min = np.maximum(
+        a_min + 1,
+        np.fromiter((j.end_s // MINUTE for j in scheduled), np.int64, count=m),
+    )
+    nodes_per_job = np.fromiter((j.spec.nodes for j in scheduled), np.int64, count=m)
+    # Integer occupancy via a boundary/prefix-sum sweep (exact in any
+    # order); the float power timeline keeps the per-job slice adds so
+    # its accumulation order — and hence its bytes — are unchanged.
+    bounds = np.zeros(n_minutes + 1, dtype=np.int64)
+    np.add.at(bounds, a_min, nodes_per_job)
+    np.subtract.at(bounds, b_min, nodes_per_job)
+    active = np.cumsum(bounds[:-1])
     job_power = np.zeros(n_minutes, dtype=float)
-    for i, job in enumerate(scheduled):
-        a = job.start_s // MINUTE
-        b = max(a + 1, job.end_s // MINUTE)
-        active[a:b] += job.spec.nodes
-        job_power[a:b] += sample.power_sum[i]
+    power_sum = sample.power_sum
+    for i in range(m):
+        job_power[a_min[i] : b_min[i]] += power_sum[i]
 
     if np.any(active > cluster.num_nodes):
         raise TelemetryError("scheduler over-allocated nodes (timeline check)")

@@ -18,9 +18,19 @@ Two paths exist:
 * :meth:`PowerSampler.sample_aggregate` — per-node mean power without
   materializing the time axis (every job; exact because the temporal
   profile is mean-normalized).
+
+:meth:`PowerSampler.sample_aggregate_batch` is the fused fast path over
+a whole scheduled-job stream: one standard-normal draw and one clip/
+multiply sweep over a concatenated node-slot buffer instead of a pair of
+tiny RNG calls and half a dozen tiny array ops per job. It consumes the
+generator stream in exactly the per-job order, so its outputs are
+bit-identical to looping :meth:`~PowerSampler.sample_aggregate`
+(``tests/telemetry/test_batch_equivalence.py`` enforces this).
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -63,6 +73,69 @@ class PowerSampler:
         levels = np.clip(self._static_node_levels(job), self._floor, self._tdp)
         noise = self._rng.normal(1.0, self.rapl.noise_sigma, size=levels.shape)
         return np.clip(levels * noise, 0.0, self._tdp)
+
+    def sample_aggregate_batch(
+        self, jobs: Sequence[ScheduledJob]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused :meth:`sample_aggregate` over a job stream.
+
+        Returns ``(pernode_power, power_sum)`` — the per-job mean and sum
+        of the measured node powers — as arrays of ``len(jobs)``.
+
+        Bit-identical to the per-job loop: a single ``standard_normal``
+        draw replays the exact generator stream (``normal(loc, s, n)``
+        consumes ``n`` sequential standard normals and applies
+        ``loc + s*z``; a zero ``static_sigma`` job draws no offsets, its
+        slots index in-bounds noise draws scaled by ``0.0``), and the
+        per-job reductions run over contiguous slices so the pairwise
+        summation order matches a standalone per-job array.
+        """
+        m = len(jobs)
+        pernode = np.empty(m)
+        psum = np.empty(m)
+        if m == 0:
+            return pernode, psum
+        counts = np.empty(m, dtype=np.intp)
+        sigmas = np.empty(m)
+        fracs = np.empty(m)
+        for i, job in enumerate(jobs):
+            spec = job.spec
+            counts[i] = spec.nodes
+            sigmas[i] = spec.spatial.static_sigma
+            fracs[i] = spec.power_fraction
+        starts = np.concatenate(([0], np.cumsum(counts)))
+        total = int(starts[-1])
+        all_ids = np.concatenate([job.node_ids for job in jobs])
+        if all_ids.shape != (total,):
+            raise TelemetryError("job node_ids disagree with requested node counts")
+
+        # Draw layout per job: [offsets (nodes, iff sigma > 0)][noise (nodes)].
+        has_offsets = sigmas > 0
+        draws = counts * (1 + has_offsets)
+        draw_starts = np.concatenate(([0], np.cumsum(draws)))
+        z = self._rng.standard_normal(int(draw_starts[-1]))
+
+        slot_job = np.repeat(np.arange(m), counts)
+        slot_rank = np.arange(total) - starts[slot_job]
+        offset_idx = draw_starts[slot_job] + slot_rank
+        noise_idx = offset_idx + counts[slot_job] * has_offsets[slot_job]
+
+        sigma_slot = sigmas[slot_job]
+        offsets = np.clip(1.0 + sigma_slot * z[offset_idx], 0.5, 1.5)
+        factors = self.cluster.power_factors[all_ids]
+        levels = self._tdp * fracs[slot_job] * offsets * factors
+        levels = np.clip(levels, self._floor, self._tdp)
+        noise = 1.0 + self.rapl.noise_sigma * z[noise_idx]
+        measured = np.clip(levels * noise, 0.0, self._tdp)
+
+        pos = 0
+        for i in range(m):
+            n = int(counts[i])
+            s = measured[pos : pos + n].sum()
+            psum[i] = s
+            pernode[i] = s / n
+            pos += n
+        return pernode, psum
 
     def sample_matrix(self, job: ScheduledJob) -> np.ndarray:
         """Measured node×minute power matrix of one instrumented job."""

@@ -83,9 +83,9 @@ class JobClass:
         else:
             a, b = self.runtime_beta
             runtime = self.req_walltime_s * rng.beta(a, b)
-        return int(np.clip(runtime, 180, self.req_walltime_s))
+        return int(min(max(runtime, 180), self.req_walltime_s))
 
     def sample_power_fraction(self, rng: np.random.Generator) -> float:
         """Per-instance nominal power fraction (class value ± noise)."""
         frac = self.power_fraction * rng.lognormal(0.0, self.within_sigma)
-        return float(np.clip(frac, 0.2, 0.99))
+        return float(min(max(frac, 0.2), 0.99))

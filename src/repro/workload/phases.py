@@ -29,6 +29,11 @@ __all__ = ["TemporalProfile", "make_profile", "PROFILE_KINDS"]
 
 PROFILE_KINDS = ("flat", "dip", "burst", "multiphase")
 
+# scipy is imported lazily (bound here on first use) so that importing
+# the workload layer — and therefore the CLI — never pays the ~1.8 s
+# scipy.signal import unless a profile is actually generated.
+_lfilter = None
+
 
 @dataclass(frozen=True)
 class TemporalProfile:
@@ -83,12 +88,15 @@ def _ar1(n: int, sigma: float, rng: np.random.Generator, rho: float = 0.96) -> n
     """Stationary AR(1) around 1.0 with marginal std ``sigma``."""
     if sigma == 0:
         return np.ones(n)
-    from scipy.signal import lfilter
+    global _lfilter
+    if _lfilter is None:
+        from scipy.signal import lfilter as _lfilter_impl
 
+        _lfilter = _lfilter_impl
     innovations = rng.normal(0.0, sigma * np.sqrt(1 - rho * rho), size=n)
     innovations[0] = rng.normal(0.0, sigma)
     # x[i] = rho * x[i-1] + e[i] — a pure IIR filter, vectorized via lfilter.
-    out = lfilter([1.0], [1.0, -rho], innovations)
+    out = _lfilter([1.0], [1.0, -rho], innovations)
     return np.clip(1.0 + out, 0.3, 1.7)
 
 

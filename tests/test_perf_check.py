@@ -1,0 +1,77 @@
+"""Smoke tests for the perf-regression harness (tools/perf_check.py)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PERF_CHECK = REPO_ROOT / "tools" / "perf_check.py"
+
+TINY_FLAGS = [
+    "--num-nodes", "16", "--num-users", "8",
+    "--horizon-s", str(2 * 86400), "--max-traces", "5",
+    "--reps", "1", "--quiet",
+]
+
+
+def run_tool(*extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(PERF_CHECK), *TINY_FLAGS, *extra],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+
+
+def test_measure_writes_json(tmp_path):
+    out = tmp_path / "bench.json"
+    proc = run_tool("--json", str(out))
+    assert proc.returncode == 0, proc.stderr
+    data = json.loads(out.read_text())
+    assert set(data["stages"]) == {
+        "inputs", "workload", "schedule", "telemetry", "join"
+    }
+    assert data["n_jobs"] > 0
+    assert data["jobs_per_second"] > 0
+    assert data["total_seconds"] > 0
+
+
+def test_check_mode_gates_on_baseline(tmp_path):
+    baseline = tmp_path / "BENCH.json"
+    # No baseline yet: --check is a hard error, not a silent pass.
+    proc = run_tool("--check", "--baseline", str(baseline))
+    assert proc.returncode == 2
+
+    proc = run_tool("--update", "--baseline", str(baseline),
+                    "--pre-pr-seconds", "9.9")
+    assert proc.returncode == 0, proc.stderr
+    data = json.loads(baseline.read_text())
+    assert data["pre_pr_baseline"]["total_seconds"] == 9.9
+    assert data["pre_pr_baseline"]["speedup"] > 0
+
+    # Same config, fresh measurement: passes the gate.
+    proc = run_tool("--check", "--baseline", str(baseline))
+    assert proc.returncode == 0, proc.stderr + proc.stdout
+
+    # An absurdly fast fake baseline forces a regression verdict.
+    data["jobs_per_second"] = data["jobs_per_second"] * 1000
+    baseline.write_text(json.dumps(data))
+    proc = run_tool("--check", "--baseline", str(baseline))
+    assert proc.returncode == 1
+    assert "REGRESSION" in proc.stdout
+
+    # A baseline from a different configuration is rejected.
+    data["config"]["num_nodes"] = 99
+    baseline.write_text(json.dumps(data))
+    proc = run_tool("--check", "--baseline", str(baseline))
+    assert proc.returncode == 2
+
+
+def test_committed_baseline_is_current():
+    """BENCH_dataset.json exists and matches the harness schema."""
+    baseline = REPO_ROOT / "BENCH_dataset.json"
+    assert baseline.is_file()
+    data = json.loads(baseline.read_text())
+    assert data["config"]["system"] == "emmy"
+    assert data["config"]["seed"] == 7
+    assert data["jobs_per_second"] > 0
+    assert data["pre_pr_baseline"]["speedup"] >= 3.0

@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the trace-generation hot path.
+
+Times every stage of ``generate_dataset`` separately (inputs → workload
+→ schedule → telemetry → join) and reports per-stage wall time plus
+end-to-end throughput (jobs/s, traces/s). Methodology (see
+docs/PERFORMANCE.md):
+
+* each rep runs the full pipeline in-process and records per-stage
+  times; ``--reps`` reps are taken and the *best* total kept —
+  run-to-run variance is dominated by allocator/GC churn, which best-of
+  filters out;
+* ``gc.collect()`` runs before every rep so earlier reps' garbage
+  cannot be charged to later ones;
+* outputs are bit-identical across reps by construction (fixed seed),
+  so timing reps are also correctness reps.
+
+Usage::
+
+    python tools/perf_check.py                  # measure, print table
+    python tools/perf_check.py --update         # rewrite BENCH_dataset.json
+    python tools/perf_check.py --check          # CI gate: fail on >25%
+                                                # throughput regression
+                                                # vs BENCH_dataset.json
+
+``make bench`` wraps ``--update``; ``make bench-check`` wraps
+``--check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_dataset.json"
+STAGES = ("inputs", "workload", "schedule", "telemetry", "join")
+
+
+def run_once(args: argparse.Namespace) -> dict:
+    """One full generate_dataset run with per-stage timing."""
+    from repro.scheduler import simulate
+    from repro.telemetry.dataset import build_inputs, join_dataset, sample_telemetry
+    from repro.workload.generator import WorkloadGenerator
+
+    stages: dict[str, float] = {}
+    t0 = time.perf_counter()
+    cluster, params = build_inputs(
+        args.system, seed=args.seed, num_nodes=args.num_nodes,
+        num_users=args.num_users, horizon_s=args.horizon_s,
+    )
+    stages["inputs"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    generator = WorkloadGenerator(params, cluster.num_nodes, seed=args.seed)
+    specs = generator.generate()
+    stages["workload"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scheduled = simulate(specs, cluster.num_nodes, backfill_depth=args.backfill_depth)
+    stages["schedule"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sample = sample_telemetry(
+        cluster, scheduled, params.horizon_s,
+        seed=args.seed, max_traces=args.max_traces,
+    )
+    stages["telemetry"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    dataset = join_dataset(cluster, scheduled, params.horizon_s, sample)
+    stages["join"] = time.perf_counter() - t0
+
+    total = sum(stages.values())
+    return {
+        "stages": stages,
+        "total_seconds": total,
+        "n_jobs": dataset.num_jobs,
+        "n_traces": len(dataset.traces),
+        "jobs_per_second": dataset.num_jobs / total if total > 0 else float("inf"),
+    }
+
+
+def measure(args: argparse.Namespace) -> dict:
+    """Best-of-``args.reps`` measurement of the full pipeline."""
+    best: dict | None = None
+    for rep in range(args.reps):
+        gc.collect()
+        result = run_once(args)
+        if not args.quiet:
+            per_stage = "  ".join(
+                f"{s} {result['stages'][s]:.2f}s" for s in STAGES
+            )
+            print(f"rep {rep + 1}/{args.reps}: total {result['total_seconds']:.2f}s "
+                  f"({per_stage})")
+        if best is None or result["total_seconds"] < best["total_seconds"]:
+            best = result
+    assert best is not None
+    best["config"] = {
+        "system": args.system, "seed": args.seed, "num_nodes": args.num_nodes,
+        "num_users": args.num_users, "horizon_s": args.horizon_s,
+        "max_traces": args.max_traces, "backfill_depth": args.backfill_depth,
+    }
+    best["reps"] = args.reps
+    for k in STAGES:
+        best["stages"][k] = round(best["stages"][k], 4)
+    best["total_seconds"] = round(best["total_seconds"], 4)
+    best["jobs_per_second"] = round(best["jobs_per_second"], 2)
+    return best
+
+
+def print_report(result: dict) -> None:
+    cfg = result["config"]
+    print(f"\nsystem {cfg['system']} seed {cfg['seed']}: "
+          f"{result['n_jobs']} jobs, {result['n_traces']} traces")
+    for stage in STAGES:
+        secs = result["stages"][stage]
+        share = secs / result["total_seconds"] if result["total_seconds"] else 0.0
+        print(f"  {stage:10s} {secs:7.3f}s  {share:5.1%}")
+    print(f"  {'total':10s} {result['total_seconds']:7.3f}s  "
+          f"{result['jobs_per_second']:,.0f} jobs/s")
+
+
+def check(result: dict, baseline_path: Path, tolerance: float) -> int:
+    """CI gate: fail when throughput regressed more than ``tolerance``."""
+    if not baseline_path.is_file():
+        print(f"perf-check: no baseline at {baseline_path}; "
+              f"run with --update first", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("config") != result["config"]:
+        print("perf-check: baseline was recorded with a different configuration; "
+              "re-run with matching flags or --update", file=sys.stderr)
+        return 2
+    base_rate = baseline["jobs_per_second"]
+    rate = result["jobs_per_second"]
+    floor = base_rate * (1.0 - tolerance)
+    verdict = "OK" if rate >= floor else "REGRESSION"
+    print(f"perf-check: {rate:,.0f} jobs/s vs baseline {base_rate:,.0f} jobs/s "
+          f"(floor {floor:,.0f} at -{tolerance:.0%}) -> {verdict}")
+    if rate < floor:
+        slow = [
+            s for s in STAGES
+            if result["stages"][s] > baseline["stages"].get(s, 0.0) * (1 + tolerance)
+        ]
+        if slow:
+            print(f"perf-check: stage(s) slower than baseline: {', '.join(slow)}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+def update(result: dict, baseline_path: Path, pre_pr_seconds: float | None) -> None:
+    """Write the new baseline, carrying the pre-PR reference forward."""
+    if pre_pr_seconds is not None:
+        result["pre_pr_baseline"] = {"total_seconds": pre_pr_seconds}
+    elif baseline_path.is_file():
+        old = json.loads(baseline_path.read_text())
+        if "pre_pr_baseline" in old:
+            result["pre_pr_baseline"] = old["pre_pr_baseline"]
+    if "pre_pr_baseline" in result:
+        pre = result["pre_pr_baseline"]["total_seconds"]
+        result["pre_pr_baseline"]["speedup"] = round(pre / result["total_seconds"], 2)
+    baseline_path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"perf-check: wrote {baseline_path}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--system", default="emmy", choices=("emmy", "meggie"))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--num-nodes", type=int, default=None)
+    parser.add_argument("--num-users", type=int, default=None)
+    parser.add_argument("--horizon-s", type=int, default=None)
+    parser.add_argument("--max-traces", type=int, default=2000)
+    parser.add_argument("--backfill-depth", type=int, default=100)
+    parser.add_argument("--reps", type=int, default=3,
+                        help="best-of-N repetitions (default 3)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional throughput drop for --check")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default: BENCH_dataset.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit 1 on regression")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline with this measurement")
+    parser.add_argument("--pre-pr-seconds", type=float, default=None,
+                        help="record this pre-optimization wall time in the baseline")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write the measurement JSON here")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    result = measure(args)
+    if not args.quiet:
+        print_report(result)
+    if args.json is not None:
+        args.json.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    if args.update:
+        update(result, args.baseline, args.pre_pr_seconds)
+    if args.check:
+        return check(result, args.baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
