@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-check bench-smoke docs-check pipeline clean-cache all
+.PHONY: test bench bench-check bench-smoke serve-bench serve-bench-check docs-check pipeline clean-cache all
 
 all: test docs-check
 
@@ -18,6 +18,12 @@ bench-check:         ## CI gate: fail on >25% throughput regression
 
 bench-smoke:         ## one cheap benchmark end-to-end (cache-backed fixtures)
 	$(PYTHON) -m pytest benchmarks/bench_table2_correlation.py -q
+
+serve-bench:         ## measure the serving hot path, rewrite BENCH_serve.json
+	$(PYTHON) tools/serve_bench.py --update
+
+serve-bench-check:   ## CI gate: fail on >25% predictions/s regression
+	$(PYTHON) tools/serve_bench.py --check
 
 docs-check:          ## every public symbol has a docstring and an API.md entry
 	$(PYTHON) tools/docs_check.py

@@ -1,9 +1,13 @@
 #!/usr/bin/env python
-"""Quickstart: generate a scaled-down Emmy trace and tour every analysis.
+"""Quickstart: one ScenarioSpec driven through the whole facade.
 
-Runs in a few seconds the first time; repeat runs with the same seed
-load the trace from the :mod:`repro.pipeline` artifact cache in
-milliseconds. For the paper-scale reproduction of each figure and
+A :class:`repro.ScenarioSpec` describes the scenario once; the
+top-level facade does the rest — ``generate_dataset(spec)`` builds the
+trace, ``evaluate(spec)`` runs the paper's prediction protocol, and
+``create_server(spec)`` stands up the micro-batched prediction service
+(docs/SERVICE.md). Runs in a few seconds the first time; repeat runs
+with the same seed load from the :mod:`repro.pipeline` artifact cache
+in milliseconds. For the paper-scale reproduction of each figure and
 table, see the ``benchmarks/`` harness or
 ``python -m repro pipeline run-all``.
 
@@ -12,7 +16,9 @@ Usage::
     python examples/quickstart.py [seed]
 """
 
+import json
 import sys
+import urllib.request
 
 import repro
 
@@ -21,17 +27,20 @@ def main() -> None:
     seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
 
     # A 1/8-scale Emmy over two weeks; same generative model as the full
-    # configuration, fewer nodes and users. build_dataset is the cached
-    # drop-in for generate_dataset — byte-identical output, warm reruns
-    # come straight from the on-disk artifact cache.
-    dataset = repro.build_dataset(
+    # configuration, fewer nodes and users. The spec is the single
+    # scenario description every layer below shares.
+    spec = repro.ScenarioSpec(
         "emmy",
         seed=seed,
         num_nodes=70,
         num_users=40,
-        horizon_s=14 * 86400,
+        horizon_days=14,
         max_traces=300,
     )
+
+    # cached=True routes the build through the on-disk artifact cache —
+    # byte-identical to the direct build, warm reruns are near-instant.
+    dataset = repro.generate_dataset(spec, cached=True)
     print(f"generated {dataset.num_jobs} jobs on {dataset.spec.name} "
           f"({dataset.spec.num_nodes} nodes, {len(dataset.traces)} instrumented)")
 
@@ -56,17 +65,38 @@ def main() -> None:
     print(f"temporal: peak only {temporal.mean_peak_overshoot:.0%} above mean; "
           f"spatial: node spread {spatial.mean_spread_fraction:.0%} of power")
 
-    # Section 5 — users and prediction.
+    # Section 5 — users and prediction, via the facade.
     conc = repro.concentration_analysis(dataset)
     print(f"top 20% of users consume {conc.node_hours_share:.0%} node-hours "
           f"and {conc.energy_share:.0%} energy (overlap {conc.top_set_overlap:.0%})")
 
-    results = repro.run_prediction(dataset, n_repeats=3, seed=seed)
+    results = repro.evaluate(spec, n_repeats=3)
     print("\npre-execution power prediction (user, nodes, walltime):")
     for name, result in results.items():
         s = result.summary
         print(f"  {name:5s} {s.frac_below_5pct:5.1%} of predictions <5% error, "
               f"{s.frac_below_10pct:5.1%} <10%")
+
+    # Section 7 — the deployment story: predictions at job-submit time
+    # from a live micro-batched HTTP service (see docs/SERVICE.md).
+    server = repro.create_server(spec, warm=("BDT",))
+    server.serve_in_background()
+    job = {
+        "user": str(dataset.jobs["user"][0]),
+        "nodes": int(dataset.jobs["nodes"][0]),
+        "req_walltime_s": int(dataset.jobs["req_walltime_s"][0]),
+    }
+    request = urllib.request.Request(
+        f"http://{server.address}/predict",
+        data=json.dumps({"model": "BDT", "job": job}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        answer = json.load(response)
+    print(f"\nserved prediction for {job['user']} on {job['nodes']} nodes: "
+          f"{answer['predictions'][0]:.1f} W/node "
+          f"({answer['latency_ms']:.1f} ms over HTTP)")
+    server.close()
 
 
 if __name__ == "__main__":

@@ -18,6 +18,17 @@ The package has four layers:
 5. **Harness** — ``benchmarks/`` regenerate every figure/table;
    ``examples/`` show the public API.
 
+6. **Serving** — :mod:`repro.serve`, the online prediction service
+   (micro-batched model serving behind ``repro-power serve``; see
+   docs/SERVICE.md).
+
+The canonical scenario description is :class:`repro.ScenarioSpec` — one
+frozen object (system, seed, scale, horizon) shared by the CLI flags,
+the pipeline's shard configs, the serving registry, and the facade
+(:func:`repro.generate_dataset` / :func:`repro.evaluate` /
+:func:`repro.create_server`). Legacy keyword call-sites keep working
+through the :func:`repro.spec.as_scenario` shim.
+
 Every public symbol resolves lazily (PEP 562): ``import repro`` is
 near-free, and each name pays only for the layer it lives in on first
 access. CLI bookkeeping commands therefore skip the ~2 s scipy import
@@ -25,12 +36,17 @@ entirely.
 
 Quickstart
 ----------
->>> from repro import generate_dataset, per_node_power_distribution
->>> ds = generate_dataset("emmy", seed=7, num_nodes=40, num_users=20,
-...                       horizon_s=3 * 86400)
+>>> from repro import ScenarioSpec, generate_dataset, per_node_power_distribution
+>>> spec = ScenarioSpec("emmy", seed=7, num_nodes=40, num_users=20,
+...                     horizon_days=3)
+>>> ds = generate_dataset(spec)
 >>> dist = per_node_power_distribution(ds)
 >>> 0.3 < dist.mean_tdp_fraction < 1.0
 True
+
+The legacy keyword style is equivalent:
+``generate_dataset("emmy", seed=7, num_nodes=40, num_users=20,
+horizon_s=3 * 86400)`` builds the same dataset.
 """
 
 from repro._version import __version__
@@ -47,13 +63,22 @@ __all__ = [
     "WorkloadGenerator",
     "default_params",
     "JobDataset",
+    # scenario + facade
+    "ScenarioSpec",
+    "as_scenario",
     "generate_dataset",
+    "evaluate",
+    "create_server",
     # pipeline
     "ArtifactCache",
     "RunManifest",
     "ShardConfig",
     "build_dataset",
     "run_pipeline",
+    # serving
+    "ModelRegistry",
+    "PredictionService",
+    "PredictionServer",
     # analyses
     "system_utilization",
     "power_utilization",
@@ -82,13 +107,23 @@ _LAZY_ATTRS = {
     "WorkloadGenerator": "repro.workload",
     "default_params": "repro.workload",
     "JobDataset": "repro.telemetry",
-    "generate_dataset": "repro.telemetry",
+    # scenario + facade (generate_dataset accepts a ScenarioSpec *or*
+    # the legacy keyword style; see repro.facade)
+    "ScenarioSpec": "repro.spec",
+    "as_scenario": "repro.spec",
+    "generate_dataset": "repro.facade",
+    "evaluate": "repro.facade",
+    "create_server": "repro.facade",
     # pipeline
     "ArtifactCache": "repro.pipeline",
     "RunManifest": "repro.pipeline",
     "ShardConfig": "repro.pipeline",
     "build_dataset": "repro.pipeline",
     "run_pipeline": "repro.pipeline",
+    # serving
+    "ModelRegistry": "repro.serve",
+    "PredictionService": "repro.serve",
+    "PredictionServer": "repro.serve",
     # analyses
     "system_utilization": "repro.analysis",
     "power_utilization": "repro.analysis",

@@ -7,10 +7,16 @@ Subcommands
 ``analyze``   — run every analysis on a generated (or loaded) dataset
                 and print paper-style summaries.
 ``predict``   — run the Fig 14/15 prediction evaluation.
+``serve``     — run the micro-batched online prediction service
+                (docs/SERVICE.md).
 ``specs``     — print Table 1.
 ``pipeline``  — the cached, parallel experiment runner
                 (``run`` / ``run-all`` / ``status`` / ``clean``); see
                 docs/PIPELINE.md.
+
+Every scale flag maps 1:1 onto a :class:`repro.spec.ScenarioSpec`
+field — the CLI, pipeline, facade, and serving layers all consume the
+same scenario description.
 """
 
 from __future__ import annotations
@@ -20,8 +26,11 @@ import sys
 from pathlib import Path
 
 from repro.errors import PipelineError
+from repro.spec import ScenarioSpec
 
 __all__ = ["main", "build_parser"]
+
+_SPEC_DEFAULTS = ScenarioSpec()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,14 +42,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_scale_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--system", choices=("emmy", "meggie"), default="emmy")
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--num-nodes", type=int, default=None,
+        # One flag per ScenarioSpec field, defaults taken from the spec
+        # itself so the CLI can never drift from the canonical scenario
+        # description.
+        p.add_argument("--system", choices=("emmy", "meggie"),
+                       default=_SPEC_DEFAULTS.system)
+        p.add_argument("--seed", type=int, default=_SPEC_DEFAULTS.seed)
+        p.add_argument("--num-nodes", type=int, default=_SPEC_DEFAULTS.num_nodes,
                        help="scale-down node count (default: full system)")
-        p.add_argument("--num-users", type=int, default=None)
-        p.add_argument("--horizon-days", type=float, default=None,
+        p.add_argument("--num-users", type=int, default=_SPEC_DEFAULTS.num_users)
+        p.add_argument("--horizon-days", type=float,
+                       default=_SPEC_DEFAULTS.horizon_days,
                        help="trace length in days (default: 152, the paper's 5 months)")
-        p.add_argument("--max-traces", type=int, default=2000)
+        p.add_argument("--max-traces", type=int, default=_SPEC_DEFAULTS.max_traces)
 
     gen = sub.add_parser("generate", help="generate a dataset and write it out")
     add_scale_args(gen)
@@ -66,6 +80,25 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--out", type=Path, required=True, help="output .md path")
     rep.add_argument("--repeats", type=int, default=3)
     rep.add_argument("--no-prediction", action="store_true")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the micro-batched online prediction service (docs/SERVICE.md)",
+    )
+    add_scale_args(srv)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8321,
+                     help="TCP port (0 binds an ephemeral port)")
+    srv.add_argument("--max-batch", type=int, default=64,
+                     help="records per vectorized predict call")
+    srv.add_argument("--max-wait-ms", type=float, default=2.0,
+                     help="how long an open micro-batch waits for stragglers")
+    srv.add_argument("--warm", nargs="+", default=["BDT"],
+                     metavar="MODEL",
+                     help="models to train/load before serving "
+                     "(BDT KNN FLDA online)")
+    srv.add_argument("--cache-dir", type=Path, default=None,
+                     help="artifact cache for datasets and trained models")
 
     sub.add_parser("specs", help="print the Table 1 system specifications")
 
@@ -112,8 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     pclean = psub.add_parser("clean", help="remove cached artifacts (targeted)")
     add_cache_arg(pclean)
-    pclean.add_argument("--stage", choices=("workload", "schedule", "telemetry", "dataset"),
-                        default=None, help="only this stage's entries")
+    pclean.add_argument("--stage",
+                        choices=("workload", "schedule", "telemetry", "dataset",
+                                 "model"),
+                        default=None, help="only this stage's entries "
+                        "(model = the serving layer's trained predictors)")
     pclean.add_argument("--system", default=None, help="only this system's entries")
     pclean.add_argument("--seed", type=int, default=None, help="only this seed's entries")
     pclean.add_argument("--all", action="store_true",
@@ -124,15 +160,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _make_dataset(args: argparse.Namespace):
     from repro.telemetry import generate_dataset
 
-    horizon = int(args.horizon_days * 86400) if args.horizon_days else None
-    return generate_dataset(
-        system=args.system,
-        seed=args.seed,
-        num_nodes=args.num_nodes,
-        num_users=args.num_users,
-        horizon_s=horizon,
-        max_traces=args.max_traces,
-    )
+    spec = ScenarioSpec.from_args(args)
+    return generate_dataset(**spec.dataset_kwargs())
 
 
 def _cmd_specs() -> int:
@@ -225,6 +254,27 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import create_server
+
+    spec = ScenarioSpec.from_args(args)
+    print(f"scenario {spec.label}: training/loading {', '.join(args.warm)} …")
+    server = create_server(
+        spec, host=args.host, port=args.port, cache_dir=args.cache_dir,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        warm=tuple(args.warm),
+    )
+    print(f"serving on http://{server.address}  "
+          f"(POST /predict, GET /models, GET /healthz; Ctrl-C stops)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.viz import render_all_figures
 
@@ -253,17 +303,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _pipeline_shards(args: argparse.Namespace) -> list:
     from repro.pipeline import ShardConfig
 
-    systems = [args.system]
+    base = ScenarioSpec.from_args(args)
+    systems = [base.system]
     if getattr(args, "both_systems", False):
         systems = ["emmy", "meggie"]
-    seeds = getattr(args, "seeds", None) or [args.seed]
-    horizon = int(args.horizon_days * 86400) if args.horizon_days else None
+    seeds = getattr(args, "seeds", None) or [base.seed]
     return [
-        ShardConfig(
-            system=system, seed=seed, num_nodes=args.num_nodes,
-            num_users=args.num_users, horizon_s=horizon,
-            max_traces=args.max_traces,
-        )
+        ShardConfig.from_scenario(base.replace(system=system, seed=seed))
         for system in systems
         for seed in seeds
     ]
@@ -317,12 +363,11 @@ def _cmd_pipeline_run_all(args: argparse.Namespace) -> int:
 
     out_dir: Path = args.out_dir
     out_dir.mkdir(parents=True, exist_ok=True)
-    horizon = int(args.horizon_days * 86400) if args.horizon_days else None
+    base = ScenarioSpec.from_args(args)
     datasets = {
         shard.config.system: build_dataset(
-            system=shard.config.system, seed=shard.config.seed,
-            num_nodes=args.num_nodes, num_users=args.num_users,
-            horizon_s=horizon, max_traces=args.max_traces,
+            **base.replace(system=shard.config.system,
+                           seed=shard.config.seed).dataset_kwargs(),
             cache_dir=args.cache_dir,
         )
         for shard in manifest.shards
@@ -345,7 +390,10 @@ def _cmd_pipeline_status(args: argparse.Namespace) -> int:
     if not entries:
         print("  (empty)")
         return 0
-    for stage in STAGES:
+    # Core pipeline stages in graph order, then extra stages (e.g. the
+    # serving layer's trained-model artifacts) alphabetically.
+    extra = sorted({e.stage for e in entries} - set(STAGES))
+    for stage in (*STAGES, *extra):
         stage_entries = [e for e in entries if e.stage == stage]
         if not stage_entries:
             continue
@@ -417,6 +465,8 @@ def _dispatch(args) -> int:
         return _cmd_analyze(args)
     if args.command == "predict":
         return _cmd_predict(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "report":

@@ -64,9 +64,17 @@ class PolicyError(ReproError):
     """Invalid power-policy configuration."""
 
 
+class ScenarioError(ReproError):
+    """An invalid or unknown scenario description (ScenarioSpec)."""
+
+
 class PipelineError(ReproError):
     """Invalid pipeline-runner configuration or a failed shard."""
 
 
 class CacheError(PipelineError):
     """A cache entry is missing, corrupt, or cannot be written."""
+
+
+class ServeError(ReproError):
+    """Prediction-service misuse: bad request, closed batcher, overload."""

@@ -26,7 +26,13 @@ from repro.ml.flda import FLDARegressor
 from repro.ml.knn import KNNRegressor
 from repro.ml.metrics import absolute_percentage_error, error_summary, per_group_error
 from repro.ml.online import OnlinePowerPredictor, OnlineResult, evaluate_online
-from repro.ml.pipeline import PredictionResult, evaluate_models, prediction_features
+from repro.ml.pipeline import (
+    FittedPredictor,
+    PredictionResult,
+    evaluate_models,
+    fit_predictor,
+    prediction_features,
+)
 from repro.ml.split import train_validation_split, repeated_splits
 from repro.ml.tree import DecisionTreeRegressor
 
@@ -49,6 +55,8 @@ __all__ = [
     "error_summary",
     "per_group_error",
     "PredictionResult",
+    "FittedPredictor",
+    "fit_predictor",
     "evaluate_models",
     "prediction_features",
 ]

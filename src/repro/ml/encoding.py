@@ -69,14 +69,17 @@ class FeatureSpec:
 
 def encode_features(
     table: Table,
-    spec: FeatureSpec = FeatureSpec(),
+    spec: FeatureSpec | None = None,
     encoders: dict[str, CategoryEncoder] | None = None,
 ) -> tuple[np.ndarray, dict[str, CategoryEncoder]]:
     """Build the feature matrix ``X`` from a job table.
 
     Pass the returned ``encoders`` back in when encoding validation data
-    so category codes stay consistent with training.
+    so category codes stay consistent with training. ``spec=None`` means
+    a fresh default :class:`FeatureSpec` (a ``None`` sentinel, not a
+    shared default instance evaluated once at import).
     """
+    spec = spec if spec is not None else FeatureSpec()
     fit_encoders = encoders is None
     encoders = encoders or {}
     columns: list[np.ndarray] = []

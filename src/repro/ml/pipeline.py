@@ -2,29 +2,50 @@
 
 Wraps feature encoding, the repeated-split protocol, and per-job /
 per-user error collection for any :class:`~repro.ml.base.Estimator`.
+
+:func:`fit_predictor` is the single train path shared by the offline
+protocol (:func:`evaluate_models`) and the online serving layer
+(:mod:`repro.serve`): both encode features, fit, and predict through the
+same :class:`FittedPredictor`, so a served prediction is bit-identical
+to the offline evaluation's prediction for the same training rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.frames import Table
-from repro.ml.encoding import FeatureSpec, encode_features
+from repro.ml.encoding import CategoryEncoder, FeatureSpec, encode_features
 from repro.ml.metrics import ErrorSummary, absolute_percentage_error, error_summary
 from repro.ml.split import repeated_splits
 
-__all__ = ["PredictionResult", "evaluate_models", "prediction_features"]
+__all__ = [
+    "PredictionResult",
+    "FittedPredictor",
+    "fit_predictor",
+    "evaluate_models",
+    "prediction_features",
+]
 
 TARGET_COLUMN = "pernode_power_w"
 
 
-def prediction_features(spec: FeatureSpec = FeatureSpec()) -> list[str]:
+def prediction_features(spec: FeatureSpec | None = None) -> list[str]:
     """The pre-execution feature columns the pipeline reads."""
+    spec = spec if spec is not None else FeatureSpec()
     return list(spec.categorical_columns) + list(spec.numeric_columns)
+
+
+def _check_feature_columns(jobs: Table, spec: FeatureSpec, need_target: bool) -> None:
+    if need_target and TARGET_COLUMN not in jobs:
+        raise ValidationError(f"job table lacks the target column {TARGET_COLUMN!r}")
+    for col in prediction_features(spec):
+        if col not in jobs:
+            raise ValidationError(f"job table lacks feature column {col!r}")
 
 
 @dataclass
@@ -48,28 +69,96 @@ class PredictionResult:
         return per_group_error(self.users, self.errors)
 
 
+@dataclass
+class FittedPredictor:
+    """One trained estimator plus the encoders it was fitted with.
+
+    The unit both the offline protocol and the serving layer share: it
+    owns the exact encode → predict path, so the same input rows produce
+    bit-identical predictions no matter which layer asks.
+    """
+
+    model_name: str
+    model: object
+    feature_spec: FeatureSpec
+    encoders: dict[str, CategoryEncoder]
+    n_train: int
+
+    @property
+    def known_users(self) -> frozenset[str]:
+        """Users the encoders saw at fit time (predictable users)."""
+        encoder = self.encoders.get("user")
+        if encoder is None:
+            return frozenset()
+        return frozenset(encoder.categories.tolist())
+
+    def predict_table(self, jobs: Table) -> np.ndarray:
+        """Vectorized predictions for every row of ``jobs``."""
+        _check_feature_columns(jobs, self.feature_spec, need_target=False)
+        X, _ = encode_features(jobs, self.feature_spec, encoders=self.encoders)
+        return np.asarray(self.model.predict(X), dtype=float)
+
+    def predict_records(self, records: Sequence[Mapping]) -> np.ndarray:
+        """Predictions for request-style rows (dicts of feature values).
+
+        The serving path: a micro-batch of ``{"user": ..., "nodes": ...,
+        "req_walltime_s": ...}`` dicts becomes one vectorized
+        :meth:`predict_table` call.
+        """
+        columns = prediction_features(self.feature_spec)
+        missing = [c for c in columns if any(c not in r for r in records)]
+        if missing:
+            raise ValidationError(f"records lack feature fields {missing}")
+        table = Table({c: [r[c] for r in records] for c in columns})
+        return self.predict_table(table)
+
+
+def fit_predictor(
+    jobs: Table,
+    factory: Callable[[], object],
+    model_name: str = "model",
+    feature_spec: FeatureSpec | None = None,
+) -> FittedPredictor:
+    """Encode ``jobs`` and fit one fresh estimator on every row.
+
+    The single train path: :func:`evaluate_models` calls it per split,
+    the serve model registry calls it on a full job table.
+    """
+    spec = feature_spec if feature_spec is not None else FeatureSpec()
+    _check_feature_columns(jobs, spec, need_target=True)
+    if len(jobs) == 0:
+        raise ValidationError("cannot fit a predictor on an empty job table")
+    X, encoders = encode_features(jobs, spec)
+    y = jobs[TARGET_COLUMN].astype(float)
+    model = factory()
+    model.fit(X, y, categorical=spec.categorical_indices)
+    return FittedPredictor(
+        model_name=model_name,
+        model=model,
+        feature_spec=spec,
+        encoders=encoders,
+        n_train=len(jobs),
+    )
+
+
 def evaluate_models(
     jobs: Table,
     models: Mapping[str, Callable[[], object]],
     n_repeats: int = 10,
     train_fraction: float = 0.8,
     seed: int = 0,
-    feature_spec: FeatureSpec = FeatureSpec(),
+    feature_spec: FeatureSpec | None = None,
 ) -> dict[str, PredictionResult]:
     """Run the paper's protocol for several models on one job table.
 
     ``models`` maps display name → zero-arg factory returning a fresh
     estimator (a fresh model is fitted per repeat).
     """
-    if TARGET_COLUMN not in jobs:
-        raise ValidationError(f"job table lacks the target column {TARGET_COLUMN!r}")
-    for col in prediction_features(feature_spec):
-        if col not in jobs:
-            raise ValidationError(f"job table lacks feature column {col!r}")
+    spec = feature_spec if feature_spec is not None else FeatureSpec()
+    _check_feature_columns(jobs, spec, need_target=True)
 
     y_all = jobs[TARGET_COLUMN].astype(float)
     users_all = jobs["user"]
-    cat_idx = feature_spec.categorical_indices
 
     results: dict[str, PredictionResult] = {}
     splits = list(
@@ -79,13 +168,10 @@ def evaluate_models(
         pooled_errors: list[np.ndarray] = []
         pooled_users: list[np.ndarray] = []
         for train_idx, val_idx in splits:
-            train_tbl = jobs.take(train_idx)
-            val_tbl = jobs.take(val_idx)
-            X_train, encoders = encode_features(train_tbl, feature_spec)
-            X_val, _ = encode_features(val_tbl, feature_spec, encoders=encoders)
-            model = factory()
-            model.fit(X_train, y_all[train_idx], categorical=cat_idx)
-            predictions = model.predict(X_val)
+            predictor = fit_predictor(
+                jobs.take(train_idx), factory, model_name=name, feature_spec=spec
+            )
+            predictions = predictor.predict_table(jobs.take(val_idx))
             pooled_errors.append(
                 absolute_percentage_error(y_all[val_idx], predictions)
             )

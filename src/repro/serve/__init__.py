@@ -1,0 +1,64 @@
+"""Online power-prediction serving: the paper's deployment story (§VII).
+
+Answers "what will this job draw per node?" at job-submit time, as a
+long-lived concurrent service rather than an offline batch evaluation:
+
+* :class:`~repro.serve.registry.ModelRegistry` — trains/loads
+  BDT/KNN/FLDA/online models keyed by the pipeline's content-addressed
+  dataset digest, with a warm LRU over an on-disk artifact cache;
+* :class:`~repro.serve.batching.MicroBatcher` — coalesces concurrent
+  single-job requests into vectorized predict calls (bit-identical to
+  unbatched predictions);
+* :class:`~repro.serve.service.PredictionService` — the embeddable
+  facade (validation, per-request latency accounting, stats);
+* :class:`~repro.serve.http.PredictionServer` /
+  :func:`~repro.serve.http.create_server` — the stdlib HTTP/JSON
+  front-end (``repro-power serve``; ``/predict``, ``/models``,
+  ``/healthz``).
+
+See docs/SERVICE.md for endpoints, batching knobs, cache layout, and
+the load-generator harness (``tools/serve_bench.py``).
+
+Every symbol resolves lazily (PEP 562) so importing :mod:`repro` or the
+CLI's bookkeeping commands never pays for numpy or the ML layer.
+"""
+
+__all__ = [
+    "BatchStats",
+    "LatencyStats",
+    "MicroBatcher",
+    "ModelRegistry",
+    "OnlineServable",
+    "PredictionServer",
+    "PredictionService",
+    "SERVE_MODELS",
+    "create_server",
+]
+
+# Lazy attribute map (PEP 562): name -> defining module.
+_LAZY_ATTRS = {
+    "BatchStats": "repro.serve.batching",
+    "MicroBatcher": "repro.serve.batching",
+    "ModelRegistry": "repro.serve.registry",
+    "OnlineServable": "repro.serve.registry",
+    "SERVE_MODELS": "repro.serve.registry",
+    "LatencyStats": "repro.serve.service",
+    "PredictionService": "repro.serve.service",
+    "PredictionServer": "repro.serve.http",
+    "create_server": "repro.serve.http",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_ATTRS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache so later lookups skip this hook
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_ATTRS))

@@ -1,0 +1,206 @@
+"""Micro-batching executor: coalesce concurrent requests into one predict.
+
+Requests arrive one record at a time from N client threads; a single
+worker thread drains them into batches and issues *one* vectorized
+``predict_fn(records)`` call per batch. Because every model's per-row
+prediction is independent of its batch-mates (tree walks, KNN distances
+against the frozen training set, FLDA projections), a batched prediction
+is bit-identical to the prediction the same record would get alone —
+batching is purely a throughput lever.
+
+Batch formation is bounded by two knobs:
+
+* ``max_batch`` — hard cap on records per vectorized call;
+* ``max_wait_s`` — how long the worker holds an open batch waiting for
+  more requests. ``0`` still coalesces whatever is already queued (the
+  backlog-drain behavior that gives adaptive batching under load) but
+  never waits.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ServeError
+
+__all__ = ["BatchStats", "MicroBatcher"]
+
+_SENTINEL = object()
+
+
+class BatchStats:
+    """Thread-safe counters describing how well batching is working."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.n_requests = 0
+        self.n_batches = 0
+        self.max_batch_seen = 0
+
+    def record(self, batch_size: int) -> None:
+        """Fold one executed batch into the counters."""
+        with self._lock:
+            self.n_requests += batch_size
+            self.n_batches += 1
+            if batch_size > self.max_batch_seen:
+                self.max_batch_seen = batch_size
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-JSON view (``/models`` endpoint, bench harness)."""
+        with self._lock:
+            mean = self.n_requests / self.n_batches if self.n_batches else 0.0
+            return {
+                "n_requests": self.n_requests,
+                "n_batches": self.n_batches,
+                "mean_batch": round(mean, 3),
+                "max_batch": self.max_batch_seen,
+            }
+
+
+class MicroBatcher:
+    """One worker thread turning single-record submissions into batches.
+
+    Parameters
+    ----------
+    predict_fn:
+        ``records -> sequence of floats``, called on the worker thread
+        with 1..max_batch records.
+    max_batch:
+        Upper bound on records per ``predict_fn`` call.
+    max_wait_s:
+        How long to hold an open batch for stragglers once the first
+        record arrived.
+    max_queue:
+        Bound on queued-but-unbatched records; a full queue fails the
+        submit with :class:`~repro.errors.ServeError` instead of letting
+        latency grow without bound.
+    """
+
+    def __init__(
+        self,
+        predict_fn: Callable[[Sequence[Mapping]], Sequence[float]],
+        max_batch: int = 64,
+        max_wait_s: float = 0.002,
+        max_queue: int = 4096,
+        name: str = "batcher",
+    ) -> None:
+        if max_batch < 1:
+            raise ServeError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ServeError("max_wait_s must be >= 0")
+        self._predict_fn = predict_fn
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.name = name
+        self.stats = BatchStats()
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name=f"repro-serve-{name}", daemon=True
+        )
+        self._thread.start()
+
+    # -- client side -----------------------------------------------------
+
+    def submit(self, record: Mapping) -> "Future[float]":
+        """Enqueue one record; returns a future resolving to its prediction."""
+        if self._closed:
+            raise ServeError(f"batcher {self.name!r} is closed")
+        future: Future[float] = Future()
+        try:
+            self._queue.put_nowait((record, future))
+        except queue.Full:
+            raise ServeError(
+                f"batcher {self.name!r} queue full "
+                f"({self._queue.maxsize} pending requests)"
+            ) from None
+        return future
+
+    def predict(self, record: Mapping, timeout: float | None = 30.0) -> float:
+        """Blocking single-record convenience around :meth:`submit`."""
+        return self.submit(record).result(timeout=timeout)
+
+    def predict_many(
+        self, records: Sequence[Mapping], timeout: float | None = 30.0
+    ) -> list[float]:
+        """Submit every record, then gather results in request order."""
+        futures = [self.submit(r) for r in records]
+        return [f.result(timeout=timeout) for f in futures]
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker; pending requests fail with ServeError."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SENTINEL)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker side -----------------------------------------------------
+
+    def _gather(self) -> list[tuple[Mapping, Future]] | None:
+        """Block for the first record, then fill the batch until the
+        deadline passes or ``max_batch`` is reached. None means shutdown."""
+        item = self._queue.get()
+        if item is _SENTINEL:
+            return None
+        batch = [item]
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                item = (
+                    self._queue.get(timeout=remaining)
+                    if remaining > 0
+                    else self._queue.get_nowait()
+                )
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                # Re-post so the outer loop sees the shutdown after this
+                # batch completes.
+                self._queue.put(_SENTINEL)
+                break
+            batch.append(item)
+        return batch
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._gather()
+            if batch is None:
+                break
+            records = [record for record, _ in batch]
+            try:
+                predictions = self._predict_fn(records)
+            except BaseException as exc:  # propagate to every waiter
+                for _, future in batch:
+                    future.set_exception(exc)
+                continue
+            if len(predictions) != len(batch):
+                exc = ServeError(
+                    f"predict_fn returned {len(predictions)} results "
+                    f"for a batch of {len(batch)}"
+                )
+                for _, future in batch:
+                    future.set_exception(exc)
+                continue
+            for (_, future), value in zip(batch, predictions):
+                future.set_result(float(value))
+            self.stats.record(len(batch))
+        # Fail anything still queued after shutdown.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SENTINEL:
+                item[1].set_exception(ServeError(f"batcher {self.name!r} closed"))

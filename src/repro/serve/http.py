@@ -1,0 +1,223 @@
+"""Stdlib HTTP/JSON front-end for the prediction service.
+
+A :class:`~http.server.ThreadingHTTPServer` whose handler threads feed
+the shared :class:`~repro.serve.service.PredictionService` — so N
+concurrent HTTP clients become N producer threads whose single-job
+requests coalesce in the micro-batcher. No third-party web framework.
+
+Endpoints (see docs/SERVICE.md for payloads):
+
+* ``GET /healthz`` — liveness + request counters + latency snapshot;
+* ``GET /models``  — warm models, registry counters, batcher stats;
+* ``POST /predict`` — ``{"model": "BDT", "jobs": [{"user": ...,
+  "nodes": ..., "req_walltime_s": ...}, ...]}`` (or a single ``"job"``)
+  with an optional ``"scenario"`` overlay; responds with predictions in
+  request order plus per-request latency.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from typing import Any, Mapping
+
+from repro.errors import ReproError, ScenarioError, ServeError, ValidationError
+from repro.serve.service import PredictionService
+
+__all__ = ["PredictionServer", "create_server"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Request errors that map to HTTP 400 (caller's fault, not the server's).
+_BAD_REQUEST_ERRORS = (ServeError, ScenarioError, ValidationError)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the three endpoints onto the shared service."""
+
+    server: "PredictionServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers ---------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ServeError("request body required")
+        if length > _MAX_BODY_BYTES:
+            raise ServeError(f"request body over {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"invalid JSON body: {exc}") from None
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        service = self.server.service
+        if self.path == "/healthz":
+            snap = service.latency.snapshot()
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_s": round(service.uptime_s, 3),
+                    "requests": snap["count"],
+                    "latency": snap,
+                },
+            )
+        elif self.path == "/models":
+            self._send_json(200, service.stats())
+        else:
+            self._send_error_json(404, f"no such endpoint {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/predict":
+            self._send_error_json(404, f"no such endpoint {self.path!r}")
+            return
+        t0 = perf_counter()
+        try:
+            payload = self._read_json()
+            if not isinstance(payload, Mapping):
+                raise ServeError("request body must be a JSON object")
+            jobs = payload.get("jobs")
+            if jobs is None:
+                job = payload.get("job")
+                jobs = [job] if job is not None else None
+            if not jobs or not isinstance(jobs, list):
+                raise ServeError('request needs "jobs": [...] or "job": {...}')
+            model = payload.get("model", "BDT")
+            scenario = payload.get("scenario")
+            predictions = self.server.service.predict(
+                jobs, model=model, scenario=scenario
+            )
+        except _BAD_REQUEST_ERRORS as exc:
+            self._send_error_json(400, str(exc))
+            return
+        except ReproError as exc:
+            self._send_error_json(500, str(exc))
+            return
+        spec = self.server.service.resolve_scenario(scenario)
+        self._send_json(
+            200,
+            {
+                "model": model,
+                "dataset_digest": spec.dataset_digest,
+                # repr-based JSON floats round-trip exactly: the decoded
+                # predictions are bit-identical to the in-process ones.
+                "predictions": [float(p) for p in predictions],
+                "n": len(predictions),
+                "latency_ms": round((perf_counter() - t0) * 1e3, 3),
+            },
+        )
+
+
+class PredictionServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`PredictionService`.
+
+    ``port=0`` binds an ephemeral port (tests, the bench harness);
+    :attr:`address` reports the resolved ``host:port``. Use as a context
+    manager, or call :meth:`shutdown` then :meth:`server_close`.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: PredictionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        self._serving = False
+        super().__init__((host, port), _Handler)
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Blocking serve loop (``close`` from another thread stops it)."""
+        self._serving = True
+        super().serve_forever(poll_interval=poll_interval)
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved, even when constructed with 0)."""
+        return self.server_address[1]
+
+    @property
+    def address(self) -> str:
+        """``host:port`` string of the bound socket."""
+        return f"{self.server_address[0]}:{self.port}"
+
+    def serve_in_background(self) -> threading.Thread:
+        """Start ``serve_forever`` on a daemon thread and return it."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        """Stop serving, close the socket, and shut the service down."""
+        if self._serving:
+            self.shutdown()
+            self._serving = False
+        self.server_close()
+        self.service.close()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def create_server(
+    scenario="emmy",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_dir=None,
+    registry=None,
+    max_batch: int = 64,
+    max_wait_ms: float = 2.0,
+    warm: tuple[str, ...] = (),
+    verbose: bool = False,
+    **scenario_kwargs,
+) -> PredictionServer:
+    """Build a ready-to-serve :class:`PredictionServer` for one scenario.
+
+    ``scenario``/``scenario_kwargs`` go through the
+    :func:`repro.spec.as_scenario` shim, so both a
+    :class:`~repro.spec.ScenarioSpec` and the legacy keyword style work.
+    ``warm`` names models to train/load before the socket starts
+    answering (e.g. ``("BDT",)``). The caller owns the lifecycle: call
+    ``serve_forever`` (or :meth:`PredictionServer.serve_in_background`)
+    and :meth:`PredictionServer.close`.
+    """
+    from repro.spec import as_scenario
+
+    service = PredictionService(
+        as_scenario(scenario, **scenario_kwargs),
+        registry=registry,
+        cache_dir=cache_dir,
+        max_batch=max_batch,
+        max_wait_s=max_wait_ms / 1e3,
+    )
+    server = PredictionServer(service, host=host, port=port, verbose=verbose)
+    if warm:
+        service.warm(warm)
+    return server

@@ -1,0 +1,255 @@
+"""Model registry: trained predictors keyed by dataset content address.
+
+A served model's identity is ``(dataset digest, model name, model
+version)`` where the dataset digest is exactly the pipeline cache key of
+the scenario's ``dataset`` stage (:attr:`repro.spec.ScenarioSpec.dataset_digest`).
+Two scenarios that hash to the same dataset therefore share one trained
+model — and retraining never happens for a scenario the registry (or its
+on-disk cache) has seen.
+
+Lookup order on :meth:`ModelRegistry.get`:
+
+1. **warm LRU** — an in-memory ``OrderedDict`` of fitted predictors;
+2. **artifact cache** — pickled predictors stored under the ``model``
+   stage of the same :class:`~repro.pipeline.ArtifactCache` the pipeline
+   uses (``pipeline status`` lists them, ``pipeline clean --stage model``
+   drops them);
+3. **train** — build the scenario's dataset through the cached pipeline
+   (:func:`repro.pipeline.build_dataset`), fit via the shared
+   :func:`repro.ml.fit_predictor` path, commit to the artifact cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ServeError, ValidationError
+from repro.spec import ScenarioSpec, as_scenario
+
+__all__ = ["MODEL_STAGE", "SERVE_MODELS", "OnlineServable", "ModelRegistry"]
+
+MODEL_STAGE = "model"
+
+# Bump a model's version to invalidate its cached fitted artifacts when
+# training semantics change (mirrors pipeline STAGE_VERSIONS).
+_MODEL_VERSIONS: dict[str, int] = {
+    "BDT": 1,
+    "KNN": 1,
+    "FLDA": 1,
+    "online": 1,
+}
+
+#: The model names the serving layer can train (paper models + the
+#: deployment-order hierarchical-mean predictor).
+SERVE_MODELS: tuple[str, ...] = tuple(_MODEL_VERSIONS)
+
+_ONLINE_FIELDS = ("user", "nodes", "req_walltime_s")
+
+
+class OnlineServable:
+    """The A4 online hierarchical-mean model in servable form.
+
+    Wraps an :class:`~repro.ml.OnlinePowerPredictor` whose levels were
+    populated by one submit-order sweep over the scenario's job table.
+    Unlike the estimator models it backs off gracefully for users it has
+    never seen (``known_users`` is ``None`` — no pre-validation needed).
+    """
+
+    model_name = "online"
+    known_users: frozenset[str] | None = None
+
+    def __init__(self, predictor, n_train: int) -> None:
+        self._predictor = predictor
+        self.n_train = n_train
+
+    def predict_records(self, records: Sequence[Mapping]) -> np.ndarray:
+        """Per-record hierarchical-mean lookups (O(1) each)."""
+        missing = [f for f in _ONLINE_FIELDS if any(f not in r for r in records)]
+        if missing:
+            raise ValidationError(f"records lack feature fields {missing}")
+        return np.asarray(
+            [
+                self._predictor.predict(
+                    str(r["user"]), int(r["nodes"]), int(r["req_walltime_s"])
+                )
+                for r in records
+            ],
+            dtype=float,
+        )
+
+
+def _fit_online(jobs) -> OnlineServable:
+    from repro.ml import OnlinePowerPredictor
+
+    predictor = OnlinePowerPredictor()
+    ordered = jobs.sort_by("submit_s")
+    users = ordered["user"]
+    nodes = ordered["nodes"]
+    walls = ordered["req_walltime_s"]
+    power = ordered["pernode_power_w"].astype(float)
+    for i in range(len(ordered)):
+        predictor.observe(users[i], int(nodes[i]), int(walls[i]), float(power[i]))
+    return OnlineServable(predictor, n_train=len(ordered))
+
+
+class ModelRegistry:
+    """Warm LRU + artifact-cache-backed store of fitted predictors.
+
+    Parameters
+    ----------
+    cache_dir:
+        Artifact cache root shared with the pipeline (default:
+        :func:`repro.pipeline.default_cache_dir`). ``None`` with
+        ``use_disk=False`` keeps everything in memory.
+    capacity:
+        Warm-LRU size in fitted models; the least recently served model
+        is evicted first (its disk artifact survives).
+    use_disk:
+        Disable to skip the artifact cache entirely (tests).
+    """
+
+    def __init__(
+        self,
+        cache_dir=None,
+        capacity: int = 8,
+        use_disk: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ServeError("registry capacity must be >= 1")
+        from repro.pipeline import ArtifactCache, default_cache_dir
+
+        self.capacity = capacity
+        self.use_disk = use_disk
+        self.cache = ArtifactCache(cache_dir if cache_dir is not None else default_cache_dir())
+        self._lru: "OrderedDict[tuple[str, str], Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.disk_loads = 0
+        self.trained = 0
+        self.last_train_seconds = 0.0
+
+    # -- addressing ------------------------------------------------------
+
+    @staticmethod
+    def check_model_name(model: str) -> str:
+        """Validate and return ``model``; raises ServeError when unknown."""
+        if model not in _MODEL_VERSIONS:
+            raise ServeError(
+                f"unknown model {model!r}; known: {list(SERVE_MODELS)}"
+            )
+        return model
+
+    def model_key(self, scenario: ScenarioSpec, model: str) -> str:
+        """Content address of one (scenario dataset, model) artifact."""
+        from repro.pipeline.cache import content_key
+
+        self.check_model_name(model)
+        return content_key(
+            {
+                "format": 1,
+                "stage": MODEL_STAGE,
+                "dataset": scenario.dataset_digest,
+                "model": model,
+                "version": _MODEL_VERSIONS[model],
+            }
+        )
+
+    # -- lookup / training -----------------------------------------------
+
+    def get(self, scenario, model: str = "BDT"):
+        """The fitted predictor for (scenario, model); trains on first use.
+
+        ``scenario`` is anything :func:`repro.spec.as_scenario` accepts.
+        Thread-safe; concurrent misses on the same key train once.
+        """
+        spec = as_scenario(scenario)
+        self.check_model_name(model)
+        key = (spec.dataset_digest, model)
+        with self._lock:
+            servable = self._lru.get(key)
+            if servable is not None:
+                self._lru.move_to_end(key)
+                self.hits += 1
+                return servable
+            self.misses += 1
+            disk_key = self.model_key(spec, model)
+            if self.use_disk and self.cache.has(MODEL_STAGE, disk_key):
+                servable = self.cache.load_pickle(MODEL_STAGE, disk_key)
+                self.disk_loads += 1
+            else:
+                servable = self._train(spec, model)
+                self.trained += 1
+                if self.use_disk:
+                    self.cache.store_pickle(
+                        MODEL_STAGE,
+                        disk_key,
+                        servable,
+                        {
+                            "config": spec.to_dict(),
+                            "label": f"{spec.label}/{model}",
+                            "model": model,
+                            "dataset_key": spec.dataset_digest,
+                            "n_items": servable.n_train,
+                        },
+                    )
+            self._lru[key] = servable
+            while len(self._lru) > self.capacity:
+                self._lru.popitem(last=False)
+            return servable
+
+    def _train(self, spec: ScenarioSpec, model: str):
+        """Build the scenario's dataset (cached) and fit one model on it."""
+        t0 = time.perf_counter()
+        dataset = self._build_dataset(spec)
+        if model == "online":
+            servable = _fit_online(dataset.jobs)
+        else:
+            from repro.analysis.prediction import default_models
+            from repro.ml import fit_predictor
+
+            servable = fit_predictor(
+                dataset.jobs, default_models()[model], model_name=model
+            )
+        self.last_train_seconds = round(time.perf_counter() - t0, 4)
+        return servable
+
+    def _build_dataset(self, spec: ScenarioSpec):
+        from repro.pipeline import build_dataset
+
+        if self.use_disk:
+            return build_dataset(**spec.dataset_kwargs(), cache_dir=self.cache.root)
+        from repro.telemetry import generate_dataset
+
+        return generate_dataset(**spec.dataset_kwargs())
+
+    # -- inspection ------------------------------------------------------
+
+    def loaded(self) -> list[dict[str, Any]]:
+        """Descriptors of every warm model (``/models`` endpoint)."""
+        with self._lock:
+            return [
+                {
+                    "dataset_digest": digest,
+                    "model": model,
+                    "n_train": servable.n_train,
+                }
+                for (digest, model), servable in self._lru.items()
+            ]
+
+    def stats(self) -> dict[str, Any]:
+        """Counter snapshot: hits/misses/disk loads/trains, warm size."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "warm": len(self._lru),
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_loads": self.disk_loads,
+                "trained": self.trained,
+            }

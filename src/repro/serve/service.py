@@ -1,0 +1,271 @@
+"""The embeddable prediction service: registry + micro-batchers + stats.
+
+:class:`PredictionService` is the piece both the HTTP front-end and
+in-process callers (tests, the bench harness, notebooks) drive. It owns
+
+* a :class:`~repro.serve.registry.ModelRegistry` (shared, or private),
+* one :class:`~repro.serve.batching.MicroBatcher` per served
+  (dataset digest, model) pair, created lazily, and
+* :class:`LatencyStats` — structured per-request latency accounting
+  (count, mean, p50, p99 over a sliding window).
+
+Requests are validated *before* they enter a batch: an unknown user (for
+the estimator models, whose category encoders are frozen at fit time)
+fails that request alone instead of poisoning the vectorized call its
+batch-mates share.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.serve.batching import MicroBatcher
+from repro.serve.registry import ModelRegistry
+from repro.spec import ScenarioSpec, as_scenario
+
+__all__ = ["LatencyStats", "PredictionService"]
+
+_REQUIRED_FIELDS = ("user", "nodes", "req_walltime_s")
+
+
+class LatencyStats:
+    """Sliding-window latency accounting (thread-safe).
+
+    Keeps the last ``window`` request latencies for quantiles plus
+    lifetime count/total for the mean; :meth:`snapshot` returns the
+    structured record the ``/healthz`` endpoint and the bench harness
+    report.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._recent: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Fold one request's wall time in."""
+        with self._lock:
+            self._recent.append(seconds)
+            self.count += 1
+            self.total_s += seconds
+
+    def snapshot(self) -> dict[str, Any]:
+        """count / mean / p50 / p99 (ms), over the sliding window."""
+        with self._lock:
+            recent = sorted(self._recent)
+            count = self.count
+            total = self.total_s
+        if not recent:
+            return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0}
+
+        def pct(q: float) -> float:
+            idx = min(len(recent) - 1, int(q * (len(recent) - 1) + 0.5))
+            return recent[idx] * 1e3
+
+        return {
+            "count": count,
+            "mean_ms": round(total / count * 1e3, 3),
+            "p50_ms": round(pct(0.50), 3),
+            "p99_ms": round(pct(0.99), 3),
+        }
+
+
+class PredictionService:
+    """Micro-batched power prediction for one default scenario.
+
+    Parameters
+    ----------
+    scenario:
+        The default :class:`~repro.spec.ScenarioSpec` requests are
+        answered against (anything :func:`repro.spec.as_scenario`
+        accepts). Individual requests may override it.
+    registry:
+        Share a :class:`ModelRegistry` across services, or let the
+        service build its own against ``cache_dir``.
+    max_batch / max_wait_s / max_queue:
+        Batching knobs, passed to every per-model
+        :class:`~repro.serve.batching.MicroBatcher`.
+    """
+
+    def __init__(
+        self,
+        scenario: "ScenarioSpec | Mapping | str" = "emmy",
+        registry: ModelRegistry | None = None,
+        cache_dir=None,
+        max_batch: int = 64,
+        max_wait_s: float = 0.002,
+        max_queue: int = 4096,
+    ) -> None:
+        self.scenario = as_scenario(scenario)
+        self.registry = registry or ModelRegistry(cache_dir=cache_dir)
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.max_queue = max_queue
+        self.latency = LatencyStats()
+        self._batchers: dict[tuple[str, str], MicroBatcher] = {}
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._closed = False
+
+    # -- plumbing --------------------------------------------------------
+
+    def _batcher(self, spec: ScenarioSpec, model: str) -> MicroBatcher:
+        """The lazily created micro-batcher for one (scenario, model)."""
+        servable = self.registry.get(spec, model)  # outside our lock: may train
+        key = (spec.dataset_digest, model)
+        with self._lock:
+            if self._closed:
+                raise ServeError("service is closed")
+            batcher = self._batchers.get(key)
+            if batcher is None:
+                batcher = MicroBatcher(
+                    servable.predict_records,
+                    max_batch=self.max_batch,
+                    max_wait_s=self.max_wait_s,
+                    max_queue=self.max_queue,
+                    name=f"{model}@{key[0][:8]}",
+                )
+                self._batchers[key] = batcher
+            return batcher
+
+    def _validate(self, records: Sequence[Mapping], servable) -> None:
+        for i, record in enumerate(records):
+            missing = [f for f in _REQUIRED_FIELDS if f not in record]
+            if missing:
+                raise ServeError(f"request {i} lacks fields {missing}")
+            try:
+                nodes = int(record["nodes"])
+                walltime = float(record["req_walltime_s"])
+            except (TypeError, ValueError):
+                raise ServeError(
+                    f"request {i}: nodes and req_walltime_s must be numeric"
+                ) from None
+            if nodes < 1:
+                raise ServeError(f"request {i}: nodes must be >= 1")
+            if walltime <= 0:
+                raise ServeError(f"request {i}: req_walltime_s must be positive")
+        known = servable.known_users
+        if known is not None:
+            unknown = sorted(
+                {str(r["user"]) for r in records} - known
+            )
+            if unknown:
+                raise ServeError(
+                    f"unknown user(s) {unknown[:5]} for model "
+                    f"{servable.model_name!r}; the online model accepts any user"
+                )
+
+    # -- request surface -------------------------------------------------
+
+    def predict(
+        self,
+        records: Sequence[Mapping],
+        model: str = "BDT",
+        scenario: "ScenarioSpec | Mapping | None" = None,
+        timeout: float | None = 30.0,
+    ) -> np.ndarray:
+        """Micro-batched predictions for request-order ``records``.
+
+        Each record is submitted individually, so concurrent callers'
+        single-job requests coalesce into shared vectorized calls.
+        ``scenario`` overrides the service default for this request only
+        (a mapping overlays just the fields it names).
+        """
+        if not records:
+            raise ServeError("predict needs at least one record")
+        t0 = time.perf_counter()
+        spec = self.resolve_scenario(scenario)
+        self.registry.check_model_name(model)
+        servable = self.registry.get(spec, model)
+        self._validate(records, servable)
+        batcher = self._batcher(spec, model)
+        values = batcher.predict_many(records, timeout=timeout)
+        self.latency.record(time.perf_counter() - t0)
+        return np.asarray(values, dtype=float)
+
+    def predict_one(
+        self,
+        user: str,
+        nodes: int,
+        req_walltime_s: float,
+        model: str = "BDT",
+        scenario: "ScenarioSpec | Mapping | None" = None,
+    ) -> float:
+        """Single-job convenience around :meth:`predict`."""
+        return float(
+            self.predict(
+                [{"user": user, "nodes": nodes, "req_walltime_s": req_walltime_s}],
+                model=model,
+                scenario=scenario,
+            )[0]
+        )
+
+    def resolve_scenario(self, scenario) -> ScenarioSpec:
+        """The effective spec for a request's optional scenario overlay."""
+        if scenario is None:
+            return self.scenario
+        if isinstance(scenario, Mapping):
+            # Overlay: the request names only the fields it changes.
+            base = self.scenario.to_dict()
+            overlay = dict(scenario)
+            if "horizon_s" in overlay:
+                base.pop("horizon_days", None)
+            return ScenarioSpec.from_dict({**base, **overlay})
+        return as_scenario(scenario)
+
+    def warm(self, models: Sequence[str] = ("BDT",)) -> None:
+        """Train/load the given models for the default scenario up front."""
+        for model in models:
+            self._batcher(self.scenario, model)
+
+    # -- inspection / lifecycle ------------------------------------------
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since the service object was created."""
+        return time.monotonic() - self._started
+
+    def stats(self) -> dict[str, Any]:
+        """Structured service state: scenario, registry, batchers, latency."""
+        with self._lock:
+            batchers = {
+                f"{model}@{digest[:12]}": b.stats.snapshot()
+                for (digest, model), b in self._batchers.items()
+            }
+        return {
+            "scenario": self.scenario.to_dict(),
+            "dataset_digest": self.scenario.dataset_digest,
+            "uptime_s": round(self.uptime_s, 3),
+            "latency": self.latency.snapshot(),
+            "registry": self.registry.stats(),
+            "models": self.registry.loaded(),
+            "batchers": batchers,
+            "batching": {
+                "max_batch": self.max_batch,
+                "max_wait_ms": self.max_wait_s * 1e3,
+                "max_queue": self.max_queue,
+            },
+        }
+
+    def close(self) -> None:
+        """Shut every batcher down; further predicts raise ServeError."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            batchers = list(self._batchers.values())
+        for batcher in batchers:
+            batcher.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,45 @@
+"""Serving-layer fixtures: one tiny scenario, shared artifact cache.
+
+The scenario is deliberately small (a 2-day, 24-node Emmy) so model
+training during tests costs well under a second; the module-scoped cache
+directory lets the dataset artifact be built once and reused by every
+registry/service the tests construct against it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spec import ScenarioSpec
+
+TINY = ScenarioSpec(
+    "emmy", seed=3, num_nodes=24, num_users=10, horizon_days=2, max_traces=10
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> ScenarioSpec:
+    return TINY
+
+
+@pytest.fixture(scope="session")
+def serve_cache(tmp_path_factory):
+    """Artifact-cache root shared across serve tests (dataset built once)."""
+    return tmp_path_factory.mktemp("serve-cache")
+
+
+@pytest.fixture(scope="session")
+def tiny_records(tiny_spec, serve_cache) -> list[dict]:
+    """Prediction-request records drawn from the tiny scenario's own jobs."""
+    from repro.pipeline import build_dataset
+
+    dataset = build_dataset(**tiny_spec.dataset_kwargs(), cache_dir=serve_cache)
+    jobs = dataset.jobs
+    return [
+        {
+            "user": str(jobs["user"][i]),
+            "nodes": int(jobs["nodes"][i]),
+            "req_walltime_s": int(jobs["req_walltime_s"][i]),
+        }
+        for i in range(min(32, len(jobs)))
+    ]

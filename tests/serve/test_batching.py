@@ -1,0 +1,155 @@
+"""MicroBatcher semantics: coalescing, ordering, errors, lifecycle.
+
+All tests here drive the batcher with synthetic predict functions so the
+batch-formation behavior is deterministic: the worker is parked inside a
+blocked first call while the test shapes the backlog, then released.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import MicroBatcher
+from repro.serve.batching import BatchStats
+
+
+def _blocking_predict(calls, release, started):
+    """predict_fn that blocks its first call until ``release`` is set."""
+
+    def predict(records):
+        calls.append(len(records))
+        if len(calls) == 1:
+            started.set()
+            release.wait(5)
+        return [float(r["x"]) for r in records]
+
+    return predict
+
+
+def test_single_prediction_round_trips():
+    with MicroBatcher(lambda rs: [r["x"] * 2 for r in rs], max_wait_s=0) as b:
+        assert b.predict({"x": 2.5}) == 5.0
+
+
+def test_results_follow_request_order():
+    with MicroBatcher(lambda rs: [r["x"] for r in rs], max_wait_s=0.01) as b:
+        records = [{"x": float(i)} for i in range(50)]
+        assert b.predict_many(records) == [float(i) for i in range(50)]
+
+
+def test_backlog_coalesces_into_one_batch():
+    calls, release, started = [], threading.Event(), threading.Event()
+    with MicroBatcher(
+        _blocking_predict(calls, release, started), max_batch=8, max_wait_s=0
+    ) as b:
+        first = b.submit({"x": 0})
+        assert started.wait(5)
+        backlog = [b.submit({"x": i}) for i in range(1, 4)]
+        release.set()
+        assert first.result(5) == 0.0
+        assert [f.result(5) for f in backlog] == [1.0, 2.0, 3.0]
+    # The three backlogged records were drained as a single batch even
+    # with max_wait_s=0 — adaptive batching under load.
+    assert calls == [1, 3]
+
+
+def test_max_batch_caps_every_call():
+    calls, release, started = [], threading.Event(), threading.Event()
+    with MicroBatcher(
+        _blocking_predict(calls, release, started), max_batch=4, max_wait_s=0
+    ) as b:
+        futures = [b.submit({"x": i}) for i in range(11)]
+        assert started.wait(5)
+        release.set()
+        assert [f.result(5) for f in futures] == [float(i) for i in range(11)]
+    assert max(calls) <= 4 and sum(calls) == 11
+
+
+def test_stats_track_batches():
+    stats = BatchStats()
+    stats.record(1)
+    stats.record(3)
+    snap = stats.snapshot()
+    assert snap == {
+        "n_requests": 4,
+        "n_batches": 2,
+        "mean_batch": 2.0,
+        "max_batch": 3,
+    }
+
+
+def test_predict_error_reaches_every_waiter_and_batcher_survives():
+    def predict(records):
+        if any(r.get("bad") for r in records):
+            raise ValueError("boom")
+        return [r["x"] for r in records]
+
+    with MicroBatcher(predict, max_wait_s=0) as b:
+        with pytest.raises(ValueError, match="boom"):
+            b.predict({"bad": True})
+        # The worker outlives the failed batch.
+        assert b.predict({"x": 7.0}) == 7.0
+
+
+def test_wrong_length_result_is_a_serve_error():
+    calls, release, started = [], threading.Event(), threading.Event()
+
+    def predict(records):
+        calls.append(len(records))
+        if len(calls) == 1:
+            started.set()
+            release.wait(5)
+            return [0.0] * len(records)
+        return [0.0]  # deliberately short for the 2-record batch below
+
+    with MicroBatcher(predict, max_batch=8, max_wait_s=0) as b:
+        first = b.submit({"x": 0})
+        assert started.wait(5)
+        pair = [b.submit({"x": i}) for i in (1, 2)]
+        release.set()
+        assert first.result(5) == 0.0
+        for future in pair:
+            with pytest.raises(ServeError, match="returned 1 results"):
+                future.result(5)
+    assert calls == [1, 2]
+
+
+def test_full_queue_rejects_instead_of_queueing_forever():
+    release, started = threading.Event(), threading.Event()
+
+    def predict(records):
+        started.set()
+        release.wait(5)
+        return [0.0] * len(records)
+
+    b = MicroBatcher(predict, max_batch=1, max_wait_s=0, max_queue=2)
+    try:
+        inflight = b.submit({"x": 0})
+        assert started.wait(5)  # worker holds this one; queue is empty
+        queued = [b.submit({"x": i}) for i in (1, 2)]
+        with pytest.raises(ServeError, match="queue full"):
+            b.submit({"x": 3})
+        release.set()
+        assert inflight.result(5) == 0.0
+        assert [f.result(5) for f in queued] == [0.0, 0.0]
+    finally:
+        release.set()
+        b.close()
+
+
+def test_submit_after_close_raises():
+    b = MicroBatcher(lambda rs: [0.0] * len(rs))
+    b.close()
+    b.close()  # idempotent
+    with pytest.raises(ServeError, match="closed"):
+        b.submit({"x": 1})
+
+
+def test_knob_validation():
+    with pytest.raises(ServeError):
+        MicroBatcher(lambda rs: rs, max_batch=0)
+    with pytest.raises(ServeError):
+        MicroBatcher(lambda rs: rs, max_wait_s=-1.0)

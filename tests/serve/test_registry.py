@@ -1,0 +1,90 @@
+"""ModelRegistry: train-once semantics, disk reload, LRU, addressing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ModelRegistry
+from repro.serve.registry import SERVE_MODELS
+
+
+def test_first_get_trains_second_hits_warm(tmp_path, tiny_spec):
+    registry = ModelRegistry(cache_dir=tmp_path)
+    first = registry.get(tiny_spec, "BDT")
+    assert registry.stats() == {
+        "capacity": 8, "warm": 1, "hits": 0,
+        "misses": 1, "disk_loads": 0, "trained": 1,
+    }
+    assert registry.last_train_seconds > 0
+    second = registry.get(tiny_spec, "BDT")
+    assert second is first
+    assert registry.stats()["hits"] == 1
+    assert registry.stats()["trained"] == 1
+
+
+def test_fresh_registry_reloads_from_disk(tmp_path, tiny_spec, tiny_records):
+    trained = ModelRegistry(cache_dir=tmp_path).get(tiny_spec, "BDT")
+    reloaded_registry = ModelRegistry(cache_dir=tmp_path)
+    reloaded = reloaded_registry.get(tiny_spec, "BDT")
+    stats = reloaded_registry.stats()
+    assert stats["trained"] == 0 and stats["disk_loads"] == 1
+    # The pickled predictor answers bit-identically to the one trained.
+    np.testing.assert_array_equal(
+        reloaded.predict_records(tiny_records),
+        trained.predict_records(tiny_records),
+    )
+
+
+def test_lru_evicts_least_recently_served(tmp_path, tiny_spec):
+    registry = ModelRegistry(cache_dir=tmp_path, capacity=1)
+    registry.get(tiny_spec, "BDT")
+    registry.get(tiny_spec, "online")
+    assert registry.stats()["warm"] == 1
+    assert registry.loaded()[0]["model"] == "online"
+    # Evicted from warm, but its disk artifact survives.
+    registry.get(tiny_spec, "BDT")
+    assert registry.stats() == {
+        "capacity": 1, "warm": 1, "hits": 0,
+        "misses": 3, "disk_loads": 1, "trained": 2,
+    }
+
+
+def test_model_keys_are_stable_and_distinct(tmp_path, tiny_spec):
+    registry = ModelRegistry(cache_dir=tmp_path)
+    keys = {model: registry.model_key(tiny_spec, model) for model in SERVE_MODELS}
+    assert len(set(keys.values())) == len(SERVE_MODELS)
+    other = ModelRegistry(cache_dir=tmp_path / "elsewhere")
+    assert other.model_key(tiny_spec, "BDT") == keys["BDT"]
+    # A different scenario means a different dataset digest, so new keys.
+    assert registry.model_key(tiny_spec.replace(seed=99), "BDT") != keys["BDT"]
+
+
+def test_unknown_model_rejected(tmp_path, tiny_spec):
+    registry = ModelRegistry(cache_dir=tmp_path)
+    with pytest.raises(ServeError, match="unknown model"):
+        registry.get(tiny_spec, "XGBoost")
+    with pytest.raises(ServeError, match="unknown model"):
+        registry.model_key(tiny_spec, "XGBoost")
+
+
+def test_capacity_validated(tmp_path):
+    with pytest.raises(ServeError):
+        ModelRegistry(cache_dir=tmp_path, capacity=0)
+
+
+def test_online_model_accepts_unseen_users(tmp_path, tiny_spec):
+    registry = ModelRegistry(cache_dir=tmp_path)
+    servable = registry.get(tiny_spec, "online")
+    assert servable.known_users is None
+    predictions = servable.predict_records(
+        [{"user": "never-seen-before", "nodes": 2, "req_walltime_s": 3600}]
+    )
+    assert np.isfinite(predictions).all() and predictions[0] > 0
+
+
+def test_estimator_models_freeze_their_user_vocabulary(tmp_path, tiny_spec):
+    servable = ModelRegistry(cache_dir=tmp_path).get(tiny_spec, "BDT")
+    assert servable.known_users  # non-empty frozenset
+    assert "never-seen-before" not in servable.known_users

@@ -127,24 +127,50 @@ def print_report(result: dict) -> None:
           f"{result['jobs_per_second']:,.0f} jobs/s")
 
 
-def check(result: dict, baseline_path: Path, tolerance: float) -> int:
-    """CI gate: fail when throughput regressed more than ``tolerance``."""
+def load_baseline(
+    result: dict, baseline_path: Path, name: str = "perf-check"
+) -> dict | None:
+    """Load and config-match a baseline; None (after a message) when unusable.
+
+    Shared by this harness and ``tools/serve_bench.py`` so every bench
+    gates the same way: a missing baseline or a configuration mismatch is
+    exit-2 territory (the caller maps ``None`` to 2), not a silent pass.
+    """
     if not baseline_path.is_file():
-        print(f"perf-check: no baseline at {baseline_path}; "
+        print(f"{name}: no baseline at {baseline_path}; "
               f"run with --update first", file=sys.stderr)
-        return 2
+        return None
     baseline = json.loads(baseline_path.read_text())
     if baseline.get("config") != result["config"]:
-        print("perf-check: baseline was recorded with a different configuration; "
+        print(f"{name}: baseline was recorded with a different configuration; "
               "re-run with matching flags or --update", file=sys.stderr)
-        return 2
-    base_rate = baseline["jobs_per_second"]
-    rate = result["jobs_per_second"]
+        return None
+    return baseline
+
+
+def gate_throughput(
+    rate: float,
+    base_rate: float,
+    tolerance: float,
+    unit: str = "jobs/s",
+    name: str = "perf-check",
+) -> bool:
+    """Print the verdict line; True when ``rate`` clears the floor."""
     floor = base_rate * (1.0 - tolerance)
     verdict = "OK" if rate >= floor else "REGRESSION"
-    print(f"perf-check: {rate:,.0f} jobs/s vs baseline {base_rate:,.0f} jobs/s "
+    print(f"{name}: {rate:,.0f} {unit} vs baseline {base_rate:,.0f} {unit} "
           f"(floor {floor:,.0f} at -{tolerance:.0%}) -> {verdict}")
-    if rate < floor:
+    return rate >= floor
+
+
+def check(result: dict, baseline_path: Path, tolerance: float) -> int:
+    """CI gate: fail when throughput regressed more than ``tolerance``."""
+    baseline = load_baseline(result, baseline_path)
+    if baseline is None:
+        return 2
+    if not gate_throughput(
+        result["jobs_per_second"], baseline["jobs_per_second"], tolerance
+    ):
         slow = [
             s for s in STAGES
             if result["stages"][s] > baseline["stages"].get(s, 0.0) * (1 + tolerance)

@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Load-generator harness for the online prediction service.
+
+Stands up an in-process :class:`repro.serve.PredictionServer` (ephemeral
+port), then hammers ``POST /predict`` from ``--clients`` concurrent
+threads, each sending ``--requests`` single-job requests drawn from the
+scenario's own job table. Records
+
+* sustained throughput (predictions/s over the loaded window),
+* per-request latency p50 / p99 / mean (ms), and
+* micro-batching effectiveness (mean/max batch size actually formed),
+
+and writes/gates them against ``BENCH_serve.json`` through the same
+machinery as the dataset bench (:mod:`tools.perf_check`:
+``load_baseline`` / ``gate_throughput``, >25 % regression fails).
+
+Usage::
+
+    python tools/serve_bench.py                 # measure, print table
+    python tools/serve_bench.py --update        # rewrite BENCH_serve.json
+    python tools/serve_bench.py --check         # CI gate (exit 1 on
+                                                # throughput regression)
+
+``make serve-bench`` wraps ``--update``; ``make serve-bench-check``
+wraps ``--check``. See docs/SERVICE.md for methodology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from perf_check import gate_throughput, load_baseline  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_serve.json"
+BENCH_NAME = "serve-bench"
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    idx = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[idx]
+
+
+def _request_pool(dataset, limit: int = 512) -> list[bytes]:
+    """Pre-encoded single-job /predict bodies drawn from real jobs."""
+    jobs = dataset.jobs
+    n = min(limit, len(jobs))
+    bodies = []
+    for i in range(n):
+        payload = {
+            "model": "BDT",
+            "job": {
+                "user": str(jobs["user"][i]),
+                "nodes": int(jobs["nodes"][i]),
+                "req_walltime_s": int(jobs["req_walltime_s"][i]),
+            },
+        }
+        bodies.append(json.dumps(payload).encode("utf-8"))
+    return bodies
+
+
+def _client(
+    host: str,
+    port: int,
+    bodies: list[bytes],
+    n_requests: int,
+    offset: int,
+    barrier: threading.Barrier,
+    latencies: list[float],
+    failures: list[str],
+) -> None:
+    """One load-generator thread: keep-alive connection, sequential POSTs."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    headers = {"Content-Type": "application/json"}
+    barrier.wait()
+    for i in range(n_requests):
+        body = bodies[(offset + i) % len(bodies)]
+        t0 = time.perf_counter()
+        try:
+            conn.request("POST", "/predict", body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            if response.status != 200:
+                failures.append(f"HTTP {response.status}: {data[:120]!r}")
+                continue
+        except OSError as exc:
+            failures.append(str(exc))
+            conn.close()
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            continue
+        latencies.append(time.perf_counter() - t0)
+    conn.close()
+
+
+def measure(args: argparse.Namespace) -> dict:
+    """One warm-up + one timed load run against a fresh in-process server."""
+    from repro.pipeline import build_dataset
+    from repro.serve import create_server
+    from repro.spec import ScenarioSpec
+
+    spec = ScenarioSpec(
+        system=args.system, seed=args.seed, num_nodes=args.num_nodes,
+        num_users=args.num_users, horizon_days=args.horizon_days,
+        max_traces=args.max_traces,
+    )
+
+    t0 = time.perf_counter()
+    server = create_server(
+        spec, cache_dir=args.cache_dir, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, warm=("BDT",),
+    )
+    warm_seconds = time.perf_counter() - t0
+    server.serve_in_background()
+    dataset = build_dataset(**spec.dataset_kwargs(), cache_dir=args.cache_dir)
+    bodies = _request_pool(dataset)
+    host, port = server.server_address[0], server.port
+
+    if not args.quiet:
+        print(f"{BENCH_NAME}: {spec.label} warm in {warm_seconds:.2f}s, "
+              f"{len(bodies)} distinct jobs, serving on {server.address}")
+
+    try:
+        # Short warm-up so connection setup and first-batch effects stay
+        # out of the timed window.
+        _run_clients(host, port, bodies, clients=args.clients, requests=20)
+        latencies, wall_seconds, failures = _run_clients(
+            host, port, bodies, clients=args.clients, requests=args.requests
+        )
+        batch_stats = _batcher_snapshot(host, port)
+    finally:
+        server.close()
+
+    if failures:
+        raise SystemExit(f"{BENCH_NAME}: {len(failures)} failed requests; "
+                         f"first: {failures[0]}")
+    n = len(latencies)
+    latencies.sort()
+    return {
+        "config": {
+            "system": args.system, "seed": args.seed,
+            "num_nodes": args.num_nodes, "num_users": args.num_users,
+            "horizon_days": args.horizon_days, "max_traces": args.max_traces,
+            "clients": args.clients, "requests_per_client": args.requests,
+            "max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
+            "model": "BDT",
+        },
+        "n_requests": n,
+        "wall_seconds": round(wall_seconds, 4),
+        "predictions_per_second": round(n / wall_seconds, 2),
+        "latency_ms": {
+            "mean": round(statistics.fmean(latencies) * 1e3, 3),
+            "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
+        },
+        "batching": batch_stats,
+        "warm_seconds": round(warm_seconds, 4),
+    }
+
+
+def _run_clients(
+    host: str, port: int, bodies: list[bytes], clients: int, requests: int
+) -> tuple[list[float], float, list[str]]:
+    latencies_per_client: list[list[float]] = [[] for _ in range(clients)]
+    failures: list[str] = []
+    barrier = threading.Barrier(clients + 1)
+    threads = [
+        threading.Thread(
+            target=_client,
+            args=(host, port, bodies, requests, i * 37, barrier,
+                  latencies_per_client[i], failures),
+            daemon=True,
+        )
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    merged = [lat for per_client in latencies_per_client for lat in per_client]
+    return merged, wall, failures
+
+
+def _batcher_snapshot(host: str, port: int) -> dict:
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    conn.request("GET", "/models")
+    stats = json.loads(conn.getresponse().read())
+    conn.close()
+    batchers = stats.get("batchers", {})
+    merged = {"mean_batch": 0.0, "max_batch": 0, "n_batches": 0}
+    for snap in batchers.values():
+        merged["n_batches"] += snap["n_batches"]
+        merged["max_batch"] = max(merged["max_batch"], snap["max_batch"])
+        merged["mean_batch"] = max(merged["mean_batch"], snap["mean_batch"])
+    return merged
+
+
+def print_report(result: dict) -> None:
+    cfg = result["config"]
+    lat = result["latency_ms"]
+    print(f"\n{cfg['system']} seed {cfg['seed']}: {cfg['clients']} clients x "
+          f"{cfg['requests_per_client']} requests ({result['n_requests']} total)")
+    print(f"  throughput {result['predictions_per_second']:,.0f} predictions/s "
+          f"over {result['wall_seconds']:.2f}s")
+    print(f"  latency    p50 {lat['p50']:.2f} ms  p99 {lat['p99']:.2f} ms  "
+          f"mean {lat['mean']:.2f} ms")
+    print(f"  batching   mean {result['batching']['mean_batch']:.1f} "
+          f"max {result['batching']['max_batch']} "
+          f"({result['batching']['n_batches']} batches)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--system", default="emmy", choices=("emmy", "meggie"))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--num-nodes", type=int, default=60)
+    parser.add_argument("--num-users", type=int, default=30)
+    parser.add_argument("--horizon-days", type=float, default=10.0)
+    parser.add_argument("--max-traces", type=int, default=50)
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent load-generator threads")
+    parser.add_argument("--requests", type=int, default=250,
+                        help="requests per client in the timed window")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--cache-dir", type=Path,
+                        default=REPO_ROOT / "benchmarks" / ".cache",
+                        help="artifact cache for the dataset + trained model")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional throughput drop for --check")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default: BENCH_serve.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit 1 on regression")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline with this measurement")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write the measurement JSON here")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    result = measure(args)
+    if not args.quiet:
+        print_report(result)
+    if args.json is not None:
+        args.json.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    if args.update:
+        args.baseline.write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"{BENCH_NAME}: wrote {args.baseline}")
+    if args.check:
+        baseline = load_baseline(result, args.baseline, name=BENCH_NAME)
+        if baseline is None:
+            return 2
+        ok = gate_throughput(
+            result["predictions_per_second"],
+            baseline["predictions_per_second"],
+            args.tolerance,
+            unit="predictions/s",
+            name=BENCH_NAME,
+        )
+        if not ok:
+            base_p99 = baseline["latency_ms"]["p99"]
+            print(f"{BENCH_NAME}: p99 {result['latency_ms']['p99']:.2f} ms "
+                  f"vs baseline {base_p99:.2f} ms", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
