@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-check bench-smoke serve-bench serve-bench-check docs-check pipeline clean-cache all
+.PHONY: test bench bench-check bench-smoke serve-bench serve-bench-check chaos-soak chaos-smoke docs-check pipeline clean-cache all
 
 all: test docs-check
 
@@ -24,6 +24,12 @@ serve-bench:         ## measure the serving hot path, rewrite BENCH_serve.json
 
 serve-bench-check:   ## CI gate: fail on >25% predictions/s regression
 	$(PYTHON) tools/serve_bench.py --check
+
+chaos-soak:          ## fault-injection soak: 0 lost requests, all points fire
+	$(PYTHON) tools/chaos_soak.py --duration 20
+
+chaos-smoke:         ## CI gate: short seeded chaos run (same audit, ~30s)
+	$(PYTHON) tools/chaos_soak.py --duration 6
 
 docs-check:          ## every public symbol has a docstring and an API.md entry
 	$(PYTHON) tools/docs_check.py

@@ -79,6 +79,9 @@ __all__ = [
     "ModelRegistry",
     "PredictionService",
     "PredictionServer",
+    # fault injection (chaos testing; docs/FAULTS.md)
+    "FaultPlan",
+    "FaultInjector",
     # analyses
     "system_utilization",
     "power_utilization",
@@ -124,6 +127,9 @@ _LAZY_ATTRS = {
     "ModelRegistry": "repro.serve",
     "PredictionService": "repro.serve",
     "PredictionServer": "repro.serve",
+    # fault injection
+    "FaultPlan": "repro.faults",
+    "FaultInjector": "repro.faults",
     # analyses
     "system_utilization": "repro.analysis",
     "power_utilization": "repro.analysis",

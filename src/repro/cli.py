@@ -99,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
                      "(BDT KNN FLDA online)")
     srv.add_argument("--cache-dir", type=Path, default=None,
                      help="artifact cache for datasets and trained models")
+    srv.add_argument("--fault-plan", type=Path, default=None,
+                     help="arm a FaultPlan JSON (docs/FAULTS.md) for the "
+                     "whole serve lifetime — chaos testing only")
 
     sub.add_parser("specs", help="print the Table 1 system specifications")
 
@@ -255,23 +258,39 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.serve import create_server
 
+    injector = nullcontext()
+    if args.fault_plan is not None:
+        from repro.faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan.load(args.fault_plan)
+        injector = FaultInjector(plan)
+        print(f"armed fault plan {args.fault_plan} "
+              f"(seed {plan.seed}, points: {', '.join(plan.points)})")
     spec = ScenarioSpec.from_args(args)
     print(f"scenario {spec.label}: training/loading {', '.join(args.warm)} …")
-    server = create_server(
-        spec, host=args.host, port=args.port, cache_dir=args.cache_dir,
-        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
-        warm=tuple(args.warm),
-    )
-    print(f"serving on http://{server.address}  "
-          f"(POST /predict, GET /models, GET /healthz; Ctrl-C stops)")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
-    finally:
-        server.close()
+    with injector:
+        server = create_server(
+            spec, host=args.host, port=args.port, cache_dir=args.cache_dir,
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        )
+        for model, state in server.service.warm(tuple(args.warm)).items():
+            if state != "ok":
+                # Serve anyway: requests degrade to the mean baseline
+                # until the registry recovers (docs/FAULTS.md).
+                print(f"warning: warming {model} failed ({state}); "
+                      "serving degraded")
+        print(f"serving on http://{server.address}  "
+              f"(POST /predict, GET /models, GET /healthz; Ctrl-C stops)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            server.close()
     return 0
 
 
@@ -400,6 +419,10 @@ def _cmd_pipeline_status(args: argparse.Namespace) -> int:
         total_mb = sum(e.size_bytes for e in stage_entries) / 1e6
         print(f"{stage}: {len(stage_entries)} entries, {total_mb:.1f} MB")
         for e in stage_entries:
+            if e.damaged:
+                print(f"  {e.key[:12]}…  DAMAGED (unreadable meta; "
+                      f"`pipeline clean --stage {e.stage}` removes it)")
+                continue
             label = e.meta.get("label", "?")
             n = e.meta.get("n_items", e.meta.get("n_jobs", "?"))
             secs = e.meta.get("seconds")

@@ -78,3 +78,11 @@ class CacheError(PipelineError):
 
 class ServeError(ReproError):
     """Prediction-service misuse: bad request, closed batcher, overload."""
+
+
+class ServiceClosed(ServeError):
+    """The batcher/service was shut down; the request was not served."""
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection plan or injector misuse."""

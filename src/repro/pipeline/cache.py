@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import CacheError
+from repro.faults.injector import maybe_fire
 
 __all__ = [
     "CacheError",
@@ -88,6 +89,16 @@ class CacheEntry:
         """Total on-disk size of the entry's files."""
         return sum(p.stat().st_size for p in self.path.iterdir() if p.is_file())
 
+    @property
+    def damaged(self) -> bool:
+        """True when the entry's meta sidecar was unreadable.
+
+        A crashed or fault-injected writer can leave a truncated
+        ``meta.json`` behind; such entries are surfaced (and removable)
+        instead of crashing ``pipeline status`` / ``clean``.
+        """
+        return bool(self.meta.get("damaged"))
+
 
 class ArtifactCache:
     """Content-addressed store of pipeline stage outputs.
@@ -114,11 +125,17 @@ class ArtifactCache:
 
     def load_meta(self, stage: str, key: str) -> dict:
         """The meta.json of a committed entry."""
+        if maybe_fire("cache.read"):
+            raise CacheError(f"injected fault: cache.read {stage}/{key[:12]}…")
         path = self.entry_dir(stage, key) / META_NAME
         try:
             return json.loads(path.read_text())
         except FileNotFoundError:
             raise CacheError(f"no cache entry for {stage}/{key[:12]}…") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CacheError(
+                f"unreadable meta for {stage}/{key[:12]}…: {exc}"
+            ) from None
 
     # -- commit / load ---------------------------------------------------
 
@@ -145,6 +162,8 @@ class ArtifactCache:
 
     def store_pickle(self, stage: str, key: str, obj: Any, meta: dict) -> Path:
         """Commit a pickled payload under (stage, key). Atomic."""
+        if maybe_fire("cache.write"):
+            raise CacheError(f"injected fault: cache.write {stage}/{key[:12]}…")
         tmp = self._tmp_dir()
         with (tmp / PAYLOAD_NAME).open("wb") as fh:
             pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
@@ -153,6 +172,12 @@ class ArtifactCache:
 
     def load_pickle(self, stage: str, key: str) -> Any:
         """Load a payload committed by :meth:`store_pickle`."""
+        if maybe_fire("cache.read"):
+            raise CacheError(f"injected fault: cache.read {stage}/{key[:12]}…")
+        if maybe_fire("cache.corrupt"):
+            raise pickle.UnpicklingError(
+                f"injected fault: cache.corrupt {stage}/{key[:12]}…"
+            )
         path = self.entry_dir(stage, key) / PAYLOAD_NAME
         try:
             with path.open("rb") as fh:
@@ -168,6 +193,8 @@ class ArtifactCache:
         ``build(tmp_dir)`` writes the artifact files into ``tmp_dir`` and
         returns extra meta fields to merge into the sidecar.
         """
+        if maybe_fire("cache.write"):
+            raise CacheError(f"injected fault: cache.write {stage}/{key[:12]}…")
         tmp = self._tmp_dir()
         extra = build(tmp) or {}
         self._write_meta(tmp, stage, key, {**meta, **extra})
@@ -191,11 +218,23 @@ class ArtifactCache:
             if not stage_dir.is_dir():
                 continue
             for entry in sorted(stage_dir.iterdir()):
+                if not entry.is_dir():
+                    continue
                 meta_path = entry / META_NAME
-                if meta_path.is_file():
-                    found.append(
-                        CacheEntry(s, entry.name, entry, json.loads(meta_path.read_text()))
-                    )
+                # A crashed/faulted writer can leave a truncated sidecar
+                # (or none at all — which also wedges the key: commits
+                # rename onto the occupied directory and give up).
+                # Surface such entries as damaged so `status` can report
+                # them and `clean` can remove them, instead of raising
+                # or skipping them forever.
+                if not meta_path.is_file():
+                    meta = {"damaged": True, "error": f"missing {META_NAME}"}
+                else:
+                    try:
+                        meta = json.loads(meta_path.read_text())
+                    except (OSError, json.JSONDecodeError) as exc:
+                        meta = {"damaged": True, "error": str(exc)}
+                found.append(CacheEntry(s, entry.name, entry, meta))
         return found
 
     def remove(

@@ -164,6 +164,7 @@ class StageTiming:
     cached: bool
     n_items: int  # jobs the stage produced/sampled/joined
     n_traces: int = 0  # instrumented traces (telemetry/dataset stages)
+    n_gaps: int = 0  # dropped-then-gap-filled samples (telemetry stage)
 
     @property
     def items_per_second(self) -> float:
@@ -185,6 +186,7 @@ class StageTiming:
             "cached": self.cached,
             "n_items": self.n_items,
             "n_traces": self.n_traces,
+            "n_gaps": self.n_gaps,
             "items_per_second": round(self.items_per_second, 3),
             "traces_per_second": round(self.traces_per_second, 3),
         }
@@ -196,6 +198,7 @@ class StageTiming:
             stage=data["stage"], key=data["key"], seconds=data["seconds"],
             cached=data["cached"], n_items=data["n_items"],
             n_traces=data.get("n_traces", 0),
+            n_gaps=data.get("n_gaps", 0),
         )
 
 
@@ -208,6 +211,16 @@ class ShardReport:
     n_jobs: int = 0
     n_traces: int = 0
     dataset_key: str = ""
+
+    @property
+    def n_gaps(self) -> int:
+        """Dropped-then-gap-filled telemetry samples in this shard.
+
+        The telemetry and dataset stages both report the same artifact's
+        gap count (so a dataset cache hit still surfaces it); ``max``
+        reads whichever stage ran without double counting.
+        """
+        return max((t.n_gaps for t in self.stages), default=0)
 
     @property
     def seconds(self) -> float:
@@ -232,6 +245,7 @@ class ShardReport:
             "stages": [t.to_dict() for t in self.stages],
             "n_jobs": self.n_jobs,
             "n_traces": self.n_traces,
+            "n_gaps": self.n_gaps,
             "dataset_key": self.dataset_key,
             "seconds": round(self.seconds, 4),
             "jobs_per_second": round(self.jobs_per_second, 3),

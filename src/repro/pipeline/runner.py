@@ -52,6 +52,11 @@ class RunManifest:
         return sum(s.n_jobs for s in self.shards)
 
     @property
+    def n_gaps(self) -> int:
+        """Total dropped-then-gap-filled telemetry samples across shards."""
+        return sum(s.n_gaps for s in self.shards)
+
+    @property
     def stages_cached(self) -> int:
         """How many stage executions were cache hits."""
         return sum(1 for s in self.shards for t in s.stages if t.cached)
@@ -74,6 +79,7 @@ class RunManifest:
             "cache_dir": self.cache_dir,
             "total_seconds": round(self.total_seconds, 4),
             "n_jobs": self.n_jobs,
+            "n_gaps": self.n_gaps,
             "stages_cached": self.stages_cached,
             "stages_total": self.stages_total,
             "shards": [s.to_dict() for s in self.shards],

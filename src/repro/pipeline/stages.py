@@ -63,13 +63,14 @@ def run_shard(
     meta_common = {"config": shard.to_dict(), "label": shard.label}
 
     def timed(
-        stage: str, cached: bool, n_items: int, t0: float, n_traces: int = 0
+        stage: str, cached: bool, n_items: int, t0: float,
+        n_traces: int = 0, n_gaps: int = 0,
     ) -> None:
         report.stages.append(
             StageTiming(
                 stage=stage, key=keys[stage],
                 seconds=time.perf_counter() - t0, cached=cached,
-                n_items=n_items, n_traces=n_traces,
+                n_items=n_items, n_traces=n_traces, n_gaps=n_gaps,
             )
         )
 
@@ -82,7 +83,8 @@ def run_shard(
             if want_dataset
             else None
         )
-        timed("dataset", True, meta.get("n_jobs", 0), t0, meta.get("n_traces", 0))
+        timed("dataset", True, meta.get("n_jobs", 0), t0,
+              meta.get("n_traces", 0), meta.get("n_gaps", 0))
         report.n_jobs = meta.get("n_jobs", 0)
         report.n_traces = meta.get("n_traces", 0)
         return report, dataset
@@ -92,7 +94,11 @@ def run_shard(
     if not force and cache.has("telemetry", keys["telemetry"]):
         t0 = time.perf_counter()
         sample = cache.load_pickle("telemetry", keys["telemetry"])
-        timed("telemetry", True, sample.num_jobs, t0, len(sample.traces))
+        timed(
+            "telemetry", True, sample.num_jobs, t0, len(sample.traces),
+            # Pickles cached before gap accounting lack the field.
+            getattr(sample, "n_gaps", 0),
+        )
     if not force and cache.has("schedule", keys["schedule"]):
         t0 = time.perf_counter()
         scheduled = cache.load_pickle("schedule", keys["schedule"])
@@ -141,9 +147,13 @@ def run_shard(
             "telemetry", keys["telemetry"], sample,
             {**meta_common, "n_items": sample.num_jobs,
              "n_traces": len(sample.traces),
+             "n_gaps": sample.n_gaps,
              "seconds": round(time.perf_counter() - t0, 4)},
         )
-        timed("telemetry", False, sample.num_jobs, t0, len(sample.traces))
+        timed(
+            "telemetry", False, sample.num_jobs, t0,
+            len(sample.traces), sample.n_gaps,
+        )
 
     t0 = time.perf_counter()
     dataset = join_dataset(cluster, scheduled, params.horizon_s, sample)
@@ -159,9 +169,13 @@ def run_shard(
 
     cache.store_tree(
         "dataset", keys["dataset"], build,
-        {**meta_common, "seconds": round(time.perf_counter() - t0, 4)},
+        # The gap count rides on the final artifact too, so a later
+        # cache-hit load still reports how many samples were filled in.
+        {**meta_common, "n_gaps": getattr(sample, "n_gaps", 0),
+         "seconds": round(time.perf_counter() - t0, 4)},
     )
-    timed("dataset", False, dataset.num_jobs, t0, len(dataset.traces))
+    timed("dataset", False, dataset.num_jobs, t0, len(dataset.traces),
+          getattr(sample, "n_gaps", 0))
     report.n_jobs = dataset.num_jobs
     report.n_traces = len(dataset.traces)
     return report, dataset if want_dataset else None

@@ -26,6 +26,7 @@ CLI's bookkeeping commands never pays for numpy or the ML layer.
 __all__ = [
     "BatchStats",
     "LatencyStats",
+    "MeanPowerServable",
     "MicroBatcher",
     "ModelRegistry",
     "OnlineServable",
@@ -39,6 +40,7 @@ __all__ = [
 _LAZY_ATTRS = {
     "BatchStats": "repro.serve.batching",
     "MicroBatcher": "repro.serve.batching",
+    "MeanPowerServable": "repro.serve.registry",
     "ModelRegistry": "repro.serve.registry",
     "OnlineServable": "repro.serve.registry",
     "SERVE_MODELS": "repro.serve.registry",

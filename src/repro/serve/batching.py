@@ -15,6 +15,15 @@ Batch formation is bounded by two knobs:
   more requests. ``0`` still coalesces whatever is already queued (the
   backlog-drain behavior that gives adaptive batching under load) but
   never waits.
+
+The worker is *supervised*: if the loop machinery itself dies (a bug, or
+the ``batcher.crash`` fault-injection point), the supervisor re-queues
+the in-flight batch and restarts the loop, so no accepted request is
+ever lost to a worker crash (``predict_fn`` exceptions are not crashes —
+they propagate to exactly the waiters of that batch, as before). On
+:meth:`~MicroBatcher.close`, anything still queued fails promptly with
+:class:`~repro.errors.ServiceClosed` instead of hanging until the client
+timeout.
 """
 
 from __future__ import annotations
@@ -25,7 +34,8 @@ import time
 from concurrent.futures import Future
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.errors import ServeError
+from repro.errors import ServeError, ServiceClosed
+from repro.faults.injector import maybe_fire
 
 __all__ = ["BatchStats", "MicroBatcher"]
 
@@ -62,7 +72,7 @@ class BatchStats:
 
 
 class MicroBatcher:
-    """One worker thread turning single-record submissions into batches.
+    """One supervised worker thread turning submissions into batches.
 
     Parameters
     ----------
@@ -97,10 +107,17 @@ class MicroBatcher:
         self.max_wait_s = max_wait_s
         self.name = name
         self.stats = BatchStats()
+        self.crashes = 0  # supervised worker-loop restarts
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._closed = False
+        # Serializes submit() against close() so a future can never slip
+        # into the queue after the shutdown drain already ran.
+        self._submit_lock = threading.Lock()
+        # The batch the worker currently holds outside the queue; the
+        # supervisor re-queues it when the loop crashes mid-batch.
+        self._inflight: list[tuple[Mapping, Future]] = []
         self._thread = threading.Thread(
-            target=self._loop, name=f"repro-serve-{name}", daemon=True
+            target=self._run, name=f"repro-serve-{name}", daemon=True
         )
         self._thread.start()
 
@@ -108,16 +125,17 @@ class MicroBatcher:
 
     def submit(self, record: Mapping) -> "Future[float]":
         """Enqueue one record; returns a future resolving to its prediction."""
-        if self._closed:
-            raise ServeError(f"batcher {self.name!r} is closed")
         future: Future[float] = Future()
-        try:
-            self._queue.put_nowait((record, future))
-        except queue.Full:
-            raise ServeError(
-                f"batcher {self.name!r} queue full "
-                f"({self._queue.maxsize} pending requests)"
-            ) from None
+        with self._submit_lock:
+            if self._closed:
+                raise ServiceClosed(f"batcher {self.name!r} is closed")
+            try:
+                self._queue.put_nowait((record, future))
+            except queue.Full:
+                raise ServeError(
+                    f"batcher {self.name!r} queue full "
+                    f"({self._queue.maxsize} pending requests)"
+                ) from None
         return future
 
     def predict(self, record: Mapping, timeout: float | None = 30.0) -> float:
@@ -132,12 +150,26 @@ class MicroBatcher:
         return [f.result(timeout=timeout) for f in futures]
 
     def close(self, timeout: float = 5.0) -> None:
-        """Stop the worker; pending requests fail with ServeError."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop the worker; anything unserved fails with ServiceClosed.
+
+        Safe against the submit race: once ``_closed`` is set under the
+        submit lock no new futures can enter the queue, and everything
+        still queued after the worker exits (or the join times out) is
+        failed promptly here instead of hanging until the client-side
+        request timeout.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._queue.put(_SENTINEL)
         self._thread.join(timeout=timeout)
+        self._fail_pending()
+        if self._thread.is_alive():
+            # The worker is wedged inside predict_fn and the drain above
+            # consumed its shutdown sentinel; re-post one so it still
+            # exits cleanly once the in-flight call returns.
+            self._queue.put(_SENTINEL)
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -145,7 +177,24 @@ class MicroBatcher:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    @property
+    def alive(self) -> bool:
+        """True while the supervised worker thread is running."""
+        return self._thread.is_alive()
+
     # -- worker side -----------------------------------------------------
+
+    def _fail_pending(self) -> None:
+        """Fail every still-queued future with ServiceClosed."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not _SENTINEL:
+                item[1].set_exception(
+                    ServiceClosed(f"batcher {self.name!r} closed")
+                )
 
     def _gather(self) -> list[tuple[Mapping, Future]] | None:
         """Block for the first record, then fill the batch until the
@@ -173,34 +222,59 @@ class MicroBatcher:
             batch.append(item)
         return batch
 
+    def _run(self) -> None:
+        """Supervisor: restart a crashed loop without losing requests."""
+        while True:
+            try:
+                self._loop()
+                break  # clean sentinel shutdown
+            except BaseException:
+                self.crashes += 1
+                inflight, self._inflight = self._inflight, []
+                for item in inflight:
+                    # Re-queue rather than fail: every record's result is
+                    # independent, so a retried prediction is bit-identical
+                    # to the one the crashed loop would have produced.
+                    try:
+                        self._queue.put_nowait(item)
+                    except queue.Full:
+                        item[1].set_exception(
+                            ServeError(
+                                f"batcher {self.name!r} crashed with a full queue"
+                            )
+                        )
+                if self._closed:
+                    break
+        self._fail_pending()
+
     def _loop(self) -> None:
         while True:
             batch = self._gather()
             if batch is None:
-                break
+                return
+            self._inflight = batch
+            if maybe_fire("batcher.crash"):
+                raise RuntimeError(
+                    f"injected fault: batcher.crash in {self.name!r}"
+                )
+            maybe_fire("batcher.latency")  # injector sleeps when it fires
             records = [record for record, _ in batch]
             try:
-                predictions = self._predict_fn(records)
+                # Coerce inside the try so a misbehaving predict_fn (wrong
+                # type, unsized result) fails this batch's waiters instead
+                # of crash-looping the supervisor.
+                values = [float(v) for v in self._predict_fn(records)]
+                if len(values) != len(batch):
+                    raise ServeError(
+                        f"predict_fn returned {len(values)} results "
+                        f"for a batch of {len(batch)}"
+                    )
             except BaseException as exc:  # propagate to every waiter
+                self._inflight = []
                 for _, future in batch:
                     future.set_exception(exc)
                 continue
-            if len(predictions) != len(batch):
-                exc = ServeError(
-                    f"predict_fn returned {len(predictions)} results "
-                    f"for a batch of {len(batch)}"
-                )
-                for _, future in batch:
-                    future.set_exception(exc)
-                continue
-            for (_, future), value in zip(batch, predictions):
-                future.set_result(float(value))
+            self._inflight = []
+            for (_, future), value in zip(batch, values):
+                future.set_result(value)
             self.stats.record(len(batch))
-        # Fail anything still queued after shutdown.
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is not _SENTINEL:
-                item[1].set_exception(ServeError(f"batcher {self.name!r} closed"))

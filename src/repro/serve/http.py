@@ -24,6 +24,7 @@ from time import perf_counter
 from typing import Any, Mapping
 
 from repro.errors import ReproError, ScenarioError, ServeError, ValidationError
+from repro.faults.injector import active_injector
 from repro.serve.service import PredictionService
 
 __all__ = ["PredictionServer", "create_server"]
@@ -74,15 +75,15 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         if self.path == "/healthz":
             snap = service.latency.snapshot()
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "uptime_s": round(service.uptime_s, 3),
-                    "requests": snap["count"],
-                    "latency": snap,
-                },
-            )
+            payload = {
+                **service.health(),
+                "requests": snap["count"],
+                "latency": snap,
+            }
+            injector = active_injector()
+            if injector is not None:
+                payload["faults"] = injector.snapshot()
+            self._send_json(200, payload)
         elif self.path == "/models":
             self._send_json(200, service.stats())
         else:
@@ -105,7 +106,7 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ServeError('request needs "jobs": [...] or "job": {...}')
             model = payload.get("model", "BDT")
             scenario = payload.get("scenario")
-            predictions = self.server.service.predict(
+            detail = self.server.service.predict_detailed(
                 jobs, model=model, scenario=scenario
             )
         except _BAD_REQUEST_ERRORS as exc:
@@ -114,16 +115,21 @@ class _Handler(BaseHTTPRequestHandler):
         except ReproError as exc:
             self._send_error_json(500, str(exc))
             return
+        except Exception as exc:  # a handler thread must never die silently
+            self._send_error_json(500, f"internal error: {exc}")
+            return
         spec = self.server.service.resolve_scenario(scenario)
         self._send_json(
             200,
             {
                 "model": model,
+                "served_by": detail["served_by"],
+                "degraded": detail["degraded"],
                 "dataset_digest": spec.dataset_digest,
                 # repr-based JSON floats round-trip exactly: the decoded
                 # predictions are bit-identical to the in-process ones.
-                "predictions": [float(p) for p in predictions],
-                "n": len(predictions),
+                "predictions": [float(p) for p in detail["predictions"]],
+                "n": len(detail["predictions"]),
                 "latency_ms": round((perf_counter() - t0) * 1e3, 3),
             },
         )

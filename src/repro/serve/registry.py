@@ -28,10 +28,17 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ServeError, ValidationError
+from repro.errors import CacheError, ServeError, ValidationError
+from repro.faults.injector import maybe_fire
 from repro.spec import ScenarioSpec, as_scenario
 
-__all__ = ["MODEL_STAGE", "SERVE_MODELS", "OnlineServable", "ModelRegistry"]
+__all__ = [
+    "MODEL_STAGE",
+    "SERVE_MODELS",
+    "MeanPowerServable",
+    "OnlineServable",
+    "ModelRegistry",
+]
 
 MODEL_STAGE = "model"
 
@@ -49,6 +56,10 @@ _MODEL_VERSIONS: dict[str, int] = {
 SERVE_MODELS: tuple[str, ...] = tuple(_MODEL_VERSIONS)
 
 _ONLINE_FIELDS = ("user", "nodes", "req_walltime_s")
+
+# Mean node draw as a fraction of TDP when even the scenario dataset is
+# unbuildable — roughly the production mean the paper reports (Fig 3).
+_FALLBACK_TDP_FRACTION = 0.6
 
 
 class OnlineServable:
@@ -83,6 +94,30 @@ class OnlineServable:
         )
 
 
+class MeanPowerServable:
+    """Degraded-mode baseline: one mean per-node power for every job.
+
+    When the registry cannot produce the requested model (training keeps
+    failing under injected or real faults), the service answers from
+    this constant-mean predictor instead of erroring — the paper's
+    "deployment order" ends at exactly this baseline. Responses built
+    from it carry ``degraded: true`` (docs/FAULTS.md).
+    """
+
+    model_name = "mean-baseline"
+    known_users: frozenset[str] | None = None
+
+    def __init__(self, mean_power_w: float, n_train: int = 0) -> None:
+        if not mean_power_w > 0:
+            raise ServeError("mean baseline needs a positive mean power")
+        self.mean_power_w = float(mean_power_w)
+        self.n_train = n_train
+
+    def predict_records(self, records: Sequence[Mapping]) -> np.ndarray:
+        """The scenario-wide mean, once per record."""
+        return np.full(len(records), self.mean_power_w, dtype=float)
+
+
 def _fit_online(jobs) -> OnlineServable:
     from repro.ml import OnlinePowerPredictor
 
@@ -111,6 +146,12 @@ class ModelRegistry:
         is evicted first (its disk artifact survives).
     use_disk:
         Disable to skip the artifact cache entirely (tests).
+    load_retries / retry_backoff_s:
+        Resilience knobs for disk loads: a failed artifact read (IO
+        error, injected ``cache.read`` fault, corrupted pickle) is
+        retried up to ``load_retries`` times with exponential backoff
+        starting at ``retry_backoff_s``; if every attempt fails the
+        registry falls back to retraining instead of erroring.
     """
 
     def __init__(
@@ -118,20 +159,30 @@ class ModelRegistry:
         cache_dir=None,
         capacity: int = 8,
         use_disk: bool = True,
+        load_retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         if capacity < 1:
             raise ServeError("registry capacity must be >= 1")
+        if load_retries < 0:
+            raise ServeError("load_retries must be >= 0")
         from repro.pipeline import ArtifactCache, default_cache_dir
 
         self.capacity = capacity
         self.use_disk = use_disk
+        self.load_retries = load_retries
+        self.retry_backoff_s = retry_backoff_s
         self.cache = ArtifactCache(cache_dir if cache_dir is not None else default_cache_dir())
         self._lru: "OrderedDict[tuple[str, str], Any]" = OrderedDict()
+        self._fallbacks: dict[str, MeanPowerServable] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.disk_loads = 0
         self.trained = 0
+        self.load_failures = 0  # disk-load attempts that raised
+        self.store_failures = 0  # artifact commits that raised (non-fatal)
+        self.dataset_fallbacks = 0  # cached builds that fell back in-memory
         self.last_train_seconds = 0.0
 
     # -- addressing ------------------------------------------------------
@@ -179,32 +230,62 @@ class ModelRegistry:
                 return servable
             self.misses += 1
             disk_key = self.model_key(spec, model)
-            if self.use_disk and self.cache.has(MODEL_STAGE, disk_key):
-                servable = self.cache.load_pickle(MODEL_STAGE, disk_key)
-                self.disk_loads += 1
-            else:
+            servable = self._load_cached(disk_key) if self.use_disk else None
+            if servable is None:
                 servable = self._train(spec, model)
                 self.trained += 1
                 if self.use_disk:
-                    self.cache.store_pickle(
-                        MODEL_STAGE,
-                        disk_key,
-                        servable,
-                        {
-                            "config": spec.to_dict(),
-                            "label": f"{spec.label}/{model}",
-                            "model": model,
-                            "dataset_key": spec.dataset_digest,
-                            "n_items": servable.n_train,
-                        },
-                    )
+                    self._store(spec, model, disk_key, servable)
             self._lru[key] = servable
             while len(self._lru) > self.capacity:
                 self._lru.popitem(last=False)
             return servable
 
+    def _load_cached(self, disk_key: str):
+        """Disk-cached servable, with bounded retry; None means retrain.
+
+        Transient read errors (NFS hiccups, the injected ``cache.read``
+        fault) are retried with exponential backoff; a corrupted pickle
+        (truncated write, the injected ``cache.corrupt`` fault) raises
+        on every attempt and likewise resolves to retraining — a bad
+        artifact must never take the service down.
+        """
+        for attempt in range(self.load_retries + 1):
+            try:
+                if not self.cache.has(MODEL_STAGE, disk_key):
+                    return None
+                servable = self.cache.load_pickle(MODEL_STAGE, disk_key)
+                self.disk_loads += 1
+                return servable
+            except Exception:  # noqa: BLE001 — unpickling can raise anything
+                self.load_failures += 1
+                if attempt < self.load_retries:
+                    time.sleep(self.retry_backoff_s * (2**attempt))
+        return None
+
+    def _store(self, spec: ScenarioSpec, model: str, disk_key: str, servable) -> None:
+        """Commit a fitted servable; a failed write never fails the get."""
+        try:
+            self.cache.store_pickle(
+                MODEL_STAGE,
+                disk_key,
+                servable,
+                {
+                    "config": spec.to_dict(),
+                    "label": f"{spec.label}/{model}",
+                    "model": model,
+                    "dataset_key": spec.dataset_digest,
+                    "n_items": servable.n_train,
+                },
+            )
+        except CacheError:
+            # Serve from memory; the next cold registry simply retrains.
+            self.store_failures += 1
+
     def _train(self, spec: ScenarioSpec, model: str):
         """Build the scenario's dataset (cached) and fit one model on it."""
+        if maybe_fire("registry.train"):
+            raise ServeError(f"injected fault: registry.train {spec.label}/{model}")
         t0 = time.perf_counter()
         dataset = self._build_dataset(spec)
         if model == "online":
@@ -220,13 +301,46 @@ class ModelRegistry:
         return servable
 
     def _build_dataset(self, spec: ScenarioSpec):
-        from repro.pipeline import build_dataset
-
-        if self.use_disk:
-            return build_dataset(**spec.dataset_kwargs(), cache_dir=self.cache.root)
         from repro.telemetry import generate_dataset
 
+        if self.use_disk:
+            from repro.pipeline import build_dataset
+
+            try:
+                return build_dataset(**spec.dataset_kwargs(), cache_dir=self.cache.root)
+            except CacheError:
+                # The staged cache is unusable (disk trouble, injected
+                # cache faults): fall back to the in-memory pipeline,
+                # which builds the byte-identical dataset cache-free.
+                self.dataset_fallbacks += 1
         return generate_dataset(**spec.dataset_kwargs())
+
+    def fallback(self, scenario) -> MeanPowerServable:
+        """The degraded-mode mean-power baseline for a scenario.
+
+        Preferred source is the scenario dataset's own mean per-node
+        power (deterministic); if even that cannot be built, a constant
+        fraction of the system's TDP keeps the service answering.
+        """
+        spec = as_scenario(scenario)
+        with self._lock:
+            servable = self._fallbacks.get(spec.dataset_digest)
+            if servable is not None:
+                return servable
+            try:
+                jobs = self._build_dataset(spec).jobs
+                servable = MeanPowerServable(
+                    float(jobs["pernode_power_w"].astype(float).mean()),
+                    n_train=len(jobs),
+                )
+            except Exception:  # noqa: BLE001 — last line of defense
+                from repro.cluster import get_spec
+
+                servable = MeanPowerServable(
+                    _FALLBACK_TDP_FRACTION * get_spec(spec.system).node_tdp_watts
+                )
+            self._fallbacks[spec.dataset_digest] = servable
+            return servable
 
     # -- inspection ------------------------------------------------------
 
@@ -243,7 +357,7 @@ class ModelRegistry:
             ]
 
     def stats(self) -> dict[str, Any]:
-        """Counter snapshot: hits/misses/disk loads/trains, warm size."""
+        """Counter snapshot: hits/misses/disk loads/trains, fault recovery."""
         with self._lock:
             return {
                 "capacity": self.capacity,
@@ -252,4 +366,7 @@ class ModelRegistry:
                 "misses": self.misses,
                 "disk_loads": self.disk_loads,
                 "trained": self.trained,
+                "load_failures": self.load_failures,
+                "store_failures": self.store_failures,
+                "dataset_fallbacks": self.dataset_fallbacks,
             }

@@ -24,7 +24,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ServeError
+from repro.errors import ReproError, ServeError, ServiceClosed
 from repro.serve.batching import MicroBatcher
 from repro.serve.registry import ModelRegistry
 from repro.spec import ScenarioSpec, as_scenario
@@ -113,6 +113,8 @@ class PredictionService:
         self._lock = threading.Lock()
         self._started = time.monotonic()
         self._closed = False
+        self.n_degraded = 0  # lifetime count of fallback-served requests
+        self._degraded_active = False  # was the most recent request degraded?
 
     # -- plumbing --------------------------------------------------------
 
@@ -122,7 +124,7 @@ class PredictionService:
         key = (spec.dataset_digest, model)
         with self._lock:
             if self._closed:
-                raise ServeError("service is closed")
+                raise ServiceClosed("service is closed")
             batcher = self._batchers.get(key)
             if batcher is None:
                 batcher = MicroBatcher(
@@ -178,17 +180,66 @@ class PredictionService:
         ``scenario`` overrides the service default for this request only
         (a mapping overlays just the fields it names).
         """
+        return self.predict_detailed(
+            records, model=model, scenario=scenario, timeout=timeout
+        )["predictions"]
+
+    def predict_detailed(
+        self,
+        records: Sequence[Mapping],
+        model: str = "BDT",
+        scenario: "ScenarioSpec | Mapping | None" = None,
+        timeout: float | None = 30.0,
+    ) -> dict[str, Any]:
+        """:meth:`predict` plus degraded-mode accounting.
+
+        Returns ``{"predictions": ndarray, "degraded": bool,
+        "served_by": model name}``. When the registry cannot produce the
+        requested model (training keeps failing under faults), the
+        request is answered by the registry's mean-power baseline and
+        flagged ``degraded: true`` instead of erroring — caller mistakes
+        (unknown model/user, malformed fields, an overloaded or closed
+        batcher) still raise exactly as before.
+        """
         if not records:
             raise ServeError("predict needs at least one record")
         t0 = time.perf_counter()
         spec = self.resolve_scenario(scenario)
         self.registry.check_model_name(model)
-        servable = self.registry.get(spec, model)
+        try:
+            servable = self.registry.get(spec, model)
+        except ServiceClosed:
+            raise
+        except ReproError:
+            return self._predict_degraded(spec, records, t0)
         self._validate(records, servable)
         batcher = self._batcher(spec, model)
         values = batcher.predict_many(records, timeout=timeout)
+        with self._lock:
+            self._degraded_active = False
         self.latency.record(time.perf_counter() - t0)
-        return np.asarray(values, dtype=float)
+        return {
+            "predictions": np.asarray(values, dtype=float),
+            "degraded": False,
+            "served_by": servable.model_name,
+        }
+
+    def _predict_degraded(
+        self, spec: ScenarioSpec, records: Sequence[Mapping], t0: float
+    ) -> dict[str, Any]:
+        """Answer from the mean-power baseline; flag it in the response."""
+        servable = self.registry.fallback(spec)
+        self._validate(records, servable)  # field checks still apply
+        values = servable.predict_records(records)
+        with self._lock:
+            self.n_degraded += 1
+            self._degraded_active = True
+        self.latency.record(time.perf_counter() - t0)
+        return {
+            "predictions": np.asarray(values, dtype=float),
+            "degraded": True,
+            "served_by": servable.model_name,
+        }
 
     def predict_one(
         self,
@@ -220,10 +271,28 @@ class PredictionService:
             return ScenarioSpec.from_dict({**base, **overlay})
         return as_scenario(scenario)
 
-    def warm(self, models: Sequence[str] = ("BDT",)) -> None:
-        """Train/load the given models for the default scenario up front."""
+    def warm(self, models: Sequence[str] = ("BDT",)) -> dict[str, str]:
+        """Train/load the given models for the default scenario up front.
+
+        Returns ``{model: "ok" | error message}``. A model whose
+        training fails (e.g. under an armed ``registry.train`` fault)
+        must not keep the service from starting — its requests will be
+        served degraded until the registry recovers — so failures are
+        reported, not raised. Unknown model names still raise, and a
+        closed service still refuses.
+        """
+        outcome: dict[str, str] = {}
         for model in models:
-            self._batcher(self.scenario, model)
+            self.registry.check_model_name(model)
+            try:
+                self._batcher(self.scenario, model)
+            except ServiceClosed:
+                raise
+            except ReproError as exc:
+                outcome[model] = str(exc)
+            else:
+                outcome[model] = "ok"
+        return outcome
 
     # -- inspection / lifecycle ------------------------------------------
 
@@ -231,6 +300,24 @@ class PredictionService:
     def uptime_s(self) -> float:
         """Seconds since the service object was created."""
         return time.monotonic() - self._started
+
+    @property
+    def degraded(self) -> bool:
+        """True while the most recent request was baseline-served."""
+        with self._lock:
+            return self._degraded_active
+
+    def health(self) -> dict[str, Any]:
+        """The ``/healthz`` view: liveness plus degraded-mode state."""
+        with self._lock:
+            degraded = self._degraded_active
+            n_degraded = self.n_degraded
+        return {
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
+            "n_degraded": n_degraded,
+            "uptime_s": round(self.uptime_s, 3),
+        }
 
     def stats(self) -> dict[str, Any]:
         """Structured service state: scenario, registry, batchers, latency."""
@@ -243,6 +330,8 @@ class PredictionService:
             "scenario": self.scenario.to_dict(),
             "dataset_digest": self.scenario.dataset_digest,
             "uptime_s": round(self.uptime_s, 3),
+            "degraded": self.degraded,
+            "n_degraded": self.n_degraded,
             "latency": self.latency.snapshot(),
             "registry": self.registry.stats(),
             "models": self.registry.loaded(),

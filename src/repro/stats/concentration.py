@@ -55,8 +55,10 @@ def gini(totals) -> float:
         raise ValueError("total consumption is zero")
     n = x.size
     # G = (2 * sum(i*x_i) - (n+1) * sum(x)) / (n * sum(x)), i is 1-based rank asc.
+    # Cancellation between the two sums can land a hair below 0.0 for
+    # near-equal samples; clamp so the [0, 1) contract holds exactly.
     i = np.arange(1, n + 1)
-    return float((2.0 * (i * x).sum() - (n + 1) * total) / (n * total))
+    return max(0.0, float((2.0 * (i * x).sum() - (n + 1) * total) / (n * total)))
 
 
 def top_k_ids(ids, totals, fraction: float) -> np.ndarray:

@@ -145,6 +145,10 @@ class TelemetrySample:
     is_debug: np.ndarray  # bool: debug / pre-post-processing job
     traces: dict[int, JobPowerTrace]
     trace_allocations: dict[int, np.ndarray]
+    # Samples the monitor dropped (faults, outages) and the stage had to
+    # gap-fill with the deterministic noise-free level. Older cached
+    # pickles lack the field — read it as ``getattr(s, "n_gaps", 0)``.
+    n_gaps: int = 0
 
     def __post_init__(self) -> None:
         n = len(self.pernode_power)
@@ -254,6 +258,13 @@ def sample_telemetry(
     # draw and one clip pass over all node slots, bit-identical to the
     # per-job sample_aggregate loop it replaced.
     pernode_power, power_sum = sampler.sample_aggregate_batch(scheduled)
+    # Tolerance for dropped samples (the telemetry.drop fault point, or a
+    # real monitoring outage): gap-fill each NaN aggregate with the job's
+    # deterministic noise-free level and account for it explicitly — the
+    # gap count travels through the stage meta into the run manifest.
+    gap_idx = np.nonzero(np.isnan(pernode_power))[0]
+    for i in gap_idx:
+        pernode_power[i], power_sum[i] = sampler.nominal_aggregate(scheduled[i])
     runtimes = np.fromiter(
         (job.spec.runtime_s for job in scheduled), dtype=float, count=len(scheduled)
     )
@@ -297,6 +308,7 @@ def sample_telemetry(
         is_debug=is_debug,
         traces=traces,
         trace_allocations=trace_allocations,
+        n_gaps=int(len(gap_idx)),
     )
 
 

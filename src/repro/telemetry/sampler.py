@@ -37,6 +37,7 @@ import numpy as np
 from repro.cluster.rapl import RaplModel
 from repro.cluster.system import Cluster
 from repro.errors import TelemetryError
+from repro.faults.injector import maybe_fire
 from repro.scheduler.job import ScheduledJob
 from repro.units import MINUTE
 
@@ -131,11 +132,29 @@ class PowerSampler:
         pos = 0
         for i in range(m):
             n = int(counts[i])
-            s = measured[pos : pos + n].sum()
-            psum[i] = s
-            pernode[i] = s / n
+            if maybe_fire("telemetry.drop"):
+                # A dropped sample: the monitor recorded nothing for this
+                # job. The RNG draws above already consumed the generator
+                # stream for every job, so all *other* jobs' aggregates —
+                # and any re-run once the fault clears — stay bit-identical.
+                psum[i] = np.nan
+                pernode[i] = np.nan
+            else:
+                s = measured[pos : pos + n].sum()
+                psum[i] = s
+                pernode[i] = s / n
             pos += n
         return pernode, psum
+
+    def nominal_aggregate(self, job: ScheduledJob) -> tuple[float, float]:
+        """Noise-free (pernode, sum) watts — the gap-fill for a dropped
+        sample. Deterministic: the clipped static level with unit offsets
+        and factors, no measurement noise."""
+        spec = job.spec
+        level = float(
+            np.clip(self._tdp * spec.power_fraction, self._floor, self._tdp)
+        )
+        return level, level * spec.nodes
 
     def sample_matrix(self, job: ScheduledJob) -> np.ndarray:
         """Measured node×minute power matrix of one instrumented job."""

@@ -1,0 +1,54 @@
+"""Chaos-suite fixtures: the serve tests' tiny scenario plus plan helpers.
+
+Every test here must leave the process disarmed — the injector is a
+module global, and a leaked armed plan would poison unrelated tests. The
+autouse guard below turns any leak into a loud failure at the site that
+caused it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injector import active_injector
+from repro.spec import ScenarioSpec
+
+TINY = ScenarioSpec(
+    "emmy", seed=3, num_nodes=24, num_users=10, horizon_days=2, max_traces=10
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> ScenarioSpec:
+    return TINY
+
+
+@pytest.fixture(scope="session")
+def faults_cache(tmp_path_factory):
+    """Artifact-cache root shared across chaos tests (dataset built once)."""
+    return tmp_path_factory.mktemp("faults-cache")
+
+
+@pytest.fixture(scope="session")
+def tiny_records(tiny_spec, faults_cache) -> list[dict]:
+    """Prediction-request records drawn from the tiny scenario's own jobs."""
+    from repro.pipeline import build_dataset
+
+    dataset = build_dataset(**tiny_spec.dataset_kwargs(), cache_dir=faults_cache)
+    jobs = dataset.jobs
+    return [
+        {
+            "user": str(jobs["user"][i]),
+            "nodes": int(jobs["nodes"][i]),
+            "req_walltime_s": int(jobs["req_walltime_s"][i]),
+        }
+        for i in range(min(32, len(jobs)))
+    ]
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    """Fail the test (not its neighbors) if it leaves a plan armed."""
+    assert active_injector() is None, "a previous test leaked an armed injector"
+    yield
+    assert active_injector() is None, "test left a fault injector armed"

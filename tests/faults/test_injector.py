@@ -1,0 +1,101 @@
+"""FaultInjector: arming semantics, counters, and disarmed behavior."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultInjector, FaultPlan, FaultRule, arm
+from repro.faults.injector import active_injector, maybe_fire
+
+
+def _plan(**kwargs) -> FaultPlan:
+    return FaultPlan(seed=0, rules=(FaultRule("cache.read", **kwargs),))
+
+
+def test_disarmed_maybe_fire_is_false_and_stateless():
+    assert active_injector() is None
+    assert maybe_fire("cache.read") is False
+    assert maybe_fire("no.such.point") is False  # not even name validation
+
+
+def test_arming_is_scoped_and_restores_previous():
+    outer = FaultInjector(_plan(rate=0.0))
+    inner = FaultInjector(_plan(rate=0.0))
+    with outer:
+        assert active_injector() is outer
+        with inner:
+            assert active_injector() is inner
+        assert active_injector() is outer
+    assert active_injector() is None
+
+
+def test_disarm_order_violation_raises():
+    a = FaultInjector(_plan())
+    b = FaultInjector(_plan())
+    a.__enter__()
+    b.__enter__()
+    with pytest.raises(FaultError, match="disarm order"):
+        a.__exit__(None, None, None)
+    b.__exit__(None, None, None)
+    a.__exit__(None, None, None)
+    assert active_injector() is None
+
+
+def test_counters_track_calls_and_fires():
+    with arm(_plan(rate=1.0, start=2)) as injector:
+        results = [maybe_fire("cache.read") for _ in range(5)]
+    assert results == [False, False, True, True, True]
+    assert injector.calls("cache.read") == 5
+    assert injector.fires("cache.read") == 3
+    assert injector.counters() == {"cache.read": {"calls": 5, "fires": 3}}
+    snap = injector.snapshot()
+    assert snap["seed"] == 0 and snap["points"] == ["cache.read"]
+
+
+def test_unplanned_point_counts_nothing():
+    with arm(_plan(rate=1.0)) as injector:
+        assert maybe_fire("batcher.crash") is False
+    assert injector.calls("batcher.crash") == 0
+
+
+def test_fire_counts_match_schedule_under_thread_contention():
+    """Call indices are atomic: N threads racing on a point still produce
+    exactly the plan's scheduled number of fires for N total calls."""
+    plan = _plan(rate=0.5)
+    calls_per_thread, n_threads = 200, 8
+    with arm(plan) as injector:
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(calls_per_thread):
+                maybe_fire("cache.read")
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    total = calls_per_thread * n_threads
+    assert injector.calls("cache.read") == total
+    assert injector.fires("cache.read") == len(plan.schedule("cache.read", total))
+
+
+def test_injector_requires_a_plan():
+    with pytest.raises(FaultError, match="needs a FaultPlan"):
+        FaultInjector({"seed": 0})
+
+
+def test_latency_rule_sleeps_on_fire():
+    import time
+
+    plan = FaultPlan(
+        rules=(FaultRule("batcher.latency", rate=1.0, duration_s=0.02),)
+    )
+    with arm(plan):
+        t0 = time.perf_counter()
+        assert maybe_fire("batcher.latency") is True
+        assert time.perf_counter() - t0 >= 0.02

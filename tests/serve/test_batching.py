@@ -8,10 +8,11 @@ blocked first call while the test shapes the backlog, then released.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
-from repro.errors import ServeError
+from repro.errors import ServeError, ServiceClosed
 from repro.serve import MicroBatcher
 from repro.serve.batching import BatchStats
 
@@ -138,6 +139,43 @@ def test_full_queue_rejects_instead_of_queueing_forever():
     finally:
         release.set()
         b.close()
+
+
+def test_close_fails_queued_futures_promptly_even_with_a_wedged_worker():
+    """Shutdown-race regression: queued futures must never hang.
+
+    The worker is wedged inside a predict call, so the close's join times
+    out — everything still queued has to fail with ServiceClosed right
+    away instead of waiting out the client timeout.
+    """
+    release, started = threading.Event(), threading.Event()
+
+    def predict(records):
+        started.set()
+        release.wait(10)
+        return [r["x"] for r in records]
+
+    b = MicroBatcher(predict, max_batch=1, max_wait_s=0)
+    try:
+        inflight = b.submit({"x": 0.0})
+        assert started.wait(5)
+        queued = [b.submit({"x": float(i)}) for i in (1, 2, 3)]
+        t0 = time.monotonic()
+        b.close(timeout=0.2)
+        assert time.monotonic() - t0 < 2.0
+        for future in queued:
+            with pytest.raises(ServiceClosed):
+                future.result(timeout=1)
+        with pytest.raises(ServiceClosed):
+            b.submit({"x": 9.0})
+        # Un-wedge the worker: the in-flight request still completes,
+        # and the worker sees the shutdown and exits instead of leaking.
+        release.set()
+        assert inflight.result(5) == 0.0
+        b._thread.join(5)
+        assert not b.alive
+    finally:
+        release.set()
 
 
 def test_submit_after_close_raises():

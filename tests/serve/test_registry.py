@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -16,6 +18,7 @@ def test_first_get_trains_second_hits_warm(tmp_path, tiny_spec):
     assert registry.stats() == {
         "capacity": 8, "warm": 1, "hits": 0,
         "misses": 1, "disk_loads": 0, "trained": 1,
+        "load_failures": 0, "store_failures": 0, "dataset_fallbacks": 0,
     }
     assert registry.last_train_seconds > 0
     second = registry.get(tiny_spec, "BDT")
@@ -48,7 +51,54 @@ def test_lru_evicts_least_recently_served(tmp_path, tiny_spec):
     assert registry.stats() == {
         "capacity": 1, "warm": 1, "hits": 0,
         "misses": 3, "disk_loads": 1, "trained": 2,
+        "load_failures": 0, "store_failures": 0, "dataset_fallbacks": 0,
     }
+
+
+def test_concurrent_gets_survive_constant_eviction(tmp_path, tiny_spec,
+                                                   tiny_records):
+    """8 threads hammer a capacity-1 registry alternating two models.
+
+    Every get lands during an eviction storm (each model's warm slot is
+    stolen by the other), so the registry constantly reloads from disk —
+    yet every thread must see bit-identical predictions and nothing may
+    ever retrain after the first commit.
+    """
+    registry = ModelRegistry(cache_dir=tmp_path, capacity=1)
+    probe = tiny_records[:4]
+    baseline = {
+        model: registry.get(tiny_spec, model).predict_records(probe)
+        for model in ("BDT", "online")
+    }
+    n_threads = 8
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(worker: int) -> None:
+        barrier.wait()
+        try:
+            for i in range(12):
+                model = ("BDT", "online")[(worker + i) % 2]
+                servable = registry.get(tiny_spec, model)
+                np.testing.assert_array_equal(
+                    servable.predict_records(probe), baseline[model]
+                )
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(w,)) for w in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = registry.stats()
+    assert stats["warm"] == 1
+    assert stats["trained"] == 2  # only the two seeding gets trained
+    assert stats["disk_loads"] >= 1 and stats["load_failures"] == 0
+    assert stats["hits"] + stats["misses"] >= 2 + n_threads * 12
 
 
 def test_model_keys_are_stable_and_distinct(tmp_path, tiny_spec):

@@ -92,6 +92,41 @@ class TestPipelineCommands:
         out = capsys.readouterr().out
         assert "workload" not in out and "dataset" in out
 
+    def test_status_and_clean_handle_damaged_entries(self, tmp_path, capsys):
+        """Truncated or missing meta sidecars must not crash bookkeeping."""
+        from repro.pipeline import ArtifactCache
+        from repro.pipeline.cache import META_NAME, PAYLOAD_NAME
+
+        root = tmp_path / "cache"
+        cache_args = ["--cache-dir", str(root)]
+        cache = ArtifactCache(root)
+        cache.store_pickle("model", "a" * 64, {"w": 1}, {"n_items": 1})
+        cache.store_pickle("model", "b" * 64, {"w": 2}, {"n_items": 1})
+        # One truncated sidecar, one entry missing its sidecar entirely.
+        (cache.entry_dir("model", "a" * 64) / META_NAME).write_text("{trunc")
+        orphan = cache.entry_dir("model", "c" * 64)
+        orphan.mkdir(parents=True)
+        (orphan / PAYLOAD_NAME).write_bytes(b"\x80\x04 garbage")
+
+        assert main(["pipeline", "status", *cache_args]) == 0
+        out = capsys.readouterr().out
+        assert out.count("DAMAGED") == 2
+        assert "pipeline clean --stage model" in out
+
+        # Clean sweeps the damaged entries along with the healthy one.
+        assert main(["pipeline", "clean", "--stage", "model", *cache_args]) == 0
+        assert "removed 3" in capsys.readouterr().out
+        assert main(["pipeline", "status", *cache_args]) == 0
+        out = capsys.readouterr().out
+        assert "DAMAGED" not in out and "(empty)" in out
+
+    def test_serve_fault_plan_flag(self, tmp_path):
+        args = build_parser().parse_args(
+            ["serve", "--fault-plan", str(tmp_path / "plan.json")]
+        )
+        assert args.fault_plan == tmp_path / "plan.json"
+        assert build_parser().parse_args(["serve"]).fault_plan is None
+
     def test_clean_requires_filter_or_all(self, tmp_path, capsys):
         assert main(["pipeline", "clean", "--cache-dir", str(tmp_path)]) == 2
         assert "--all" in capsys.readouterr().err

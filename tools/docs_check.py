@@ -21,6 +21,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 API_DOC = REPO_ROOT / "docs" / "API.md"
+FAULTS_DOC = REPO_ROOT / "docs" / "FAULTS.md"
 
 
 def check_docstrings(module_name: str) -> list[str]:
@@ -45,13 +46,24 @@ def check_api_doc() -> list[str]:
     return [name for name in module.__all__ if name not in text]
 
 
+def check_faults_doc() -> list[str]:
+    """The fault-injection surface must be covered by docs/FAULTS.md."""
+    if not FAULTS_DOC.is_file():
+        return ["docs/FAULTS.md is missing entirely"]
+    text = FAULTS_DOC.read_text()
+    module = importlib.import_module("repro.faults")
+    return [name for name in module.__all__ if name not in text]
+
+
 def main() -> int:
     problems: list[str] = []
-    for module_name in ("repro", "repro.pipeline"):
+    for module_name in ("repro", "repro.pipeline", "repro.faults"):
         for name in check_docstrings(module_name):
             problems.append(f"missing docstring: {name}")
     for name in check_api_doc():
         problems.append(f"absent from docs/API.md: repro.{name}")
+    for name in check_faults_doc():
+        problems.append(f"absent from docs/FAULTS.md: repro.faults.{name}")
 
     if problems:
         print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
