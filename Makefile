@@ -3,12 +3,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-check bench-smoke serve-bench serve-bench-check chaos-soak chaos-smoke docs-check pipeline clean-cache all
+.PHONY: test lint coverage bench bench-check bench-smoke serve-bench serve-bench-check chaos-soak chaos-smoke docs-check pipeline clean-cache all
 
-all: test docs-check
+all: lint test docs-check
 
 test:                ## tier-1 suite (unit + property + integration)
 	$(PYTHON) -m pytest -x -q
+
+lint:                ## ruff when installed, stdlib fallback linter otherwise
+	$(PYTHON) tools/lint.py
+
+coverage:            ## tier-1 suite under pytest-cov, gated at the pyproject floor
+	$(PYTHON) tools/coverage_gate.py
 
 bench:               ## measure the hot path, rewrite BENCH_dataset.json
 	$(PYTHON) tools/perf_check.py --update
@@ -37,5 +43,7 @@ docs-check:          ## every public symbol has a docstring and an API.md entry
 pipeline:            ## build both paper-scale datasets through the cache
 	$(PYTHON) -m repro pipeline run --both-systems --workers 2
 
-clean-cache:         ## drop the benchmark artifact cache
-	$(PYTHON) -m repro pipeline clean --all --cache-dir benchmarks/.cache
+clean-cache:         ## drop the benchmark artifact cache (bench scratch dir)
+	$(PYTHON) -c "import sys; sys.path.insert(0, 'tools'); \
+	from bench_paths import bench_cache_dir; print(bench_cache_dir())" \
+	| xargs -I{} $(PYTHON) -m repro pipeline clean --all --cache-dir {}

@@ -8,7 +8,6 @@ Two questions the paper's random-split protocol leaves open:
    past, predicting the future (prequential evaluation)?
 """
 
-import numpy as np
 from conftest import fmt_pct
 
 from repro.ml import DecisionTreeRegressor, FeatureSpec, evaluate_models, evaluate_online

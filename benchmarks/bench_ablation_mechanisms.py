@@ -70,14 +70,17 @@ def test_ablation_mechanisms(benchmark, report):
     )
 
     # Temporal: dips are load-bearing for the Fig 7 combination.
-    assert summaries["flat profiles"].mean_temporal_cov < 0.6 * summaries["default"].mean_temporal_cov
+    assert (summaries["flat profiles"].mean_temporal_cov
+            < 0.6 * summaries["default"].mean_temporal_cov)
     assert (
         summaries["burst-only profiles"].mean_frac_time_above_10pct
         > 2.0 * summaries["default"].mean_frac_time_above_10pct
     )
     # Spatial: both mechanisms contribute to the spread...
-    assert spatials["no workload imbalance"].mean_spread_fraction < 0.6 * spatials["default"].mean_spread_fraction
-    assert spatials["no manufacturing variability"].mean_spread_fraction < spatials["default"].mean_spread_fraction
+    assert (spatials["no workload imbalance"].mean_spread_fraction
+            < 0.6 * spatials["default"].mean_spread_fraction)
+    assert (spatials["no manufacturing variability"].mean_spread_fraction
+            < spatials["default"].mean_spread_fraction)
     # ...and the energy imbalance needs the static components.
     assert (
         spatials["no workload imbalance"].frac_jobs_energy_imbalance_over_15pct

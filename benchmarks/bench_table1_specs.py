@@ -14,7 +14,9 @@ def test_table1_specs(benchmark, report):
         ("meggie nodes", 728, MEGGIE.num_nodes),
         ("meggie node TDP", "195 W", f"{MEGGIE.node_tdp_watts:.0f} W"),
         ("meggie batch system", "Slurm", MEGGIE.batch_system),
-        ("emmy LINPACK", "191 TF / 170 kW", f"{EMMY.linpack_tflops:.0f} TF / {EMMY.linpack_power_kw:.0f} kW"),
-        ("meggie LINPACK", "472 TF / 210 kW", f"{MEGGIE.linpack_tflops:.0f} TF / {MEGGIE.linpack_power_kw:.0f} kW"),
+        ("emmy LINPACK", "191 TF / 170 kW",
+         f"{EMMY.linpack_tflops:.0f} TF / {EMMY.linpack_power_kw:.0f} kW"),
+        ("meggie LINPACK", "472 TF / 210 kW",
+         f"{MEGGIE.linpack_tflops:.0f} TF / {MEGGIE.linpack_power_kw:.0f} kW"),
     ]
     report("T1", "Table 1 system specifications", rows)

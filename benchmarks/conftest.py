@@ -3,27 +3,35 @@
 Each ``bench_*.py`` regenerates one table/figure of the paper at full
 machine scale (560-node Emmy, 728-node Meggie, 152-day window), prints a
 paper-vs-measured comparison, and writes the same text to
-``benchmarks/results/<exp>.txt``. pytest-benchmark times the analysis
+``<scratch>/results/<exp>.txt``. pytest-benchmark times the analysis
 step, not dataset generation: the session-scoped dataset fixtures are
-backed by the :mod:`repro.pipeline` artifact cache in
-``benchmarks/.cache``, so only the *first* benchmark session pays the
-full simulation cost — every later session loads the same trace in
-under a second (``python -m repro pipeline clean --all --cache-dir
-benchmarks/.cache`` forces a rebuild).
+backed by the :mod:`repro.pipeline` artifact cache under the bench
+scratch root (see :mod:`tools.bench_paths` — default
+``<tempdir>/repro-bench``, overridable with ``$REPRO_BENCH_SCRATCH``),
+so only the *first* benchmark session pays the full simulation cost —
+every later session loads the same trace in under a second (``make
+clean-cache`` forces a rebuild). Nothing is written into the repository
+working tree; set ``REPRO_BENCH_RESULTS=benchmarks/results`` to refresh
+the committed comparison snapshots deliberately.
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import pytest
 
-from repro.analysis.report import comparison_text
-from repro.pipeline import build_dataset
-from repro.telemetry import JobDataset
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
 
-RESULTS_DIR = Path(__file__).parent / "results"
-CACHE_DIR = Path(__file__).parent / ".cache"
+from bench_paths import bench_cache_dir, bench_results_dir  # noqa: E402
+
+from repro.analysis.report import comparison_text  # noqa: E402
+from repro.pipeline import build_dataset  # noqa: E402
+from repro.telemetry import JobDataset  # noqa: E402
+
+RESULTS_DIR = bench_results_dir()
+CACHE_DIR = bench_cache_dir()
 BENCH_SEED = 1
 
 
@@ -51,7 +59,7 @@ def meggie_full() -> JobDataset:
 @pytest.fixture(scope="session")
 def report():
     """Callable that renders, prints, and persists one comparison."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
     def _report(exp_id: str, title: str, rows, note: str | None = None) -> str:
         text = comparison_text(f"{exp_id}: {title}", rows, note=note)

@@ -13,6 +13,13 @@ Subcommands
 ``pipeline``  — the cached, parallel experiment runner
                 (``run`` / ``run-all`` / ``status`` / ``clean``); see
                 docs/PIPELINE.md.
+``obs``       — observability tooling: ``summary`` renders a trace
+                JSONL file's span tree, per-name aggregates, and
+                critical path (docs/OBSERVABILITY.md).
+
+Setting ``$REPRO_TRACE_FILE`` makes any subcommand append trace spans
+to that JSONL file; ``serve --trace-file`` does the same for one serve
+run.
 
 Every scale flag maps 1:1 onto a :class:`repro.spec.ScenarioSpec`
 field — the CLI, pipeline, facade, and serving layers all consume the
@@ -22,10 +29,11 @@ same scenario description.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
-from repro.errors import PipelineError
+from repro.errors import ObsError, PipelineError
 from repro.spec import ScenarioSpec
 
 __all__ = ["main", "build_parser"]
@@ -102,8 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--fault-plan", type=Path, default=None,
                      help="arm a FaultPlan JSON (docs/FAULTS.md) for the "
                      "whole serve lifetime — chaos testing only")
+    srv.add_argument("--trace-file", type=Path, default=None,
+                     help="append trace spans (JSONL) here for the whole "
+                     "serve lifetime (docs/OBSERVABILITY.md)")
 
     sub.add_parser("specs", help="print the Table 1 system specifications")
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability tooling (docs/OBSERVABILITY.md)",
+    )
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+    osum = osub.add_parser(
+        "summary",
+        help="span tree, per-name aggregates, and critical path of a "
+        "trace JSONL file",
+    )
+    osum.add_argument("trace", type=Path, help="trace JSONL file to summarize")
+    osum.add_argument("--max-depth", type=int, default=6,
+                      help="deepest span-tree level to print")
+    osum.add_argument("--max-children", type=int, default=12,
+                      help="children shown per span (slowest first)")
 
     pipe = sub.add_parser(
         "pipeline",
@@ -262,6 +289,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import create_server
 
+    if args.trace_file is not None:
+        from repro.obs.tracing import configure_tracing
+
+        configure_tracing(args.trace_file)
+        print(f"tracing spans to {args.trace_file}")
     injector = nullcontext()
     if args.fault_plan is not None:
         from repro.faults import FaultInjector, FaultPlan
@@ -462,11 +494,33 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled pipeline command {args.pipeline_command!r}")
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.summary import summarize_trace
+
+    if args.obs_command == "summary":
+        summary = summarize_trace(args.trace)
+        print(
+            summary.render(
+                max_depth=args.max_depth, max_children=args.max_children
+            )
+        )
+        return 0
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # $REPRO_TRACE_FILE traces any subcommand without touching its flags
+    # (the pipeline tools and the chaos harness use this).
+    trace_env = os.environ.get("REPRO_TRACE_FILE")
+    if trace_env:
+        from repro.obs.tracing import active_writer, configure_tracing
+
+        if active_writer() is None:
+            configure_tracing(trace_env)
     try:
         return _dispatch(args)
-    except PipelineError as exc:
+    except (ObsError, PipelineError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:
@@ -496,6 +550,8 @@ def _dispatch(args) -> int:
         return _cmd_report(args)
     if args.command == "pipeline":
         return _cmd_pipeline(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -14,7 +14,7 @@ per-system computation in the paper uses).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ClusterError
 

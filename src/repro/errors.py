@@ -86,3 +86,7 @@ class ServiceClosed(ServeError):
 
 class FaultError(ReproError):
     """Invalid fault-injection plan or injector misuse."""
+
+
+class ObsError(ReproError):
+    """Observability misuse: bad metric/label names, invalid trace files."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping
 
-from repro.spec import ScenarioSpec, as_scenario
+from repro.spec import as_scenario
 
 __all__ = ["generate_dataset", "evaluate", "create_server"]
 

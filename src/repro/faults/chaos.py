@@ -14,7 +14,11 @@
    **bit-identical** to the pre-chaos answer;
 4. audits the run: zero lost requests, zero stuck futures, every
    injection point fired at least once, fire counts exactly matching
-   the plan's deterministic schedule, and a bounded error rate.
+   the plan's deterministic schedule, a bounded error rate, and the
+   observability invariants — the run's delta of
+   ``repro_requests_total`` equals the sum of its outcome counters,
+   and the ``repro_fault_fires_total`` deltas match the injector's own
+   per-point fire counts (which step 4 already tied to the schedule).
 
 Everything the audit needs is in the returned :class:`ChaosReport`;
 ``report.passed`` is the single gate CI asserts.
@@ -33,6 +37,7 @@ import numpy as np
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import INJECTION_POINTS, FaultPlan, soak_plan
+from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.spec import ScenarioSpec
 
 __all__ = ["ChaosReport", "run_soak", "default_soak_scenario"]
@@ -78,6 +83,11 @@ class ChaosReport:
     churn_builds: int = 0
     churn_faults: int = 0
     wall_seconds: float = 0.0
+    # This run's metric deltas plus any invariant violations; filled by
+    # _audit_metrics. True by default so hand-built reports (tests)
+    # aren't failed for never having run the metric audit.
+    metrics: dict[str, Any] = field(default_factory=dict)
+    metrics_consistent: bool = True
 
     @property
     def total(self) -> int:
@@ -117,6 +127,9 @@ class ChaosReport:
                 f"error rate {self.error_rate:.1%} over the "
                 f"{self.max_error_rate:.1%} bound"
             )
+        if not self.metrics_consistent:
+            for problem in self.metrics.get("problems", ["metric audit failed"]):
+                out.append(f"metric invariant violated: {problem}")
         return out
 
     @property
@@ -142,6 +155,8 @@ class ChaosReport:
             "churn_builds": self.churn_builds,
             "churn_faults": self.churn_faults,
             "wall_seconds": round(self.wall_seconds, 3),
+            "metrics": self.metrics,
+            "metrics_consistent": self.metrics_consistent,
             "passed": self.passed,
             "problems": self.problems(),
         }
@@ -161,7 +176,8 @@ class ChaosReport:
             f"{self.batcher_crashes} batcher crash(es), "
             f"{self.churn_builds} churn build(s) ({self.churn_faults} faulted)",
             f"recovered bit-identical: {self.recovered_identical}   "
-            f"schedule consistent: {self.schedule_consistent}",
+            f"schedule consistent: {self.schedule_consistent}   "
+            f"metrics consistent: {self.metrics_consistent}",
         ]
         verdict = "PASS" if self.passed else "FAIL: " + "; ".join(self.problems())
         return "\n".join(lines + [verdict])
@@ -274,6 +290,50 @@ def _churn_loop(
             tally["faults"] += 1
 
 
+def _audit_metrics(
+    delta: dict[str, dict[tuple[str, ...], float]], injector: FaultInjector
+) -> dict[str, Any]:
+    """Check the observability invariants over one soak's metric deltas.
+
+    The deltas isolate this run even though the process-wide counters
+    carry over between runs (:meth:`MetricsRegistry.snapshot` /
+    ``delta``). Invariants: request conservation (every request counted
+    lands in exactly one outcome series) and fault-fire agreement (the
+    ``repro_fault_fires_total`` deltas equal the injector's own per-point
+    counts, which the schedule audit already pins to the plan).
+    """
+    requests = sum(delta.get("repro_requests_total", {}).values())
+    outcomes = {
+        key[0]: int(v)
+        for key, v in delta.get("repro_predict_outcomes_total", {}).items()
+    }
+    fires = {
+        key[0]: int(v)
+        for key, v in delta.get("repro_fault_fires_total", {}).items()
+    }
+    problems: list[str] = []
+    answered = sum(outcomes.values())
+    if int(requests) != answered:
+        problems.append(
+            f"repro_requests_total moved by {int(requests)} but outcomes "
+            f"(ok/degraded/failed) account for {answered}"
+        )
+    for point in injector.plan.points:
+        expected = injector.fires(point)
+        got = fires.get(point, 0)
+        if got != expected:
+            problems.append(
+                f"repro_fault_fires_total{{point={point}}} moved by {got}, "
+                f"injector counted {expected}"
+            )
+    return {
+        "requests": int(requests),
+        "outcomes": outcomes,
+        "fault_fires": fires,
+        "problems": problems,
+    }
+
+
 def run_soak(
     seed: int = 0,
     duration_s: float = 10.0,
@@ -304,6 +364,7 @@ def run_soak(
         counts={c: 0 for c in CATEGORIES},
     )
     t_start = time.perf_counter()
+    metrics_before = REGISTRY.snapshot()
 
     # Unarmed: build the service, warm the default model, and pin the
     # baseline answer chaos must not change.
@@ -371,5 +432,10 @@ def run_soak(
     )
     report.churn_builds = churn_tally["builds"]
     report.churn_faults = churn_tally["faults"]
+    # Observability audit: the same run, as the /metrics counters saw it.
+    report.metrics = _audit_metrics(
+        MetricsRegistry.delta(metrics_before, REGISTRY.snapshot()), injector
+    )
+    report.metrics_consistent = not report.metrics["problems"]
     report.wall_seconds = time.perf_counter() - t_start
     return report

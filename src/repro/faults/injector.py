@@ -30,8 +30,23 @@ from typing import Any
 
 from repro.errors import FaultError
 from repro.faults.plan import FaultPlan, decide
+from repro.obs.metrics import REGISTRY
 
 __all__ = ["FaultInjector", "arm", "active_injector", "maybe_fire"]
+
+# Fault observability (docs/OBSERVABILITY.md). Updated only inside
+# FaultInjector.fire(), i.e. only while an injector is armed — the
+# disarmed maybe_fire() fast path stays a global read + None check.
+_FAULT_CALLS = REGISTRY.counter(
+    "repro_fault_calls_total",
+    "Armed injection-point evaluations, per point.",
+    labelnames=("point",),
+)
+_FAULT_FIRES = REGISTRY.counter(
+    "repro_fault_fires_total",
+    "Injected faults actually fired, per point.",
+    labelnames=("point",),
+)
 
 # The process-wide armed injector. Injection points read this exactly
 # once per call; None (the steady state) short-circuits everything.
@@ -72,10 +87,12 @@ class FaultInjector:
         with self._lock:
             n = self._calls.get(point, 0)
             self._calls[point] = n + 1
+        _FAULT_CALLS.inc(point=point)
         if not decide(rule, self.plan.seed, n):
             return False
         with self._lock:
             self._fires[point] = self._fires.get(point, 0) + 1
+        _FAULT_FIRES.inc(point=point)
         if rule.duration_s > 0:
             time.sleep(rule.duration_s)
         return True

@@ -8,8 +8,6 @@ vectorized.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
-
 import numpy as np
 
 from repro.errors import ColumnMismatchError

@@ -16,7 +16,6 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import FrameError
-from repro.frames.column import is_string_dtype
 from repro.frames.table import Table
 
 __all__ = ["write_csv", "read_csv", "write_npz", "read_npz"]

@@ -1,0 +1,177 @@
+"""Trace-file analysis: span trees, per-name aggregates, critical path.
+
+Backs ``repro obs summary <trace.jsonl>``. A trace file holds a forest
+of spans (one tree per root — e.g. one per pipeline run or HTTP
+request); this module rebuilds the trees from the recorded parent ids
+and renders:
+
+* the span tree with durations and self-time (duration minus the time
+  accounted to child spans),
+* per-name aggregates (count / total / mean / max), and
+* the **critical path** of the longest root: the root-to-leaf chain
+  that follows the slowest child at every level — the sequence of
+  sections to optimize first.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.tracing import read_spans
+
+__all__ = ["SpanNode", "TraceSummary", "summarize_trace"]
+
+
+@dataclass
+class SpanNode:
+    """One span plus its children, rebuilt from the JSONL records."""
+
+    record: dict[str, Any]
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """The span's section name."""
+        return str(self.record.get("name", "?"))
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time the span covered."""
+        return float(self.record.get("duration_s", 0.0))
+
+    @property
+    def self_s(self) -> float:
+        """Duration not accounted to child spans (never below zero)."""
+        return max(0.0, self.duration_s - sum(c.duration_s for c in self.children))
+
+    def critical_path(self) -> list["SpanNode"]:
+        """This node plus, recursively, its slowest child's path."""
+        path = [self]
+        if self.children:
+            slowest = max(self.children, key=lambda c: c.duration_s)
+            path.extend(slowest.critical_path())
+        return path
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro obs summary`` reports about one trace file."""
+
+    path: str
+    roots: list[SpanNode]
+    n_spans: int
+    run_ids: list[str]
+
+    @property
+    def total_s(self) -> float:
+        """Sum of root-span durations (the traced wall time)."""
+        return sum(r.duration_s for r in self.roots)
+
+    def aggregates(self) -> list[dict[str, Any]]:
+        """Per-name count/total/mean/max rows, slowest total first."""
+        rows: dict[str, dict[str, Any]] = {}
+        stack = list(self.roots)
+        while stack:
+            node = stack.pop()
+            row = rows.setdefault(
+                node.name,
+                {"name": node.name, "count": 0, "total_s": 0.0, "max_s": 0.0},
+            )
+            row["count"] += 1
+            row["total_s"] += node.duration_s
+            row["max_s"] = max(row["max_s"], node.duration_s)
+            stack.extend(node.children)
+        out = sorted(rows.values(), key=lambda r: -r["total_s"])
+        for row in out:
+            row["mean_s"] = row["total_s"] / row["count"]
+        return out
+
+    def critical_path(self) -> list[SpanNode]:
+        """The slowest root's root-to-leaf chain of slowest children."""
+        if not self.roots:
+            return []
+        slowest = max(self.roots, key=lambda r: r.duration_s)
+        return slowest.critical_path()
+
+    def render(self, max_depth: int = 6, max_children: int = 12) -> str:
+        """The human-readable report ``repro obs summary`` prints."""
+        lines = [
+            f"trace {self.path}: {self.n_spans} span(s), "
+            f"{len(self.roots)} root(s), {self.total_s:.3f}s traced"
+            + (f"  [run {', '.join(self.run_ids)}]" if self.run_ids else "")
+        ]
+        lines.append("")
+        lines.append("span tree (duration | self):")
+        for root in self.roots:
+            lines.extend(self._render_node(root, 0, max_depth, max_children))
+        lines.append("")
+        lines.append("by name (total | mean | max | count):")
+        for row in self.aggregates():
+            lines.append(
+                f"  {row['name']:32s} {row['total_s']:9.3f}s "
+                f"{row['mean_s']:9.3f}s {row['max_s']:9.3f}s  x{row['count']}"
+            )
+        path = self.critical_path()
+        if path:
+            lines.append("")
+            lines.append("critical path (slowest child at every level):")
+            for depth, node in enumerate(path):
+                share = (
+                    node.duration_s / path[0].duration_s
+                    if path[0].duration_s
+                    else 0.0
+                )
+                lines.append(
+                    f"  {'  ' * depth}{node.name}  "
+                    f"{node.duration_s:.3f}s  ({share:.0%} of root)"
+                )
+        return "\n".join(lines)
+
+    def _render_node(
+        self, node: SpanNode, depth: int, max_depth: int, max_children: int
+    ) -> list[str]:
+        label = ", ".join(
+            f"{k}={v}" for k, v in sorted(node.record.get("attrs", {}).items())
+        )
+        lines = [
+            f"  {'  ' * depth}{node.name}  "
+            f"{node.duration_s:.3f}s | {node.self_s:.3f}s"
+            + (f"  [{label}]" if label else "")
+        ]
+        if depth + 1 >= max_depth and node.children:
+            lines.append(f"  {'  ' * (depth + 1)}… {len(node.children)} child span(s)")
+            return lines
+        shown = sorted(node.children, key=lambda c: -c.duration_s)[:max_children]
+        hidden = len(node.children) - len(shown)
+        for child in shown:
+            lines.extend(self._render_node(child, depth + 1, max_depth, max_children))
+        if hidden > 0:
+            lines.append(f"  {'  ' * (depth + 1)}… {hidden} more child span(s)")
+        return lines
+
+
+def summarize_trace(path: str | os.PathLike) -> TraceSummary:
+    """Rebuild the span forest of one trace JSONL file.
+
+    Spans whose recorded parent never appears in the file (e.g. the
+    parent is still open, or a worker thread started its own root)
+    become roots, so partial traces still summarize.
+    """
+    spans = read_spans(path)
+    nodes = {s["span_id"]: SpanNode(s) for s in spans}
+    roots: list[SpanNode] = []
+    for span in spans:
+        node = nodes[span["span_id"]]
+        parent = nodes.get(span.get("parent_id") or "")
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda c: c.record.get("start_unix", 0.0))
+    run_ids = sorted({str(s["run_id"]) for s in spans if s.get("run_id")})
+    return TraceSummary(
+        path=str(path), roots=roots, n_spans=len(spans), run_ids=run_ids
+    )

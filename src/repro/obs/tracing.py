@@ -1,0 +1,213 @@
+"""Span-based tracing: nested timed sections emitted as JSONL records.
+
+One :func:`trace_span` context manager wraps a timed section::
+
+    from repro.obs import trace_span
+
+    with trace_span("pipeline.shard", label="emmy/s0"):
+        with trace_span("stage.schedule", stage="schedule"):
+            ...
+
+Spans nest through a :mod:`contextvars` context variable, so each span
+records its parent's id (per thread — a worker thread's spans start a
+new root, which is the honest answer for work that really does run
+concurrently). Records are appended to a per-run JSONL trace file as
+each span *closes*:
+
+``{"name", "trace_id", "span_id", "parent_id", "run_id", "start_unix",
+"duration_s", "thread", "attrs"}``
+
+Tracing is **off by default**: when no writer is installed
+:func:`trace_span` is a single module-global read and a no-op context
+manager — production hot paths pay effectively nothing. Install a
+writer with :func:`configure_tracing` (the CLI and the chaos harness
+do this for ``--trace``/``$REPRO_TRACE_FILE``), and read a finished
+file back with :func:`read_spans` / ``repro obs summary``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ObsError
+from repro.obs.logs import run_id
+
+__all__ = [
+    "TraceWriter",
+    "trace_span",
+    "configure_tracing",
+    "tracing_to",
+    "active_writer",
+    "read_spans",
+]
+
+TRACE_ENV_VAR = "REPRO_TRACE_FILE"
+
+#: The (span_id, trace_id) pair of the innermost open span in this context.
+_CURRENT: contextvars.ContextVar[tuple[str, str] | None] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+# The process-wide installed writer. trace_span reads this exactly once
+# per call; None (the steady state) short-circuits everything.
+_WRITER: "TraceWriter | None" = None
+_WRITER_LOCK = threading.Lock()
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class TraceWriter:
+    """Append-only JSONL span sink bound to one trace file."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = self.path.open("a", encoding="utf-8")
+        self.n_spans = 0
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Append one span record as a JSON line (thread-safe)."""
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._fh.closed:
+                return  # a span outlived the writer; drop, never raise
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self.n_spans += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+def configure_tracing(path: str | os.PathLike | None) -> TraceWriter | None:
+    """Install (or, with ``None``, remove) the process-wide trace writer.
+
+    Returns the new writer. The previous writer, if any, is closed.
+    ``$REPRO_TRACE_FILE`` is the environment-variable spelling the CLI
+    entry points honor; library code calls this directly.
+    """
+    global _WRITER
+    writer = TraceWriter(path) if path is not None else None
+    with _WRITER_LOCK:
+        previous, _WRITER = _WRITER, writer
+    if previous is not None:
+        previous.close()
+    return writer
+
+
+def active_writer() -> TraceWriter | None:
+    """The installed trace writer, or None (tracing disabled)."""
+    return _WRITER
+
+
+@contextmanager
+def tracing_to(path: str | os.PathLike) -> Iterator[TraceWriter]:
+    """Scoped tracing: install a writer, restore the previous on exit."""
+    global _WRITER
+    writer = TraceWriter(path)
+    with _WRITER_LOCK:
+        previous, _WRITER = _WRITER, writer
+    try:
+        yield writer
+    finally:
+        with _WRITER_LOCK:
+            _WRITER = previous
+        writer.close()
+
+
+class _Span:
+    """Mutable handle :func:`trace_span` yields; add attrs as you learn them."""
+
+    __slots__ = ("name", "span_id", "trace_id", "parent_id", "attrs", "_t0", "_start")
+
+    def __init__(self, name: str, parent: tuple[str, str] | None, attrs: dict) -> None:
+        self.name = name
+        self.span_id = _new_id()
+        self.trace_id = parent[1] if parent is not None else _new_id()
+        self.parent_id = parent[0] if parent is not None else None
+        self.attrs = attrs
+        self._start = time.time()
+        self._t0 = time.perf_counter()
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. result counts)."""
+        self.attrs.update(attrs)
+
+    def record(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "run_id": run_id(),
+            "start_unix": round(self._start, 6),
+            "duration_s": round(time.perf_counter() - self._t0, 6),
+            "thread": threading.current_thread().name,
+            "attrs": self.attrs,
+        }
+
+
+@contextmanager
+def trace_span(name: str, **attrs: Any) -> Iterator[_Span | None]:
+    """Time a section; emit a JSONL span record when tracing is on.
+
+    Yields the open span (``span.set(key=value)`` adds attributes) or
+    ``None`` when no writer is installed — callers never need to check.
+    Exceptions propagate; the span is still written, flagged with
+    ``attrs["error"]``.
+    """
+    writer = _WRITER
+    if writer is None:
+        yield None
+        return
+    parent = _CURRENT.get()
+    span = _Span(name, parent, attrs)
+    token = _CURRENT.set((span.span_id, span.trace_id))
+    try:
+        yield span
+    except BaseException as exc:
+        span.attrs["error"] = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        _CURRENT.reset(token)
+        writer.write(span.record())
+
+
+def read_spans(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Parse a trace JSONL file back into span records (oldest first).
+
+    Blank lines are skipped; a malformed line raises
+    :class:`~repro.errors.ObsError` naming the line number.
+    """
+    spans: list[dict[str, Any]] = []
+    trace_path = Path(path)
+    if not trace_path.is_file():
+        raise ObsError(f"no trace file at {trace_path}")
+    for lineno, line in enumerate(
+        trace_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"{trace_path}:{lineno}: invalid span JSON: {exc}") from None
+        if not isinstance(record, dict) or "span_id" not in record:
+            raise ObsError(f"{trace_path}:{lineno}: not a span record")
+        spans.append(record)
+    spans.sort(key=lambda s: s.get("start_unix", 0.0))
+    return spans

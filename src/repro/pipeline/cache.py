@@ -31,6 +31,25 @@ from typing import Any, Callable
 
 from repro.errors import CacheError
 from repro.faults.injector import maybe_fire
+from repro.obs.metrics import REGISTRY
+
+# Cache observability (docs/OBSERVABILITY.md). Outcomes: "hit" (entry
+# served), "miss" (no entry), "error" (unreadable entry or injected
+# fault). The damaged gauge reflects the latest entries() scan.
+_CACHE_READS = REGISTRY.counter(
+    "repro_cache_reads_total",
+    "Artifact-cache reads by stage and outcome (hit/miss/error).",
+    labelnames=("stage", "outcome"),
+)
+_CACHE_WRITES = REGISTRY.counter(
+    "repro_cache_writes_total",
+    "Artifact-cache entries committed, by stage.",
+    labelnames=("stage",),
+)
+_CACHE_DAMAGED = REGISTRY.gauge(
+    "repro_cache_damaged_entries",
+    "Damaged cache entries (unreadable meta) found by the latest scan.",
+)
 
 __all__ = [
     "CacheError",
@@ -126,16 +145,21 @@ class ArtifactCache:
     def load_meta(self, stage: str, key: str) -> dict:
         """The meta.json of a committed entry."""
         if maybe_fire("cache.read"):
+            _CACHE_READS.inc(stage=stage, outcome="error")
             raise CacheError(f"injected fault: cache.read {stage}/{key[:12]}…")
         path = self.entry_dir(stage, key) / META_NAME
         try:
-            return json.loads(path.read_text())
+            meta = json.loads(path.read_text())
         except FileNotFoundError:
+            _CACHE_READS.inc(stage=stage, outcome="miss")
             raise CacheError(f"no cache entry for {stage}/{key[:12]}…") from None
         except (OSError, json.JSONDecodeError) as exc:
+            _CACHE_READS.inc(stage=stage, outcome="error")
             raise CacheError(
                 f"unreadable meta for {stage}/{key[:12]}…: {exc}"
             ) from None
+        _CACHE_READS.inc(stage=stage, outcome="hit")
+        return meta
 
     # -- commit / load ---------------------------------------------------
 
@@ -168,22 +192,28 @@ class ArtifactCache:
         with (tmp / PAYLOAD_NAME).open("wb") as fh:
             pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
         self._write_meta(tmp, stage, key, meta)
+        _CACHE_WRITES.inc(stage=stage)
         return self._commit(stage, key, tmp)
 
     def load_pickle(self, stage: str, key: str) -> Any:
         """Load a payload committed by :meth:`store_pickle`."""
         if maybe_fire("cache.read"):
+            _CACHE_READS.inc(stage=stage, outcome="error")
             raise CacheError(f"injected fault: cache.read {stage}/{key[:12]}…")
         if maybe_fire("cache.corrupt"):
+            _CACHE_READS.inc(stage=stage, outcome="error")
             raise pickle.UnpicklingError(
                 f"injected fault: cache.corrupt {stage}/{key[:12]}…"
             )
         path = self.entry_dir(stage, key) / PAYLOAD_NAME
         try:
             with path.open("rb") as fh:
-                return pickle.load(fh)
+                payload = pickle.load(fh)
         except FileNotFoundError:
+            _CACHE_READS.inc(stage=stage, outcome="miss")
             raise CacheError(f"no cached payload for {stage}/{key[:12]}…") from None
+        _CACHE_READS.inc(stage=stage, outcome="hit")
+        return payload
 
     def store_tree(
         self, stage: str, key: str, build: Callable[[Path], dict], meta: dict
@@ -198,6 +228,7 @@ class ArtifactCache:
         tmp = self._tmp_dir()
         extra = build(tmp) or {}
         self._write_meta(tmp, stage, key, {**meta, **extra})
+        _CACHE_WRITES.inc(stage=stage)
         return self._commit(stage, key, tmp)
 
     # -- inspection / cleaning -------------------------------------------
@@ -235,6 +266,7 @@ class ArtifactCache:
                     except (OSError, json.JSONDecodeError) as exc:
                         meta = {"damaged": True, "error": str(exc)}
                 found.append(CacheEntry(s, entry.name, entry, meta))
+        _CACHE_DAMAGED.set(sum(1 for e in found if e.damaged))
         return found
 
     def remove(

@@ -20,11 +20,25 @@ from pathlib import Path
 from typing import Any, Iterable, Sequence
 
 from repro.errors import PipelineError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS, REGISTRY
+from repro.obs.tracing import trace_span
 from repro.pipeline.cache import ArtifactCache, canonical_json, default_cache_dir
 from repro.pipeline.stages import ShardConfig, ShardReport, run_shard
 from repro.telemetry.dataset import JobDataset
 
 __all__ = ["RunManifest", "run_pipeline", "build_dataset", "MANIFEST_NAME"]
+
+_RUNS = REGISTRY.counter(
+    "repro_pipeline_runs_total",
+    "Completed run_pipeline invocations.",
+)
+_RUN_SECONDS = REGISTRY.histogram(
+    "repro_pipeline_run_seconds",
+    "End-to-end wall time of one run_pipeline invocation.",
+    buckets=DEFAULT_SECONDS_BUCKETS,
+)
+_LOG = get_logger("repro.pipeline")
 
 MANIFEST_NAME = "manifest-latest.json"
 _MANIFEST_VERSION = 1
@@ -165,20 +179,37 @@ def run_pipeline(
     todo = _normalize_shards(shards)
 
     t0 = time.perf_counter()
-    if workers > 1 and len(todo) > 1 and not force:
-        payloads = [(str(cache.root), s.to_dict()) for s in todo]
-        with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
-            reports = [ShardReport.from_dict(d) for d in pool.map(_shard_worker, payloads)]
-    else:
-        reports = [
-            run_shard(s, cache, want_dataset=False, force=force)[0] for s in todo
-        ]
+    with trace_span(
+        "pipeline.run", workers=workers, n_shards=len(todo), force=force
+    ):
+        if workers > 1 and len(todo) > 1 and not force:
+            payloads = [(str(cache.root), s.to_dict()) for s in todo]
+            with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
+                reports = [
+                    ShardReport.from_dict(d)
+                    for d in pool.map(_shard_worker, payloads)
+                ]
+        else:
+            reports = [
+                run_shard(s, cache, want_dataset=False, force=force)[0]
+                for s in todo
+            ]
     manifest = RunManifest(
         workers=workers,
         cache_dir=str(cache.root),
         total_seconds=time.perf_counter() - t0,
         shards=reports,
         created_unix=time.time(),
+    )
+    _RUNS.inc()
+    _RUN_SECONDS.observe(manifest.total_seconds)
+    _LOG.info(
+        "pipeline run finished",
+        workers=workers,
+        n_shards=len(todo),
+        seconds=round(manifest.total_seconds, 3),
+        stages_cached=manifest.stages_cached,
+        stages_total=manifest.stages_total,
     )
     manifest.save(cache.root / MANIFEST_NAME)
     if manifest_path is not None:

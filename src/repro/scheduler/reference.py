@@ -16,7 +16,7 @@ node ids, completion order) is a bug in the optimized engine.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

@@ -36,10 +36,38 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ServeError, ServiceClosed
 from repro.faults.injector import maybe_fire
+from repro.obs.metrics import REGISTRY
 
 __all__ = ["BatchStats", "MicroBatcher"]
 
 _SENTINEL = object()
+
+# Batching observability (docs/OBSERVABILITY.md): batch-size
+# distribution, batch/request throughput, live queue depth per batcher,
+# and supervised worker restarts.
+_BATCH_SIZE = REGISTRY.histogram(
+    "repro_batch_size",
+    "Records per executed micro-batch.",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+)
+_BATCHES = REGISTRY.counter(
+    "repro_batches_total",
+    "Micro-batches executed (vectorized predict_fn calls).",
+)
+_BATCH_REQUESTS = REGISTRY.counter(
+    "repro_batch_requests_total",
+    "Records answered through micro-batches.",
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_batch_queue_depth",
+    "Queued-but-unbatched records, per batcher.",
+    labelnames=("batcher",),
+)
+_CRASHES = REGISTRY.counter(
+    "repro_batcher_crashes_total",
+    "Supervised batcher worker-loop restarts, per batcher.",
+    labelnames=("batcher",),
+)
 
 
 class BatchStats:
@@ -136,6 +164,7 @@ class MicroBatcher:
                     f"batcher {self.name!r} queue full "
                     f"({self._queue.maxsize} pending requests)"
                 ) from None
+            _QUEUE_DEPTH.set(self._queue.qsize(), batcher=self.name)
         return future
 
     def predict(self, record: Mapping, timeout: float | None = 30.0) -> float:
@@ -230,6 +259,7 @@ class MicroBatcher:
                 break  # clean sentinel shutdown
             except BaseException:
                 self.crashes += 1
+                _CRASHES.inc(batcher=self.name)
                 inflight, self._inflight = self._inflight, []
                 for item in inflight:
                     # Re-queue rather than fail: every record's result is
@@ -250,6 +280,7 @@ class MicroBatcher:
     def _loop(self) -> None:
         while True:
             batch = self._gather()
+            _QUEUE_DEPTH.set(self._queue.qsize(), batcher=self.name)
             if batch is None:
                 return
             self._inflight = batch
@@ -278,3 +309,6 @@ class MicroBatcher:
             for (_, future), value in zip(batch, values):
                 future.set_result(value)
             self.stats.record(len(batch))
+            _BATCH_SIZE.observe(len(batch))
+            _BATCHES.inc()
+            _BATCH_REQUESTS.inc(len(batch))

@@ -9,6 +9,8 @@ Endpoints (see docs/SERVICE.md for payloads):
 
 * ``GET /healthz`` — liveness + request counters + latency snapshot;
 * ``GET /models``  — warm models, registry counters, batcher stats;
+* ``GET /metrics`` — Prometheus text exposition of the process-wide
+  :data:`repro.obs.metrics.REGISTRY` (docs/OBSERVABILITY.md);
 * ``POST /predict`` — ``{"model": "BDT", "jobs": [{"user": ...,
   "nodes": ..., "req_walltime_s": ...}, ...]}`` (or a single ``"job"``)
   with an optional ``"scenario"`` overlay; responds with predictions in
@@ -25,6 +27,7 @@ from typing import Any, Mapping
 
 from repro.errors import ReproError, ScenarioError, ServeError, ValidationError
 from repro.faults.injector import active_injector
+from repro.obs.metrics import REGISTRY
 from repro.serve.service import PredictionService
 
 __all__ = ["PredictionServer", "create_server"]
@@ -32,6 +35,27 @@ __all__ = ["PredictionServer", "create_server"]
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 #: Request errors that map to HTTP 400 (caller's fault, not the server's).
 _BAD_REQUEST_ERRORS = (ServeError, ScenarioError, ValidationError)
+
+#: The Prometheus text exposition content type (/metrics responses).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_KNOWN_ENDPOINTS = frozenset({"/healthz", "/models", "/metrics", "/predict"})
+
+_HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests received, by endpoint (unknown paths count as 'other').",
+    labelnames=("endpoint",),
+)
+_HTTP_RESPONSES = REGISTRY.counter(
+    "repro_http_responses_total",
+    "HTTP responses sent, by endpoint and status code.",
+    labelnames=("endpoint", "status"),
+)
+
+
+def _endpoint_label(path: str) -> str:
+    """Bounded-cardinality endpoint label for the HTTP counters."""
+    return path if path in _KNOWN_ENDPOINTS else "other"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -42,13 +66,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- helpers ---------------------------------------------------------
 
-    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        _HTTP_RESPONSES.inc(endpoint=_endpoint_label(self.path), status=status)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+        self._send_body(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
@@ -72,8 +101,13 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        _HTTP_REQUESTS.inc(endpoint=_endpoint_label(self.path))
         service = self.server.service
-        if self.path == "/healthz":
+        if self.path == "/metrics":
+            self._send_body(
+                200, REGISTRY.render().encode("utf-8"), METRICS_CONTENT_TYPE
+            )
+        elif self.path == "/healthz":
             snap = service.latency.snapshot()
             payload = {
                 **service.health(),
@@ -90,6 +124,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"no such endpoint {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802
+        _HTTP_REQUESTS.inc(endpoint=_endpoint_label(self.path))
         if self.path != "/predict":
             self._send_error_json(404, f"no such endpoint {self.path!r}")
             return

@@ -30,6 +30,8 @@ import numpy as np
 
 from repro.errors import CacheError, ServeError, ValidationError
 from repro.faults.injector import maybe_fire
+from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS, REGISTRY
+from repro.obs.tracing import trace_span
 from repro.spec import ScenarioSpec, as_scenario
 
 __all__ = [
@@ -60,6 +62,22 @@ _ONLINE_FIELDS = ("user", "nodes", "req_walltime_s")
 # Mean node draw as a fraction of TDP when even the scenario dataset is
 # unbuildable — roughly the production mean the paper reports (Fig 3).
 _FALLBACK_TDP_FRACTION = 0.6
+
+# Registry observability (docs/OBSERVABILITY.md): where lookups were
+# served from (warm LRU / disk artifact / fresh training) and how long
+# training takes when it happens.
+_LOOKUPS = REGISTRY.counter(
+    "repro_model_registry_lookups_total",
+    "Registry gets by source: hit (warm LRU), disk (artifact cache), "
+    "trained (fresh fit).",
+    labelnames=("outcome",),
+)
+_TRAIN_SECONDS = REGISTRY.histogram(
+    "repro_model_train_seconds",
+    "Wall time of one model training (dataset build + fit).",
+    buckets=DEFAULT_SECONDS_BUCKETS,
+    labelnames=("model",),
+)
 
 
 class OnlineServable:
@@ -227,6 +245,7 @@ class ModelRegistry:
             if servable is not None:
                 self._lru.move_to_end(key)
                 self.hits += 1
+                _LOOKUPS.inc(outcome="hit")
                 return servable
             self.misses += 1
             disk_key = self.model_key(spec, model)
@@ -234,8 +253,11 @@ class ModelRegistry:
             if servable is None:
                 servable = self._train(spec, model)
                 self.trained += 1
+                _LOOKUPS.inc(outcome="trained")
                 if self.use_disk:
                     self._store(spec, model, disk_key, servable)
+            else:
+                _LOOKUPS.inc(outcome="disk")
             self._lru[key] = servable
             while len(self._lru) > self.capacity:
                 self._lru.popitem(last=False)
@@ -287,17 +309,19 @@ class ModelRegistry:
         if maybe_fire("registry.train"):
             raise ServeError(f"injected fault: registry.train {spec.label}/{model}")
         t0 = time.perf_counter()
-        dataset = self._build_dataset(spec)
-        if model == "online":
-            servable = _fit_online(dataset.jobs)
-        else:
-            from repro.analysis.prediction import default_models
-            from repro.ml import fit_predictor
+        with trace_span("registry.train", model=model, scenario=spec.label):
+            dataset = self._build_dataset(spec)
+            if model == "online":
+                servable = _fit_online(dataset.jobs)
+            else:
+                from repro.analysis.prediction import default_models
+                from repro.ml import fit_predictor
 
-            servable = fit_predictor(
-                dataset.jobs, default_models()[model], model_name=model
-            )
+                servable = fit_predictor(
+                    dataset.jobs, default_models()[model], model_name=model
+                )
         self.last_train_seconds = round(time.perf_counter() - t0, 4)
+        _TRAIN_SECONDS.observe(time.perf_counter() - t0, model=model)
         return servable
 
     def _build_dataset(self, spec: ScenarioSpec):

@@ -7,7 +7,8 @@ in-process callers (tests, the bench harness, notebooks) drive. It owns
 * one :class:`~repro.serve.batching.MicroBatcher` per served
   (dataset digest, model) pair, created lazily, and
 * :class:`LatencyStats` — structured per-request latency accounting
-  (count, mean, p50, p99 over a sliding window).
+  (count, exact mean, and bucket-derived p50/p99 — see
+  :class:`repro.obs.metrics.Histogram`).
 
 Requests are validated *before* they enter a batch: an unknown user (for
 the estimator models, whose category encoders are frozen at fit time)
@@ -19,12 +20,13 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import ReproError, ServeError, ServiceClosed
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, REGISTRY, Histogram
+from repro.obs.tracing import trace_span
 from repro.serve.batching import MicroBatcher
 from repro.serve.registry import ModelRegistry
 from repro.spec import ScenarioSpec, as_scenario
@@ -33,47 +35,66 @@ __all__ = ["LatencyStats", "PredictionService"]
 
 _REQUIRED_FIELDS = ("user", "nodes", "req_walltime_s")
 
+# Serving observability (docs/OBSERVABILITY.md). The conservation
+# invariant the chaos auditor checks: every request counted in
+# repro_requests_total lands in exactly one outcome series of
+# repro_predict_outcomes_total (ok / degraded / failed).
+_REQUESTS = REGISTRY.counter(
+    "repro_requests_total",
+    "Prediction requests submitted to PredictionService.predict*.",
+)
+_OUTCOMES = REGISTRY.counter(
+    "repro_predict_outcomes_total",
+    "Prediction request outcomes: ok, degraded (baseline-served), failed.",
+    labelnames=("outcome",),
+)
+_LATENCY = REGISTRY.histogram(
+    "repro_request_latency_seconds",
+    "End-to-end latency of answered prediction requests.",
+    buckets=DEFAULT_LATENCY_BUCKETS,
+)
+
 
 class LatencyStats:
-    """Sliding-window latency accounting (thread-safe).
+    """Histogram-backed latency accounting (thread-safe).
 
-    Keeps the last ``window`` request latencies for quantiles plus
-    lifetime count/total for the mean; :meth:`snapshot` returns the
-    structured record the ``/healthz`` endpoint and the bench harness
-    report.
+    Backed by a private fixed-bucket
+    :class:`~repro.obs.metrics.Histogram`: the count and mean are exact
+    (lifetime sum/count), p50/p99 are bucket-interpolated estimates —
+    the same numbers a Prometheus ``histogram_quantile`` over the
+    ``/metrics`` exposition yields. :meth:`snapshot` keeps the record
+    shape the ``/healthz`` endpoint and the bench harness report.
     """
 
-    def __init__(self, window: int = 4096) -> None:
-        self._lock = threading.Lock()
-        self._recent: deque[float] = deque(maxlen=window)
-        self.count = 0
-        self.total_s = 0.0
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        self._hist = Histogram(
+            "latency_seconds", "per-service request latency", buckets=buckets
+        )
+
+    @property
+    def count(self) -> int:
+        """Lifetime number of recorded requests."""
+        return self._hist.count()
+
+    @property
+    def total_s(self) -> float:
+        """Lifetime sum of recorded request latencies (seconds)."""
+        return self._hist.sum()
 
     def record(self, seconds: float) -> None:
         """Fold one request's wall time in."""
-        with self._lock:
-            self._recent.append(seconds)
-            self.count += 1
-            self.total_s += seconds
+        self._hist.observe(seconds)
 
     def snapshot(self) -> dict[str, Any]:
-        """count / mean / p50 / p99 (ms), over the sliding window."""
-        with self._lock:
-            recent = sorted(self._recent)
-            count = self.count
-            total = self.total_s
-        if not recent:
+        """count / exact mean / bucket-derived p50 and p99 (ms)."""
+        count = self._hist.count()
+        if count == 0:
             return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0}
-
-        def pct(q: float) -> float:
-            idx = min(len(recent) - 1, int(q * (len(recent) - 1) + 0.5))
-            return recent[idx] * 1e3
-
         return {
             "count": count,
-            "mean_ms": round(total / count * 1e3, 3),
-            "p50_ms": round(pct(0.50), 3),
-            "p99_ms": round(pct(0.99), 3),
+            "mean_ms": round(self._hist.mean() * 1e3, 3),
+            "p50_ms": round(self._hist.quantile(0.50) * 1e3, 3),
+            "p99_ms": round(self._hist.quantile(0.99) * 1e3, 3),
         }
 
 
@@ -201,9 +222,35 @@ class PredictionService:
         (unknown model/user, malformed fields, an overloaded or closed
         batcher) still raise exactly as before.
         """
+        _REQUESTS.inc()
+        t0 = time.perf_counter()
+        with trace_span(
+            "serve.predict", model=model, n_records=len(records)
+        ) as span:
+            try:
+                result = self._predict_checked(
+                    records, model, scenario, timeout, t0
+                )
+            except Exception:
+                _OUTCOMES.inc(outcome="failed")
+                raise
+            outcome = "degraded" if result["degraded"] else "ok"
+            _OUTCOMES.inc(outcome=outcome)
+            _LATENCY.observe(time.perf_counter() - t0)
+            if span is not None:
+                span.set(outcome=outcome)
+        return result
+
+    def _predict_checked(
+        self,
+        records: Sequence[Mapping],
+        model: str,
+        scenario: "ScenarioSpec | Mapping | None",
+        timeout: float | None,
+        t0: float,
+    ) -> dict[str, Any]:
         if not records:
             raise ServeError("predict needs at least one record")
-        t0 = time.perf_counter()
         spec = self.resolve_scenario(scenario)
         self.registry.check_model_name(model)
         try:

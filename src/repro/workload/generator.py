@@ -8,7 +8,7 @@ table in DESIGN.md §4 and the per-system values in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -122,7 +122,7 @@ class WorkloadParams:
     a_size: float = 0.08
     # Power jitter decomposition (Figs 3, 12, 13, 14):
     # class_jitter_sigma spreads a user's (user, app) power offsets —
-    # the persistent "how this user drives this code" level; 
+    # the persistent "how this user drives this code" level;
     # class_refinement_sigma is the residual per-class deviation
     # (input decks, solver settings); within_class_sigma is the
     # run-to-run noise of one class.
@@ -161,7 +161,9 @@ class WorkloadParams:
             raise WorkloadError("horizon must be at least one day")
 
 
-def default_params(system: str, num_users: int | None = None, horizon_s: int | None = None) -> WorkloadParams:
+def default_params(
+    system: str, num_users: int | None = None, horizon_s: int | None = None
+) -> WorkloadParams:
     """Calibrated per-system parameters.
 
     Emmy: general-purpose machine, many users, smaller jobs, strong
@@ -306,7 +308,8 @@ class WorkloadGenerator:
             # the user runs only once is still predictable from their
             # other runs (Fig 15's per-user accuracy).
             jitter_boost = float(
-                np.clip(1.0 + p.user_jitter_boost / np.sqrt(user.scale), 1.0, 1.0 + p.user_jitter_boost)
+                np.clip(1.0 + p.user_jitter_boost / np.sqrt(user.scale),
+                        1.0, 1.0 + p.user_jitter_boost)
             )
             app_offsets = {
                 app: float(rng.lognormal(0.0, p.class_jitter_sigma * jitter_boost))

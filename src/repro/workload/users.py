@@ -18,12 +18,12 @@ node-hours in few users.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.workload.applications import CATALOG, Application
+from repro.workload.applications import CATALOG
 
 __all__ = ["User", "UserPopulation"]
 

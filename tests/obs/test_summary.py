@@ -1,0 +1,118 @@
+"""Trace summarization: span forest, aggregates, critical path, CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import summarize_trace, trace_span, tracing_to
+
+
+def _span(span_id, name, duration, parent=None, start=0.0, attrs=None):
+    return {
+        "span_id": span_id,
+        "name": name,
+        "duration_s": duration,
+        "parent_id": parent,
+        "start_unix": start,
+        "trace_id": "t0",
+        "run_id": "r0",
+        "attrs": attrs or {},
+    }
+
+
+def _write(tmp_path, spans):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("".join(json.dumps(s) + "\n" for s in spans))
+    return path
+
+
+def test_forest_rebuilt_with_orphans_as_roots(tmp_path):
+    path = _write(tmp_path, [
+        _span("a", "root", 10.0, start=1.0),
+        _span("b", "child", 4.0, parent="a", start=2.0),
+        _span("c", "orphan", 2.0, parent="missing", start=3.0),
+    ])
+    summary = summarize_trace(path)
+    assert summary.n_spans == 3
+    assert sorted(r.name for r in summary.roots) == ["orphan", "root"]
+    root = next(r for r in summary.roots if r.name == "root")
+    assert [c.name for c in root.children] == ["child"]
+    assert root.self_s == 6.0
+    assert summary.total_s == 12.0
+
+
+def test_aggregates_group_by_name(tmp_path):
+    path = _write(tmp_path, [
+        _span("a", "stage", 3.0, start=1.0),
+        _span("b", "stage", 1.0, start=2.0),
+        _span("c", "other", 5.0, start=3.0),
+    ])
+    rows = {r["name"]: r for r in summarize_trace(path).aggregates()}
+    assert rows["stage"]["count"] == 2
+    assert rows["stage"]["total_s"] == 4.0
+    assert rows["stage"]["mean_s"] == 2.0
+    assert rows["stage"]["max_s"] == 3.0
+    # Sorted by total, descending: "other" (5.0) first.
+    assert [r["name"] for r in summarize_trace(path).aggregates()][0] == "other"
+
+
+def test_critical_path_follows_slowest_children(tmp_path):
+    path = _write(tmp_path, [
+        _span("a", "root", 10.0, start=1.0),
+        _span("b", "fast", 2.0, parent="a", start=2.0),
+        _span("c", "slow", 7.0, parent="a", start=3.0),
+        _span("d", "leaf", 6.0, parent="c", start=4.0),
+    ])
+    assert [n.name for n in summarize_trace(path).critical_path()] == [
+        "root", "slow", "leaf",
+    ]
+
+
+def test_render_caps_depth_and_children(tmp_path):
+    spans = [_span("root", "root", 100.0, start=0.0)]
+    spans += [
+        _span(f"c{i}", f"child{i}", 1.0, parent="root", start=float(i + 1))
+        for i in range(20)
+    ]
+    summary = summarize_trace(_write(tmp_path, spans))
+    text = summary.render(max_depth=6, max_children=12)
+    assert "… 8 more child span(s)" in text
+    shallow = summary.render(max_depth=1, max_children=12)
+    assert "… 20 child span(s)" in shallow
+
+
+def test_live_trace_round_trips_through_summary(tmp_path):
+    trace = tmp_path / "live.jsonl"
+    with tracing_to(trace):
+        with trace_span("run", preset="tiny"):
+            with trace_span("stage", stage="workload"):
+                pass
+            with trace_span("stage", stage="schedule"):
+                pass
+    summary = summarize_trace(trace)
+    assert summary.n_spans == 3
+    assert [r.name for r in summary.roots] == ["run"]
+    assert len(summary.roots[0].children) == 2
+    text = summary.render()
+    assert "stage=workload" in text
+    assert "critical path" in text
+
+
+def test_cli_obs_summary(tmp_path, capsys):
+    from repro.cli import main
+
+    trace = tmp_path / "trace.jsonl"
+    with tracing_to(trace):
+        with trace_span("top"):
+            pass
+    assert main(["obs", "summary", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "1 span(s)" in out
+    assert "top" in out
+
+
+def test_cli_obs_summary_missing_file(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["obs", "summary", str(tmp_path / "nope.jsonl")]) == 2
+    assert "no trace file" in capsys.readouterr().err

@@ -1,0 +1,144 @@
+"""Span tracing: nesting, parent ids, error capture, JSONL round-trip."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    active_writer,
+    read_spans,
+    trace_span,
+    tracing_to,
+)
+
+
+def test_disarmed_tracing_yields_none_and_writes_nothing(tmp_path):
+    assert active_writer() is None
+    with trace_span("noop", key="value") as span:
+        assert span is None
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_nested_spans_record_parent_and_shared_trace_id(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    with tracing_to(trace):
+        with trace_span("outer", label="a") as outer:
+            with trace_span("inner", stage="s") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+            with trace_span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+
+    spans = {s["name"]: s for s in read_spans(trace)}
+    assert set(spans) == {"outer", "inner", "sibling"}
+    assert spans["outer"]["parent_id"] is None
+    assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+    assert spans["sibling"]["parent_id"] == spans["outer"]["span_id"]
+    assert len({s["trace_id"] for s in spans.values()}) == 1
+    assert len({s["run_id"] for s in spans.values()}) == 1
+
+
+def test_children_close_before_parents(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    with tracing_to(trace):
+        with trace_span("parent"):
+            with trace_span("child"):
+                pass
+    # JSONL order is close order: the child's record lands first.
+    names = [json.loads(line)["name"] for line in trace.read_text().splitlines()]
+    assert names == ["child", "parent"]
+
+
+def test_span_set_attaches_attrs(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    with tracing_to(trace):
+        with trace_span("work", preset="x") as span:
+            span.set(n_jobs=42)
+    (record,) = read_spans(trace)
+    assert record["attrs"] == {"preset": "x", "n_jobs": 42}
+    assert record["duration_s"] >= 0.0
+
+
+def test_exception_flags_span_and_propagates(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    with tracing_to(trace):
+        with pytest.raises(ValueError, match="boom"):
+            with trace_span("failing"):
+                raise ValueError("boom")
+    (record,) = read_spans(trace)
+    assert record["attrs"]["error"] == "ValueError: boom"
+
+
+def test_sibling_spans_after_close_share_no_parent(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    with tracing_to(trace):
+        with trace_span("first"):
+            pass
+        with trace_span("second"):
+            pass
+    spans = {s["name"]: s for s in read_spans(trace)}
+    assert spans["first"]["parent_id"] is None
+    assert spans["second"]["parent_id"] is None
+    assert spans["first"]["trace_id"] != spans["second"]["trace_id"]
+
+
+def test_worker_threads_start_new_roots(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    with tracing_to(trace):
+        with trace_span("main-root"):
+            # A span opened in a fresh thread must not inherit main's parent.
+            def in_thread() -> None:
+                with trace_span("thread-root"):
+                    pass
+
+            worker = threading.Thread(target=in_thread)
+            worker.start()
+            worker.join()
+    spans = {s["name"]: s for s in read_spans(trace)}
+    assert spans["thread-root"]["parent_id"] is None
+    assert spans["thread-root"]["trace_id"] != spans["main-root"]["trace_id"]
+
+
+def test_tracing_to_restores_previous_writer(tmp_path):
+    outer_trace = tmp_path / "outer.jsonl"
+    inner_trace = tmp_path / "inner.jsonl"
+    with tracing_to(outer_trace) as outer_writer:
+        with tracing_to(inner_trace):
+            with trace_span("inner-span"):
+                pass
+        assert active_writer() is outer_writer
+        with trace_span("outer-span"):
+            pass
+    assert active_writer() is None
+    assert [s["name"] for s in read_spans(inner_trace)] == ["inner-span"]
+    assert [s["name"] for s in read_spans(outer_trace)] == ["outer-span"]
+
+
+def test_read_spans_rejects_garbage(tmp_path):
+    missing = tmp_path / "nope.jsonl"
+    with pytest.raises(ObsError, match="no trace file"):
+        read_spans(missing)
+
+    bad_json = tmp_path / "bad.jsonl"
+    bad_json.write_text("not json\n")
+    with pytest.raises(ObsError, match="invalid span JSON"):
+        read_spans(bad_json)
+
+    not_span = tmp_path / "notspan.jsonl"
+    not_span.write_text('{"foo": 1}\n')
+    with pytest.raises(ObsError, match="not a span record"):
+        read_spans(not_span)
+
+
+def test_read_spans_sorts_by_start_and_skips_blanks(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    trace.write_text(
+        '{"span_id": "b", "name": "late", "start_unix": 2.0}\n'
+        "\n"
+        '{"span_id": "a", "name": "early", "start_unix": 1.0}\n'
+    )
+    assert [s["name"] for s in read_spans(trace)] == ["early", "late"]

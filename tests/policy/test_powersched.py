@@ -1,6 +1,5 @@
 """Tests for power-aware scheduling under a system budget."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PolicyError, SchedulerError

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import AllocationError, SchedulerError
-from repro.scheduler import SchedulerConfig, Simulator, accounting_table, simulate
+from repro.scheduler import SchedulerConfig, accounting_table, simulate
 from repro.scheduler.backfill import shadow_time
 from repro.scheduler.nodepool import NodePool
 from repro.workload.generator import JobSpec

@@ -203,3 +203,64 @@ def test_closed_service_refuses_predicts(tiny_spec, serve_cache):
     svc.close()  # idempotent
     with pytest.raises(ServeError):
         svc.predict([record], model="online")
+
+
+# -- /metrics ------------------------------------------------------------
+
+
+def _scrape(server) -> tuple[str, str]:
+    """GET /metrics raw; returns (content_type, body text)."""
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    conn.request("GET", "/metrics")
+    response = conn.getresponse()
+    body = response.read().decode("utf-8")
+    content_type = response.getheader("Content-Type")
+    conn.close()
+    assert response.status == 200
+    return content_type, body
+
+
+def test_metrics_endpoint_serves_valid_exposition(server, tiny_records):
+    from tests.obs.test_metrics import parse_exposition
+
+    # Ensure at least one prediction has flowed through the service.
+    status, _ = _http(server, "POST", "/predict",
+                      {"model": "BDT", "jobs": tiny_records[:2]})
+    assert status == 200
+
+    content_type, body = _scrape(server)
+    assert content_type.startswith("text/plain")
+    assert "version=0.0.4" in content_type
+    samples = parse_exposition(body)
+
+    # The serving metric families the issue's acceptance bar names.
+    assert samples["repro_requests_total"] >= 1
+    assert samples['repro_predict_outcomes_total{outcome="ok"}'] >= 1
+    assert any(k.startswith("repro_request_latency_seconds_bucket") for k in samples)
+    assert any(k.startswith("repro_batch_size_bucket") for k in samples)
+    assert any(k.startswith("repro_model_registry_lookups_total") for k in samples)
+    # Histogram invariant: the +Inf bucket equals the count.
+    assert (samples['repro_request_latency_seconds_bucket{le="+Inf"}']
+            == samples["repro_request_latency_seconds_count"])
+
+
+def test_metrics_counters_are_monotone_across_requests(server, tiny_records):
+    from tests.obs.test_metrics import parse_exposition
+
+    before = parse_exposition(_scrape(server)[1])
+    for _ in range(3):
+        status, _ = _http(server, "POST", "/predict",
+                          {"model": "BDT", "jobs": tiny_records[:1]})
+        assert status == 200
+    after = parse_exposition(_scrape(server)[1])
+
+    assert after["repro_requests_total"] == before["repro_requests_total"] + 3
+    assert (after['repro_predict_outcomes_total{outcome="ok"}']
+            == before['repro_predict_outcomes_total{outcome="ok"}'] + 3)
+    # Every counter/bucket sample is non-decreasing between scrapes.
+    for key, value in before.items():
+        if "_total" in key or "_bucket" in key or "_count" in key:
+            assert after.get(key, 0.0) >= value, key
+    # The scrape itself is accounted.
+    assert (after['repro_http_requests_total{endpoint="/metrics"}']
+            >= before['repro_http_requests_total{endpoint="/metrics"}'] + 1)

@@ -7,7 +7,6 @@ directions. The full-size bands are exercised by the benchmark harness
 """
 
 import numpy as np
-import pytest
 
 import repro
 from repro import analysis

@@ -11,13 +11,17 @@ pipeline-churn thread against a scratch service while the all-points
   (same seed ⇒ same fault schedule);
 * error rate bounded (500s / no-answers over total);
 * once disarmed, predictions are bit-identical to the pre-chaos
-  baseline.
+  baseline;
+* metric invariants hold (docs/OBSERVABILITY.md): this run's delta of
+  ``repro_requests_total`` equals the sum of its outcome counters, and
+  the ``repro_fault_fires_total`` deltas match the injector's counts.
 
 Usage::
 
     PYTHONPATH=src python tools/chaos_soak.py                # full soak
     PYTHONPATH=src python tools/chaos_soak.py --duration 5   # smoke
     PYTHONPATH=src python tools/chaos_soak.py --json report.json
+    PYTHONPATH=src python tools/chaos_soak.py --trace soak-trace.jsonl
 
 Exit status 0 iff the audit passed — this is what ``make chaos-soak``
 and ``make chaos-smoke`` gate on.
@@ -31,7 +35,9 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.faults.chaos import run_soak
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faults.chaos import run_soak  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -50,7 +56,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="scratch artifact cache (default: a temp dir)")
     parser.add_argument("--json", type=Path, default=None,
                         help="also write the full report as JSON here")
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="append trace spans (JSONL) here; summarize "
+                        "with `repro obs summary` (docs/OBSERVABILITY.md)")
     args = parser.parse_args(argv)
+
+    if args.trace is not None:
+        from repro.obs.tracing import configure_tracing
+
+        args.trace.parent.mkdir(parents=True, exist_ok=True)
+        configure_tracing(args.trace)
 
     if args.cache_dir is not None:
         args.cache_dir.mkdir(parents=True, exist_ok=True)

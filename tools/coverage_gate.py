@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Coverage gate: run the tier-1 suite under pytest-cov when available.
+
+``make coverage`` runs this. On CI (and any dev box with pytest-cov
+installed) it runs ``pytest --cov=repro --cov-fail-under=<floor>`` so a
+coverage regression fails the job; the floor lives in
+``pyproject.toml`` (``[tool.coverage.report] fail_under``) so there is
+exactly one number to bump. On boxes without pytest-cov — the
+reproduction deliberately keeps its runtime dependency-free — it
+prints a skip notice and exits 0 so ``make coverage`` never turns a
+missing dev tool into a red target.
+
+Usage::
+
+    python tools/coverage_gate.py              # gate at the pyproject floor
+    python tools/coverage_gate.py --floor 80   # override the floor
+    python tools/coverage_gate.py --xml cov.xml  # also write XML (CI artifact)
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FLOOR = 70
+
+
+def _floor_from_pyproject() -> int:
+    """Read [tool.coverage.report] fail_under; fall back to the default."""
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # pragma: no cover - py<3.11
+        return DEFAULT_FLOOR
+    try:
+        with open(REPO_ROOT / "pyproject.toml", "rb") as fh:
+            config = tomllib.load(fh)
+        return int(config["tool"]["coverage"]["report"]["fail_under"])
+    except (OSError, KeyError, ValueError, TypeError):
+        return DEFAULT_FLOOR
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--floor", type=int, default=None,
+                        help="minimum line coverage percent "
+                        "(default: pyproject [tool.coverage.report] fail_under)")
+    parser.add_argument("--xml", type=Path, default=None,
+                        help="also write a coverage XML report here")
+    args = parser.parse_args(argv)
+
+    if importlib.util.find_spec("pytest_cov") is None:
+        print("coverage: pytest-cov not installed; skipping the gate "
+              "(CI installs it — see .github/workflows/ci.yml)")
+        return 0
+
+    floor = args.floor if args.floor is not None else _floor_from_pyproject()
+    cmd = [
+        sys.executable, "-m", "pytest", "-x", "-q",
+        "--cov=repro", f"--cov-fail-under={floor}",
+        "--cov-report=term",
+    ]
+    if args.xml is not None:
+        cmd.append(f"--cov-report=xml:{args.xml}")
+    print(f"coverage: gating at >= {floor}% line coverage")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(cmd, cwd=REPO_ROOT, env=env).returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -22,6 +22,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 API_DOC = REPO_ROOT / "docs" / "API.md"
 FAULTS_DOC = REPO_ROOT / "docs" / "FAULTS.md"
+OBS_DOC = REPO_ROOT / "docs" / "OBSERVABILITY.md"
 
 
 def check_docstrings(module_name: str) -> list[str]:
@@ -55,15 +56,26 @@ def check_faults_doc() -> list[str]:
     return [name for name in module.__all__ if name not in text]
 
 
+def check_obs_doc() -> list[str]:
+    """The observability surface must be covered by docs/OBSERVABILITY.md."""
+    if not OBS_DOC.is_file():
+        return ["docs/OBSERVABILITY.md is missing entirely"]
+    text = OBS_DOC.read_text()
+    module = importlib.import_module("repro.obs")
+    return [name for name in module.__all__ if name not in text]
+
+
 def main() -> int:
     problems: list[str] = []
-    for module_name in ("repro", "repro.pipeline", "repro.faults"):
+    for module_name in ("repro", "repro.pipeline", "repro.faults", "repro.obs"):
         for name in check_docstrings(module_name):
             problems.append(f"missing docstring: {name}")
     for name in check_api_doc():
         problems.append(f"absent from docs/API.md: repro.{name}")
     for name in check_faults_doc():
         problems.append(f"absent from docs/FAULTS.md: repro.faults.{name}")
+    for name in check_obs_doc():
+        problems.append(f"absent from docs/OBSERVABILITY.md: repro.obs.{name}")
 
     if problems:
         print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)

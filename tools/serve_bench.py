@@ -40,6 +40,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
+from bench_paths import bench_cache_dir  # noqa: E402
 from perf_check import gate_throughput, load_baseline  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_serve.json"
@@ -235,9 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="requests per client in the timed window")
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
-    parser.add_argument("--cache-dir", type=Path,
-                        default=REPO_ROOT / "benchmarks" / ".cache",
-                        help="artifact cache for the dataset + trained model")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="artifact cache for the dataset + trained model "
+                        "(default: the bench scratch cache, see "
+                        "tools/bench_paths.py — never the repo tree)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional throughput drop for --check")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
@@ -254,6 +256,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.cache_dir is None:
+        args.cache_dir = bench_cache_dir()
     result = measure(args)
     if not args.quiet:
         print_report(result)
