@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint coverage bench bench-check bench-smoke serve-bench serve-bench-check chaos-soak chaos-smoke docs-check pipeline clean-cache all
+.PHONY: test lint coverage bench bench-check bench-smoke serve-bench serve-bench-check serve-smoke chaos-soak chaos-smoke docs-check pipeline clean-cache all
 
 all: lint test docs-check
 
@@ -30,6 +30,13 @@ serve-bench:         ## measure the serving hot path, rewrite BENCH_serve.json
 
 serve-bench-check:   ## CI gate: fail on >25% predictions/s regression
 	$(PYTHON) tools/serve_bench.py --check
+
+serve-smoke:         ## CI smoke: boot the forked pool, short open-loop
+                     ## burst, verify bit-identity; histogram lands in
+                     ## serve-smoke.json
+	$(PYTHON) tools/serve_bench.py --num-nodes 24 --num-users 10 \
+		--horizon-days 2 --max-traces 10 --workers 2 --connections 4 \
+		--rate 50 --duration 3 --json serve-smoke.json
 
 chaos-soak:          ## fault-injection soak: 0 lost requests, all points fire
 	$(PYTHON) tools/chaos_soak.py --duration 20

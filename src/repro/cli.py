@@ -31,6 +31,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from pathlib import Path
 
 from repro.errors import ObsError, PipelineError
@@ -97,6 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument("--port", type=int, default=8321,
                      help="TCP port (0 binds an ephemeral port)")
+    srv.add_argument("--workers", type=int, default=1,
+                     help="worker processes; >1 runs the pre-forked "
+                     "SO_REUSEPORT pool (docs/SERVICE.md)")
     srv.add_argument("--max-batch", type=int, default=64,
                      help="records per vectorized predict call")
     srv.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -304,6 +308,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"(seed {plan.seed}, points: {', '.join(plan.points)})")
     spec = ScenarioSpec.from_args(args)
     print(f"scenario {spec.label}: training/loading {', '.join(args.warm)} …")
+    if args.workers > 1:
+        from repro.serve.forking import ForkingServer
+
+        with injector, ForkingServer(
+            spec, workers=args.workers, host=args.host, port=args.port,
+            cache_dir=args.cache_dir, max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms, warm=tuple(args.warm),
+        ) as pool:
+            print(f"serving on http://{pool.address} with {args.workers} "
+                  f"workers  (POST /predict, /predict/bulk; Ctrl-C stops)")
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                # Repeat Ctrl-C must not abort the pool teardown mid-way
+                # (workers would leak); ignore SIGINT from here on.
+                import signal
+
+                signal.signal(signal.SIGINT, signal.SIG_IGN)
+                print("\nshutting down pool")
+        return 0
     with injector:
         server = create_server(
             spec, host=args.host, port=args.port, cache_dir=args.cache_dir,

@@ -420,7 +420,7 @@ def run_soak(
     # Zero stuck futures: after close every batcher queue must be drained
     # (close fails leftovers with ServiceClosed; nothing may linger).
     report.stuck_futures = sum(
-        b._queue.qsize() for b in service._batchers.values()
+        b.pending for b in service._batchers.values()
     )
     report.injector = injector.snapshot()
     # Determinism audit: with call indices assigned atomically, the fire

@@ -92,11 +92,30 @@ class FittedPredictor:
             return frozenset()
         return frozenset(encoder.categories.tolist())
 
-    def predict_table(self, jobs: Table) -> np.ndarray:
-        """Vectorized predictions for every row of ``jobs``."""
+    def encode_table(self, jobs: Table) -> np.ndarray:
+        """The feature matrix for every row of ``jobs`` (fit-time encoders).
+
+        The single encode path all prediction surfaces share: offline
+        evaluation, the micro-batched serving path, and the array-backed
+        :class:`~repro.serve.flat_bdt.FlatBDTServable` all call it, so
+        their features are identical by construction.
+        """
         _check_feature_columns(jobs, self.feature_spec, need_target=False)
         X, _ = encode_features(jobs, self.feature_spec, encoders=self.encoders)
-        return np.asarray(self.model.predict(X), dtype=float)
+        return X
+
+    def encode_records(self, records: Sequence[Mapping]) -> np.ndarray:
+        """:meth:`encode_table` for request-style rows (dicts of values)."""
+        columns = prediction_features(self.feature_spec)
+        missing = [c for c in columns if any(c not in r for r in records)]
+        if missing:
+            raise ValidationError(f"records lack feature fields {missing}")
+        table = Table({c: [r[c] for r in records] for c in columns})
+        return self.encode_table(table)
+
+    def predict_table(self, jobs: Table) -> np.ndarray:
+        """Vectorized predictions for every row of ``jobs``."""
+        return np.asarray(self.model.predict(self.encode_table(jobs)), dtype=float)
 
     def predict_records(self, records: Sequence[Mapping]) -> np.ndarray:
         """Predictions for request-style rows (dicts of feature values).
@@ -105,12 +124,9 @@ class FittedPredictor:
         "req_walltime_s": ...}`` dicts becomes one vectorized
         :meth:`predict_table` call.
         """
-        columns = prediction_features(self.feature_spec)
-        missing = [c for c in columns if any(c not in r for r in records)]
-        if missing:
-            raise ValidationError(f"records lack feature fields {missing}")
-        table = Table({c: [r[c] for r in records] for c in columns})
-        return self.predict_table(table)
+        return np.asarray(
+            self.model.predict(self.encode_records(records)), dtype=float
+        )
 
 
 def fit_predictor(

@@ -202,6 +202,19 @@ class DecisionTreeRegressor(Estimator):
 
     # -- introspection ---------------------------------------------------------
 
+    @property
+    def root(self) -> _Node:
+        """The fitted root node (read-only structural introspection).
+
+        Consumers walk ``feature`` / ``threshold`` / ``left_categories``
+        / ``left`` / ``right`` / ``prediction`` — the serving layer's
+        :class:`~repro.serve.flat_bdt.FlatBDT` flattens exactly this
+        structure into arrays.
+        """
+        self._require_fitted()
+        assert self._root is not None
+        return self._root
+
     def depth(self) -> int:
         """Actual depth of the fitted tree (leaf-only tree has depth 0)."""
         self._require_fitted()

@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    render_merged,
 )
 from repro.obs.summary import SpanNode, TraceSummary, summarize_trace
 from repro.obs.tracing import (
@@ -56,6 +57,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "render_merged",
     "TraceWriter",
     "trace_span",
     "tracing_to",

@@ -39,6 +39,7 @@ __all__ = [
     "REGISTRY",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SECONDS_BUCKETS",
+    "render_merged",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -435,6 +436,34 @@ class MetricsRegistry:
                 out[metric.name] = dict(metric.series())
         return out
 
+    def dump(self) -> dict[str, Any]:
+        """JSON-able full state of every metric (cross-process export).
+
+        The multi-process serve front-end uses this: each worker
+        periodically dumps its process-local registry to a file, and the
+        worker answering ``GET /metrics`` merges every dump with
+        :func:`render_merged` into one fleet-wide exposition. Counters
+        and gauges export their series values; histograms export bucket
+        counts plus exact sum/count. Label keys become lists (JSON has
+        no tuples); :func:`render_merged` restores them.
+        """
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        out: dict[str, Any] = {}
+        for metric in metrics:
+            entry: dict[str, Any] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.labelnames),
+                "series": [
+                    [list(key), value] for key, value in metric.series().items()
+                ],
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+            out[metric.name] = entry
+        return out
+
     @staticmethod
     def delta(
         before: Mapping[str, Mapping[tuple[str, ...], float]],
@@ -449,6 +478,80 @@ class MetricsRegistry:
             }
             out[name] = diff
         return out
+
+
+def render_merged(dumps: Iterable[Mapping[str, Any]]) -> str:
+    """Aggregate several :meth:`MetricsRegistry.dump` states into one
+    Prometheus text exposition.
+
+    Per metric name and label set: counter and histogram series are
+    *summed* across dumps (each worker process counts its own share of
+    the fleet's traffic); gauges are summed too — the fleet-wide queue
+    depth or warm-model count is the sum of the per-worker values.
+    Dumps that disagree on a histogram's bucket edges keep the first
+    edges seen and skip the incompatible series rather than producing a
+    corrupt exposition.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for state in dumps:
+        for name, entry in state.items():
+            slot = merged.get(name)
+            if slot is None:
+                slot = {
+                    "kind": entry["kind"],
+                    "help": entry.get("help", ""),
+                    "labels": tuple(entry.get("labels", ())),
+                    "buckets": tuple(entry.get("buckets", ())),
+                    "series": {},
+                }
+                merged[name] = slot
+            elif slot["kind"] != entry["kind"]:
+                continue  # kind clash across processes: keep first
+            for raw_key, value in entry.get("series", ()):
+                key = tuple(str(v) for v in raw_key)
+                if slot["kind"] == "histogram":
+                    if tuple(entry.get("buckets", ())) != slot["buckets"]:
+                        continue
+                    agg = slot["series"].get(key)
+                    if agg is None:
+                        agg = {
+                            "buckets": [0] * (len(slot["buckets"]) + 1),
+                            "sum": 0.0,
+                            "count": 0,
+                        }
+                        slot["series"][key] = agg
+                    for i, c in enumerate(value["buckets"]):
+                        agg["buckets"][i] += c
+                    agg["sum"] += value["sum"]
+                    agg["count"] += value["count"]
+                else:
+                    slot["series"][key] = slot["series"].get(key, 0.0) + value
+    lines: list[str] = []
+    for name in sorted(merged):
+        slot = merged[name]
+        lines.append(f"# HELP {name} {slot['help']}")
+        lines.append(f"# TYPE {name} {slot['kind']}")
+        labelnames = slot["labels"]
+        if slot["kind"] == "histogram":
+            bucket_names = tuple(labelnames) + ("le",)
+            for key, agg in sorted(slot["series"].items()):
+                cumulative = 0
+                for edge, count in zip(slot["buckets"], agg["buckets"]):
+                    cumulative += count
+                    labels = _format_labels(
+                        bucket_names, key + (_format_value(edge),)
+                    )
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _format_labels(bucket_names, key + ("+Inf",))
+                lines.append(f"{name}_bucket{labels} {agg['count']}")
+                plain = _format_labels(tuple(labelnames), key)
+                lines.append(f"{name}_sum{plain} {_format_value(agg['sum'])}")
+                lines.append(f"{name}_count{plain} {agg['count']}")
+        else:
+            for key, value in sorted(slot["series"].items()):
+                labels = _format_labels(tuple(labelnames), key)
+                lines.append(f"{name}{labels} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
 
 
 #: The process-wide default registry every instrumented subsystem uses.

@@ -9,12 +9,21 @@ long-lived concurrent service rather than an offline batch evaluation:
 * :class:`~repro.serve.batching.MicroBatcher` — coalesces concurrent
   single-job requests into vectorized predict calls (bit-identical to
   unbatched predictions);
+* :class:`~repro.serve.flat_bdt.FlatBDT` /
+  :class:`~repro.serve.flat_bdt.FlatBDTServable` — the fitted BDT
+  flattened into contiguous arrays with a vectorized level-order
+  descent (bit-identical to the object tree, ~10× the throughput);
 * :class:`~repro.serve.service.PredictionService` — the embeddable
-  facade (validation, per-request latency accounting, stats);
+  facade (validation, per-request latency accounting, bulk path,
+  stats);
 * :class:`~repro.serve.http.PredictionServer` /
   :func:`~repro.serve.http.create_server` — the stdlib HTTP/JSON
-  front-end (``repro-power serve``; ``/predict``, ``/models``,
-  ``/healthz``).
+  front-end (``repro-power serve``; ``/predict``, ``/predict/bulk``,
+  ``/models``, ``/healthz``);
+* :class:`~repro.serve.forking.ForkingServer` — the pre-forked
+  multi-process front-end: N ``SO_REUSEPORT`` workers on one port,
+  fleet-aggregated ``/metrics``, supervised restarts, graceful
+  shutdown (``repro-power serve --workers N``).
 
 See docs/SERVICE.md for endpoints, batching knobs, cache layout, and
 the load-generator harness (``tools/serve_bench.py``).
@@ -25,6 +34,9 @@ CLI's bookkeeping commands never pays for numpy or the ML layer.
 
 __all__ = [
     "BatchStats",
+    "FlatBDT",
+    "FlatBDTServable",
+    "ForkingServer",
     "LatencyStats",
     "MeanPowerServable",
     "MicroBatcher",
@@ -33,6 +45,7 @@ __all__ = [
     "PredictionServer",
     "PredictionService",
     "SERVE_MODELS",
+    "WorkerConfig",
     "create_server",
 ]
 
@@ -40,6 +53,10 @@ __all__ = [
 _LAZY_ATTRS = {
     "BatchStats": "repro.serve.batching",
     "MicroBatcher": "repro.serve.batching",
+    "FlatBDT": "repro.serve.flat_bdt",
+    "FlatBDTServable": "repro.serve.flat_bdt",
+    "ForkingServer": "repro.serve.forking",
+    "WorkerConfig": "repro.serve.forking",
     "MeanPowerServable": "repro.serve.registry",
     "ModelRegistry": "repro.serve.registry",
     "OnlineServable": "repro.serve.registry",

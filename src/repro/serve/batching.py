@@ -16,6 +16,15 @@ Batch formation is bounded by two knobs:
   backlog-drain behavior that gives adaptive batching under load) but
   never waits.
 
+The queue is a plain deque guarded by one :class:`threading.Condition`:
+an idle worker sleeps in ``Condition.wait`` until a submit notifies it —
+no polling loop, no wakeups while the queue is empty — and the
+straggler wait inside an open batch is a bounded ``wait(timeout)``
+against the batch deadline rather than a sleep/check spin. Going
+through one lock for both the queue and the closed flag also removes a
+lock acquisition per request relative to the old ``queue.Queue``-based
+implementation.
+
 The worker is *supervised*: if the loop machinery itself dies (a bug, or
 the ``batcher.crash`` fault-injection point), the supervisor re-queues
 the in-flight batch and restarts the loop, so no accepted request is
@@ -28,9 +37,9 @@ timeout.
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from typing import Any, Callable, Mapping, Sequence
 
@@ -133,14 +142,17 @@ class MicroBatcher:
         self._predict_fn = predict_fn
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
+        self.max_queue = max_queue
         self.name = name
         self.stats = BatchStats()
         self.crashes = 0  # supervised worker-loop restarts
-        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        # One condition guards the deque AND the closed flag, so a
+        # future can never slip into the queue after the shutdown drain
+        # already ran, and an idle worker sleeps in wait() instead of
+        # polling.
+        self._cond = threading.Condition()
+        self._items: deque = deque()
         self._closed = False
-        # Serializes submit() against close() so a future can never slip
-        # into the queue after the shutdown drain already ran.
-        self._submit_lock = threading.Lock()
         # The batch the worker currently holds outside the queue; the
         # supervisor re-queues it when the loop crashes mid-batch.
         self._inflight: list[tuple[Mapping, Future]] = []
@@ -154,17 +166,18 @@ class MicroBatcher:
     def submit(self, record: Mapping) -> "Future[float]":
         """Enqueue one record; returns a future resolving to its prediction."""
         future: Future[float] = Future()
-        with self._submit_lock:
+        with self._cond:
             if self._closed:
                 raise ServiceClosed(f"batcher {self.name!r} is closed")
-            try:
-                self._queue.put_nowait((record, future))
-            except queue.Full:
+            if len(self._items) >= self.max_queue:
                 raise ServeError(
                     f"batcher {self.name!r} queue full "
-                    f"({self._queue.maxsize} pending requests)"
-                ) from None
-            _QUEUE_DEPTH.set(self._queue.qsize(), batcher=self.name)
+                    f"({self.max_queue} pending requests)"
+                )
+            self._items.append((record, future))
+            depth = len(self._items)
+            self._cond.notify()
+        _QUEUE_DEPTH.set(depth, batcher=self.name)
         return future
 
     def predict(self, record: Mapping, timeout: float | None = 30.0) -> float:
@@ -182,23 +195,26 @@ class MicroBatcher:
         """Stop the worker; anything unserved fails with ServiceClosed.
 
         Safe against the submit race: once ``_closed`` is set under the
-        submit lock no new futures can enter the queue, and everything
-        still queued after the worker exits (or the join times out) is
-        failed promptly here instead of hanging until the client-side
-        request timeout.
+        condition's lock no new futures can enter the queue, and
+        everything still queued after the worker exits (or the join
+        times out) is failed promptly here instead of hanging until the
+        client-side request timeout.
         """
-        with self._submit_lock:
+        with self._cond:
             if self._closed:
                 return
             self._closed = True
-        self._queue.put(_SENTINEL)
+            self._items.append(_SENTINEL)
+            self._cond.notify_all()
         self._thread.join(timeout=timeout)
         self._fail_pending()
         if self._thread.is_alive():
             # The worker is wedged inside predict_fn and the drain above
             # consumed its shutdown sentinel; re-post one so it still
             # exits cleanly once the in-flight call returns.
-            self._queue.put(_SENTINEL)
+            with self._cond:
+                self._items.append(_SENTINEL)
+                self._cond.notify_all()
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -211,45 +227,74 @@ class MicroBatcher:
         """True while the supervised worker thread is running."""
         return self._thread.is_alive()
 
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet picked up by the worker."""
+        with self._cond:
+            return sum(1 for item in self._items if item is not _SENTINEL)
+
     # -- worker side -----------------------------------------------------
 
     def _fail_pending(self) -> None:
         """Fail every still-queued future with ServiceClosed."""
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return
+        with self._cond:
+            items, self._items = list(self._items), deque()
+        for item in items:
             if item is not _SENTINEL:
                 item[1].set_exception(
                     ServiceClosed(f"batcher {self.name!r} closed")
                 )
 
     def _gather(self) -> list[tuple[Mapping, Future]] | None:
-        """Block for the first record, then fill the batch until the
-        deadline passes or ``max_batch`` is reached. None means shutdown."""
-        item = self._queue.get()
-        if item is _SENTINEL:
-            return None
-        batch = [item]
-        deadline = time.monotonic() + self.max_wait_s
-        while len(batch) < self.max_batch:
-            remaining = deadline - time.monotonic()
-            try:
-                item = (
-                    self._queue.get(timeout=remaining)
-                    if remaining > 0
-                    else self._queue.get_nowait()
-                )
-            except queue.Empty:
-                break
+        """Sleep for the first record, then fill the batch until the
+        deadline passes or ``max_batch`` is reached. None means shutdown.
+
+        The first wait is unbounded (an idle worker costs nothing); the
+        straggler waits are bounded by the remaining slice of
+        ``max_wait_s``, re-checked after every wakeup, so the worker
+        never busy-sleeps and never oversleeps the batch deadline.
+        """
+        with self._cond:
+            while not self._items:
+                self._cond.wait()
+            item = self._items.popleft()
             if item is _SENTINEL:
-                # Re-post so the outer loop sees the shutdown after this
-                # batch completes.
-                self._queue.put(_SENTINEL)
-                break
-            batch.append(item)
-        return batch
+                return None
+            batch = [item]
+            deadline = time.monotonic() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                if self._items:
+                    item = self._items.popleft()
+                    if item is _SENTINEL:
+                        # Re-post so the outer loop sees the shutdown
+                        # after this batch completes.
+                        self._items.appendleft(_SENTINEL)
+                        break
+                    batch.append(item)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            return batch
+
+    def _requeue(self, inflight: list[tuple[Mapping, Future]]) -> None:
+        """Put a crashed loop's in-flight batch back on the queue."""
+        overflow: list[Future] = []
+        with self._cond:
+            for item in inflight:
+                # Re-queue rather than fail: every record's result is
+                # independent, so a retried prediction is bit-identical
+                # to the one the crashed loop would have produced.
+                if len(self._items) >= self.max_queue:
+                    overflow.append(item[1])
+                else:
+                    self._items.append(item)
+            self._cond.notify_all()
+        for future in overflow:
+            future.set_exception(
+                ServeError(f"batcher {self.name!r} crashed with a full queue")
+            )
 
     def _run(self) -> None:
         """Supervisor: restart a crashed loop without losing requests."""
@@ -261,18 +306,7 @@ class MicroBatcher:
                 self.crashes += 1
                 _CRASHES.inc(batcher=self.name)
                 inflight, self._inflight = self._inflight, []
-                for item in inflight:
-                    # Re-queue rather than fail: every record's result is
-                    # independent, so a retried prediction is bit-identical
-                    # to the one the crashed loop would have produced.
-                    try:
-                        self._queue.put_nowait(item)
-                    except queue.Full:
-                        item[1].set_exception(
-                            ServeError(
-                                f"batcher {self.name!r} crashed with a full queue"
-                            )
-                        )
+                self._requeue(inflight)
                 if self._closed:
                     break
         self._fail_pending()
@@ -280,7 +314,9 @@ class MicroBatcher:
     def _loop(self) -> None:
         while True:
             batch = self._gather()
-            _QUEUE_DEPTH.set(self._queue.qsize(), batcher=self.name)
+            with self._cond:
+                depth = len(self._items)
+            _QUEUE_DEPTH.set(depth, batcher=self.name)
             if batch is None:
                 return
             self._inflight = batch

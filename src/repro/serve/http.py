@@ -4,17 +4,27 @@ A :class:`~http.server.ThreadingHTTPServer` whose handler threads feed
 the shared :class:`~repro.serve.service.PredictionService` — so N
 concurrent HTTP clients become N producer threads whose single-job
 requests coalesce in the micro-batcher. No third-party web framework.
+With ``reuse_port=True`` several such servers (one per worker process)
+bind the same port and the kernel shards accepted connections across
+them — see :mod:`repro.serve.forking`.
 
 Endpoints (see docs/SERVICE.md for payloads):
 
-* ``GET /healthz`` — liveness + request counters + latency snapshot;
+* ``GET /healthz`` — liveness + request counters + latency snapshot
+  (+ ``worker`` id under the forked front-end);
 * ``GET /models``  — warm models, registry counters, batcher stats;
-* ``GET /metrics`` — Prometheus text exposition of the process-wide
-  :data:`repro.obs.metrics.REGISTRY` (docs/OBSERVABILITY.md);
+* ``GET /metrics`` — Prometheus text exposition; process-local by
+  default, fleet-aggregated across workers when the server was given a
+  ``metrics_dir`` of peer snapshots (docs/OBSERVABILITY.md);
 * ``POST /predict`` — ``{"model": "BDT", "jobs": [{"user": ...,
   "nodes": ..., "req_walltime_s": ...}, ...]}`` (or a single ``"job"``)
   with an optional ``"scenario"`` overlay; responds with predictions in
-  request order plus per-request latency.
+  request order plus per-request latency;
+* ``POST /predict/bulk`` — persistent-connection NDJSON bulk mode: one
+  job object per body line, one bare-float prediction per response
+  line. The whole body is parsed in a single pass and answered by one
+  vectorized predict (no micro-batcher), which is how high-volume
+  clients reach five-digit predictions/s.
 """
 
 from __future__ import annotations
@@ -22,12 +32,14 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from time import perf_counter
 from typing import Any, Mapping
+from urllib.parse import parse_qs
 
 from repro.errors import ReproError, ScenarioError, ServeError, ValidationError
 from repro.faults.injector import active_injector
-from repro.obs.metrics import REGISTRY
+from repro.obs.metrics import REGISTRY, render_merged
 from repro.serve.service import PredictionService
 
 __all__ = ["PredictionServer", "create_server"]
@@ -39,7 +51,12 @@ _BAD_REQUEST_ERRORS = (ServeError, ScenarioError, ValidationError)
 #: The Prometheus text exposition content type (/metrics responses).
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
-_KNOWN_ENDPOINTS = frozenset({"/healthz", "/models", "/metrics", "/predict"})
+#: The NDJSON content type the bulk endpoint speaks, both directions.
+NDJSON_CONTENT_TYPE = "application/x-ndjson"
+
+_KNOWN_ENDPOINTS = frozenset(
+    {"/healthz", "/models", "/metrics", "/predict", "/predict/bulk"}
+)
 
 _HTTP_REQUESTS = REGISTRY.counter(
     "repro_http_requests_total",
@@ -55,7 +72,18 @@ _HTTP_RESPONSES = REGISTRY.counter(
 
 def _endpoint_label(path: str) -> str:
     """Bounded-cardinality endpoint label for the HTTP counters."""
+    path = path.partition("?")[0]
     return path if path in _KNOWN_ENDPOINTS else "other"
+
+
+def _float_repr(value: float) -> str:
+    """Shortest round-tripping decimal form of one prediction.
+
+    ``repr`` floats parse back bit-identically (and are valid JSON for
+    finite values), so NDJSON response lines carry exact predictions
+    without the dict/format overhead of ``json.dumps``.
+    """
+    return repr(float(value))
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -71,6 +99,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self.server.worker_id is not None:
+            self.send_header("X-Worker", str(self.server.worker_id))
         self.end_headers()
         self.wfile.write(body)
 
@@ -82,15 +112,17 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
-    def _read_json(self) -> Any:
+    def _read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length", 0))
         if length <= 0:
             raise ServeError("request body required")
         if length > _MAX_BODY_BYTES:
             raise ServeError(f"request body over {_MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
+        return self.rfile.read(length)
+
+    def _read_json(self) -> Any:
         try:
-            return json.loads(raw)
+            return json.loads(self._read_body())
         except json.JSONDecodeError as exc:
             raise ServeError(f"invalid JSON body: {exc}") from None
 
@@ -105,7 +137,8 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         if self.path == "/metrics":
             self._send_body(
-                200, REGISTRY.render().encode("utf-8"), METRICS_CONTENT_TYPE
+                200, self.server.render_metrics().encode("utf-8"),
+                METRICS_CONTENT_TYPE,
             )
         elif self.path == "/healthz":
             snap = service.latency.snapshot()
@@ -114,18 +147,27 @@ class _Handler(BaseHTTPRequestHandler):
                 "requests": snap["count"],
                 "latency": snap,
             }
+            if self.server.worker_id is not None:
+                payload["worker"] = self.server.worker_id
             injector = active_injector()
             if injector is not None:
                 payload["faults"] = injector.snapshot()
             self._send_json(200, payload)
         elif self.path == "/models":
-            self._send_json(200, service.stats())
+            payload = service.stats()
+            if self.server.worker_id is not None:
+                payload["worker"] = self.server.worker_id
+            self._send_json(200, payload)
         else:
             self._send_error_json(404, f"no such endpoint {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802
-        _HTTP_REQUESTS.inc(endpoint=_endpoint_label(self.path))
-        if self.path != "/predict":
+        path, _, query = self.path.partition("?")
+        _HTTP_REQUESTS.inc(endpoint=_endpoint_label(path))
+        if path == "/predict/bulk":
+            self._post_bulk(query)
+            return
+        if path != "/predict":
             self._send_error_json(404, f"no such endpoint {self.path!r}")
             return
         t0 = perf_counter()
@@ -169,6 +211,75 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _post_bulk(self, query: str) -> None:
+        """The NDJSON bulk mode: one job per body line, one float per
+        response line.
+
+        Model and scenario overlay travel in the query string
+        (``/predict/bulk?model=BDT``) so the body stays a pure stream of
+        job objects. The body is split once and each line is decoded
+        straight from its bytes — no intermediate envelope dict, no
+        per-record response objects — and the whole batch is answered by
+        one vectorized :meth:`PredictionService.predict_bulk` call.
+        Response lines are ``repr``-formatted floats (valid JSON), so
+        decoded predictions are bit-identical to the in-process ones;
+        batch-level metadata rides in ``X-Model`` / ``X-Served-By`` /
+        ``X-Degraded`` headers.
+        """
+        try:
+            params = parse_qs(query)
+            model = params.get("model", ["BDT"])[0]
+            scenario = None
+            if "scenario" in params:
+                scenario = json.loads(params["scenario"][0])
+                if not isinstance(scenario, Mapping):
+                    raise ServeError("scenario query param must be a JSON object")
+            raw = self._read_body()
+            records: list[Any] = []
+            for lineno, line in enumerate(raw.split(b"\n"), start=1):
+                if not line or line.isspace():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ServeError(
+                        f"invalid NDJSON on line {lineno}: {exc}"
+                    ) from None
+                if not isinstance(record, Mapping):
+                    raise ServeError(
+                        f"line {lineno} must be a JSON job object"
+                    )
+                records.append(record)
+            if not records:
+                raise ServeError("bulk request body has no job lines")
+            detail = self.server.service.predict_bulk(
+                records, model=model, scenario=scenario
+            )
+        except _BAD_REQUEST_ERRORS as exc:
+            self._send_error_json(400, str(exc))
+            return
+        except ReproError as exc:
+            self._send_error_json(500, str(exc))
+            return
+        except Exception as exc:  # a handler thread must never die silently
+            self._send_error_json(500, f"internal error: {exc}")
+            return
+        body = "\n".join(
+            _float_repr(p) for p in detail["predictions"]
+        ).encode("ascii") + b"\n"
+        _HTTP_RESPONSES.inc(endpoint="/predict/bulk", status=200)
+        self.send_response(200)
+        self.send_header("Content-Type", NDJSON_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Model", model)
+        self.send_header("X-Served-By", detail["served_by"])
+        self.send_header("X-Degraded", "1" if detail["degraded"] else "0")
+        self.send_header("X-N", str(len(detail["predictions"])))
+        if self.server.worker_id is not None:
+            self.send_header("X-Worker", str(self.server.worker_id))
+        self.end_headers()
+        self.wfile.write(body)
+
 
 class PredictionServer(ThreadingHTTPServer):
     """ThreadingHTTPServer bound to one :class:`PredictionService`.
@@ -176,6 +287,14 @@ class PredictionServer(ThreadingHTTPServer):
     ``port=0`` binds an ephemeral port (tests, the bench harness);
     :attr:`address` reports the resolved ``host:port``. Use as a context
     manager, or call :meth:`shutdown` then :meth:`server_close`.
+
+    Multi-process mode (:mod:`repro.serve.forking`) passes three extra
+    knobs: ``reuse_port`` makes the bind set ``SO_REUSEPORT`` so sibling
+    worker processes share one port and the kernel load-balances
+    accepted connections; ``worker_id`` tags ``/healthz`` and
+    ``/models`` responses; ``metrics_dir`` points at the directory of
+    peer metric snapshots that :meth:`render_metrics` merges into a
+    fleet-wide ``/metrics`` exposition.
     """
 
     daemon_threads = True
@@ -186,11 +305,44 @@ class PredictionServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        reuse_port: bool = False,
+        worker_id: int | None = None,
+        metrics_dir: "Path | str | None" = None,
     ) -> None:
         self.service = service
         self.verbose = verbose
+        self.worker_id = worker_id
+        self.metrics_dir = Path(metrics_dir) if metrics_dir is not None else None
+        # socketserver.TCPServer applies this in server_bind (3.11+).
+        self.allow_reuse_port = reuse_port
         self._serving = False
         super().__init__((host, port), _Handler)
+
+    def render_metrics(self) -> str:
+        """The ``/metrics`` exposition body.
+
+        Process-local registry by default; when ``metrics_dir`` is set,
+        the live local registry is merged with every peer worker's
+        latest on-disk snapshot (``metrics-<worker>.json``) so any
+        worker answers for the whole fleet. A torn or half-written peer
+        snapshot is skipped — stale-but-consistent beats corrupt.
+        """
+        if self.metrics_dir is None:
+            return REGISTRY.render()
+        states = [REGISTRY.dump()]
+        own = (
+            None
+            if self.worker_id is None
+            else self.metrics_dir / f"metrics-{self.worker_id}.json"
+        )
+        for path in sorted(self.metrics_dir.glob("metrics-*.json")):
+            if own is not None and path == own:
+                continue  # our own snapshot is stale vs the live registry
+            try:
+                states.append(json.loads(path.read_text()))
+            except (OSError, ValueError):
+                continue
+        return render_merged(states)
 
     def serve_forever(self, poll_interval: float = 0.5) -> None:
         """Blocking serve loop (``close`` from another thread stops it)."""

@@ -258,10 +258,30 @@ class ModelRegistry:
                     self._store(spec, model, disk_key, servable)
             else:
                 _LOOKUPS.inc(outcome="disk")
+            servable = self._specialize(servable, model)
             self._lru[key] = servable
             while len(self._lru) > self.capacity:
                 self._lru.popitem(last=False)
             return servable
+
+    @staticmethod
+    def _specialize(servable, model: str):
+        """Swap in the array-backed inference backend where one exists.
+
+        BDT predictors are wrapped in
+        :class:`~repro.serve.flat_bdt.FlatBDTServable` (vectorized
+        level-order descent, bit-identical outputs) *after* disk
+        load/train, so the on-disk artifact format stays the plain
+        :class:`~repro.ml.pipeline.FittedPredictor` pickle — old caches
+        load fine and the offline oracle opens the same artifact.
+        """
+        if model != "BDT":
+            return servable
+        from repro.serve.flat_bdt import FlatBDTServable
+
+        if isinstance(servable, FlatBDTServable):
+            return servable
+        return FlatBDTServable(servable)
 
     def _load_cached(self, disk_key: str):
         """Disk-cached servable, with bounded retry; None means retrain.

@@ -191,3 +191,30 @@ def test_knob_validation():
         MicroBatcher(lambda rs: rs, max_batch=0)
     with pytest.raises(ServeError):
         MicroBatcher(lambda rs: rs, max_wait_s=-1.0)
+
+
+def test_idle_batcher_does_not_spin():
+    """An idle worker must sleep in its condition wait, not poll.
+
+    The old implementation polled a queue with a short timeout, burning
+    CPU while idle; the condition-variable rewrite blocks outright. A
+    spinning worker would charge most of the 0.4 s idle window to
+    process CPU time — a sleeping one charges (almost) none.
+    """
+    with MicroBatcher(lambda rs: [0.0] * len(rs), max_wait_s=0.002) as b:
+        b.predict({"x": 1})  # worker fully started and back to idle
+        cpu0 = time.process_time()
+        time.sleep(0.4)
+        idle_cpu = time.process_time() - cpu0
+    assert idle_cpu < 0.1, f"idle batcher burned {idle_cpu:.3f}s CPU"
+
+
+def test_wakeup_latency_is_prompt_after_idle():
+    """A request arriving after a long idle stretch is served at once
+    (the submit notifies the condition; no poll interval to wait out)."""
+    with MicroBatcher(lambda rs: [r["x"] for r in rs], max_wait_s=0) as b:
+        b.predict({"x": 0.0})
+        time.sleep(0.3)
+        t0 = time.perf_counter()
+        assert b.predict({"x": 7.0}) == 7.0
+        assert time.perf_counter() - t0 < 0.2

@@ -196,6 +196,69 @@ def test_http_error_mapping(server, tiny_records):
     conn.close()
 
 
+# -- /predict/bulk (NDJSON) ----------------------------------------------
+
+
+def _bulk(server, body: bytes, path="/predict/bulk?model=BDT"):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    conn.request("POST", path, body=body,
+                 headers={"Content-Type": "application/x-ndjson"})
+    response = conn.getresponse()
+    data = response.read()
+    headers = dict(response.getheaders())
+    conn.close()
+    return response.status, headers, data
+
+
+def test_http_bulk_round_trip_is_bit_identical(server, tiny_records, direct):
+    body = b"\n".join(json.dumps(r).encode() for r in tiny_records)
+    status, headers, data = _bulk(server, body)
+    assert status == 200
+    assert headers["Content-Type"] == "application/x-ndjson"
+    assert headers["X-N"] == str(len(tiny_records))
+    assert headers["X-Model"] == "BDT"
+    # One repr()-float per line: parsing them back restores exact bits.
+    values = np.asarray([float(line) for line in data.split()])
+    np.testing.assert_array_equal(values, direct)
+
+
+def test_http_bulk_tolerates_blank_lines(server, tiny_records, direct):
+    body = b"\n\n" + json.dumps(tiny_records[0]).encode() + b"\n\n"
+    status, headers, data = _bulk(server, body)
+    assert status == 200
+    assert headers["X-N"] == "1"
+    assert float(data.split()[0]) == float(direct[0])
+
+
+def test_http_bulk_scenario_overlay_via_query(server, tiny_records):
+    overlay = json.dumps({"seed": 4})
+    from urllib.parse import quote
+
+    body = json.dumps(tiny_records[0]).encode()
+    status, _, _ = _bulk(
+        server, body, path=f"/predict/bulk?model=BDT&scenario={quote(overlay)}"
+    )
+    assert status == 200
+
+
+def test_http_bulk_error_mapping(server, tiny_records):
+    # Empty body, malformed line, non-object line: all caller mistakes.
+    for body in (b"", b"{not json", b'["a-list-not-an-object"]'):
+        status, _, data = _bulk(server, body)
+        assert status == 400, body
+        assert "error" in json.loads(data)
+    # The error names the offending line.
+    status, _, data = _bulk(
+        server, json.dumps(tiny_records[0]).encode() + b"\n{oops"
+    )
+    assert status == 400
+    assert "line 2" in json.loads(data)["error"]
+    # Unknown model maps exactly like /predict.
+    body = json.dumps(tiny_records[0]).encode()
+    status, _, _ = _bulk(server, body, path="/predict/bulk?model=XGBoost")
+    assert status == 400
+
+
 def test_closed_service_refuses_predicts(tiny_spec, serve_cache):
     svc = PredictionService(tiny_spec, cache_dir=serve_cache)
     record = {"user": "u", "nodes": 1, "req_walltime_s": 60}

@@ -9,7 +9,10 @@ Fails (exit 1) if any name in ``repro.__all__``:
 
 Also checks the ``repro.pipeline.__all__`` surface for docstrings, and
 that every module listed in the package docstring's layer map has a
-module docstring. Run via ``make docs-check``.
+module docstring; that every top-level module under ``src/repro``
+appears in docs/ARCHITECTURE.md's module index; and that the serving
+surface (``repro.serve.__all__``) is covered by docs/SERVICE.md. Run
+via ``make docs-check``.
 """
 
 from __future__ import annotations
@@ -23,6 +26,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 API_DOC = REPO_ROOT / "docs" / "API.md"
 FAULTS_DOC = REPO_ROOT / "docs" / "FAULTS.md"
 OBS_DOC = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+ARCH_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+SERVICE_DOC = REPO_ROOT / "docs" / "SERVICE.md"
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
 
 
 def check_docstrings(module_name: str) -> list[str]:
@@ -65,9 +71,45 @@ def check_obs_doc() -> list[str]:
     return [name for name in module.__all__ if name not in text]
 
 
+def check_architecture_doc() -> list[str]:
+    """Every top-level repro module must appear in ARCHITECTURE.md.
+
+    The module index in docs/ARCHITECTURE.md is the map a new
+    contributor navigates by; a module that exists on disk but not in
+    the map is undiscoverable. Private modules (``_version``) and the
+    ``__main__`` shim are exempt.
+    """
+    if not ARCH_DOC.is_file():
+        return ["docs/ARCHITECTURE.md is missing entirely"]
+    text = ARCH_DOC.read_text()
+    missing = []
+    for entry in sorted(PACKAGE_ROOT.iterdir()):
+        if entry.name.startswith("_"):
+            continue
+        if entry.is_dir():
+            name = entry.name
+        elif entry.suffix == ".py":
+            name = entry.stem
+        else:
+            continue
+        if f"repro.{name}" not in text:
+            missing.append(name)
+    return missing
+
+
+def check_service_doc() -> list[str]:
+    """The serving surface must be covered by docs/SERVICE.md."""
+    if not SERVICE_DOC.is_file():
+        return ["docs/SERVICE.md is missing entirely"]
+    text = SERVICE_DOC.read_text()
+    module = importlib.import_module("repro.serve")
+    return [name for name in module.__all__ if name not in text]
+
+
 def main() -> int:
     problems: list[str] = []
-    for module_name in ("repro", "repro.pipeline", "repro.faults", "repro.obs"):
+    for module_name in ("repro", "repro.pipeline", "repro.faults", "repro.obs",
+                        "repro.serve"):
         for name in check_docstrings(module_name):
             problems.append(f"missing docstring: {name}")
     for name in check_api_doc():
@@ -76,6 +118,10 @@ def main() -> int:
         problems.append(f"absent from docs/FAULTS.md: repro.faults.{name}")
     for name in check_obs_doc():
         problems.append(f"absent from docs/OBSERVABILITY.md: repro.obs.{name}")
+    for name in check_architecture_doc():
+        problems.append(f"absent from docs/ARCHITECTURE.md: repro.{name}")
+    for name in check_service_doc():
+        problems.append(f"absent from docs/SERVICE.md: repro.serve.{name}")
 
     if problems:
         print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
