@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint coverage bench bench-check bench-smoke serve-bench serve-bench-check serve-smoke chaos-soak chaos-smoke docs-check pipeline clean-cache all
+.PHONY: test lint coverage bench bench-check bench-smoke serve-bench serve-bench-check serve-smoke bench-stream bench-stream-check stream-smoke chaos-soak chaos-smoke docs-check pipeline clean-cache all
 
 all: lint test docs-check
 
@@ -37,6 +37,18 @@ serve-smoke:         ## CI smoke: boot the forked pool, short open-loop
 	$(PYTHON) tools/serve_bench.py --num-nodes 24 --num-users 10 \
 		--horizon-days 2 --max-traces 10 --workers 2 --connections 4 \
 		--rate 50 --duration 3 --json serve-smoke.json
+
+bench-stream:        ## measure the 1.3M-job streaming build, rewrite BENCH_stream.json
+	$(PYTHON) tools/stream_bench.py --update
+
+bench-stream-check:  ## CI gate: regression vs baseline + absolute
+                     ## floor (15k jobs/s) and RSS ceiling (2 GiB)
+	$(PYTHON) tools/stream_bench.py --check
+
+stream-smoke:        ## CI smoke: small --stream build vs monolithic,
+                     ## dataset bytes must be identical; manifest lands
+                     ## in stream-smoke-manifest.json
+	$(PYTHON) tools/stream_smoke.py
 
 chaos-soak:          ## fault-injection soak: 0 lost requests, all points fire
 	$(PYTHON) tools/chaos_soak.py --duration 20

@@ -160,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also write the run manifest JSON here")
     prun.add_argument("--force", action="store_true",
                       help="recompute every stage even on cache hits")
+    prun.add_argument("--stream", action="store_true",
+                      help="bounded-memory streaming build (chunk, spill, "
+                      "compact); byte-identical artifacts")
+    prun.add_argument("--chunk-jobs", type=int, default=None,
+                      help="jobs per streaming chunk (default 100000; "
+                      "implies --stream)")
 
     pall = psub.add_parser(
         "run-all",
@@ -181,13 +187,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_arg(pclean)
     pclean.add_argument("--stage",
                         choices=("workload", "schedule", "telemetry", "dataset",
-                                 "model"),
+                                 "plan", "chunk", "model"),
                         default=None, help="only this stage's entries "
-                        "(model = the serving layer's trained predictors)")
+                        "(plan/chunk = streaming-mode artifacts, model = "
+                        "the serving layer's trained predictors)")
     pclean.add_argument("--system", default=None, help="only this system's entries")
     pclean.add_argument("--seed", type=int, default=None, help="only this seed's entries")
     pclean.add_argument("--all", action="store_true",
                         help="required to wipe the whole cache (no filters)")
+    pclean.add_argument("--orphans", action="store_true",
+                        help="remove spill shards left by interrupted "
+                        "streaming runs whose dataset already committed, "
+                        "plus stale tmp staging dirs")
     return parser
 
 
@@ -413,13 +424,18 @@ def _print_manifest(manifest) -> None:
 
 
 def _cmd_pipeline_run(args: argparse.Namespace) -> int:
-    from repro.pipeline import run_pipeline
+    from repro.pipeline import DEFAULT_CHUNK_JOBS, run_pipeline
 
+    stream = args.stream or args.chunk_jobs is not None
     manifest = run_pipeline(
         _pipeline_shards(args), cache_dir=args.cache_dir,
         workers=args.workers, manifest_path=args.manifest, force=args.force,
+        stream=stream,
+        chunk_jobs=args.chunk_jobs or DEFAULT_CHUNK_JOBS,
     )
     _print_manifest(manifest)
+    if manifest.peak_rss_bytes:
+        print(f"peak RSS: {manifest.peak_rss_bytes / 1e6:,.0f} MB")
     print(f"manifest: {Path(manifest.cache_dir) / 'manifest-latest.json'}")
     return 0
 
@@ -458,7 +474,7 @@ def _cmd_pipeline_run_all(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline_status(args: argparse.Namespace) -> int:
-    from repro.pipeline import STAGES, ArtifactCache, default_cache_dir
+    from repro.pipeline import CHUNK_STAGE, STAGES, ArtifactCache, default_cache_dir
 
     cache = ArtifactCache(args.cache_dir or default_cache_dir())
     entries = cache.entries()
@@ -475,6 +491,9 @@ def _cmd_pipeline_status(args: argparse.Namespace) -> int:
             continue
         total_mb = sum(e.size_bytes for e in stage_entries) / 1e6
         print(f"{stage}: {len(stage_entries)} entries, {total_mb:.1f} MB")
+        if stage == CHUNK_STAGE:
+            _print_chunk_groups(cache, stage_entries)
+            continue
         for e in stage_entries:
             if e.damaged:
                 print(f"  {e.key[:12]}…  DAMAGED (unreadable meta; "
@@ -492,16 +511,40 @@ def _cmd_pipeline_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_chunk_groups(cache, stage_entries) -> None:
+    """Spill shards grouped per streaming build: counts and on-disk bytes."""
+    groups: dict[str, list] = {}
+    for e in stage_entries:
+        groups.setdefault(e.meta.get("dataset_key", "?"), []).append(e)
+    for dataset_key, group in sorted(groups.items()):
+        label = next(
+            (e.meta.get("label") for e in group if e.meta.get("label")), "?"
+        )
+        bytes_mb = sum(e.size_bytes for e in group) / 1e6
+        n_jobs = sum(e.meta.get("n_items", 0) for e in group)
+        if dataset_key != "?" and cache.has("dataset", dataset_key):
+            state = "orphaned (dataset committed; `pipeline clean --orphans`)"
+        else:
+            state = "resumable (dataset not committed yet)"
+        print(f"  {label:16s} {len(group)} shard(s), {n_jobs} jobs, "
+              f"{bytes_mb:.1f} MB — {state}")
+
+
 def _cmd_pipeline_clean(args: argparse.Namespace) -> int:
     from repro.pipeline import ArtifactCache, default_cache_dir
 
     targeted = args.stage or args.system or args.seed is not None
-    if not targeted and not args.all:
+    if not targeted and not args.all and not args.orphans:
         print("error: pass --stage/--system/--seed to target entries, "
-              "or --all to wipe the cache", file=sys.stderr)
+              "--orphans for leftover spill shards, or --all to wipe "
+              "the cache", file=sys.stderr)
         return 2
     cache = ArtifactCache(args.cache_dir or default_cache_dir())
-    removed = cache.remove(stage=args.stage, system=args.system, seed=args.seed)
+    removed = 0
+    if args.orphans:
+        removed += cache.remove_orphan_shards()
+    if targeted or args.all:
+        removed += cache.remove(stage=args.stage, system=args.system, seed=args.seed)
     print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
           f"from {cache.root}")
     return 0

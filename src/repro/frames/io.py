@@ -83,22 +83,32 @@ def _infer(cells: list[str]) -> np.ndarray:
 _ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 
-def write_npz(table: Table, path: str | os.PathLike) -> None:
-    """Write ``table`` to a compressed NPZ file preserving dtypes.
+def write_npz(table: Table, path: str | os.PathLike, compress: bool = True) -> None:
+    """Write ``table`` to an NPZ file preserving dtypes.
 
     Byte-deterministic: writing the same table twice produces identical
     files (member order, contents, and timestamps are all fixed).
+    ``compress=False`` stores members raw (ZIP_STORED) — used for
+    transient spill shards where deflate time outweighs the disk saved;
+    published artifacts keep the compressed default.
+
+    Compression is deflate level 1: on million-job artifacts level 6
+    spends ~4x the CPU for a few percent of extra ratio, and NPZ write
+    time is a top-line cost of the streaming compactor
+    (docs/PERFORMANCE.md). The level is part of the artifact bytes, so
+    it is pinned here rather than left to the zlib default.
     """
+    method = zipfile.ZIP_DEFLATED if compress else zipfile.ZIP_STORED
     arrays = {f"col::{n}": np.ascontiguousarray(table[n]) for n in table.column_names}
     arrays["__order__"] = np.asarray(table.column_names, dtype=str)
-    with zipfile.ZipFile(Path(path), "w", zipfile.ZIP_DEFLATED) as zf:
+    with zipfile.ZipFile(Path(path), "w", method) as zf:
         for name, arr in arrays.items():
             buf = io.BytesIO()
             np.lib.format.write_array(buf, arr, allow_pickle=False)
             info = zipfile.ZipInfo(f"{name}.npy", date_time=_ZIP_EPOCH)
-            info.compress_type = zipfile.ZIP_DEFLATED
+            info.compress_type = method
             info.external_attr = 0o644 << 16
-            zf.writestr(info, buf.getvalue())
+            zf.writestr(info, buf.getvalue(), compresslevel=1)
 
 
 def read_npz(path: str | os.PathLike) -> Table:

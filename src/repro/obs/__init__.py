@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    peak_rss_bytes,
     render_merged,
 )
 from repro.obs.summary import SpanNode, TraceSummary, summarize_trace
@@ -57,6 +58,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "peak_rss_bytes",
     "render_merged",
     "TraceWriter",
     "trace_span",

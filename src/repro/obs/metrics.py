@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 import re
+import sys
 import threading
 from bisect import bisect_left
 from typing import Any, Iterable, Mapping
@@ -39,6 +40,7 @@ __all__ = [
     "REGISTRY",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SECONDS_BUCKETS",
+    "peak_rss_bytes",
     "render_merged",
 ]
 
@@ -556,3 +558,23 @@ def render_merged(dumps: Iterable[Mapping[str, Any]]) -> str:
 
 #: The process-wide default registry every instrumented subsystem uses.
 REGISTRY = MetricsRegistry()
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process (and reaped children), bytes.
+
+    Reads ``resource.getrusage`` — zero-dependency and always available
+    on POSIX; returns 0 where the ``resource`` module is missing. Linux
+    reports ``ru_maxrss`` in kilobytes, macOS in bytes.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(peak)
+    return int(peak) * 1024

@@ -35,12 +35,17 @@ from repro.pipeline.cache import (
     default_cache_dir,
 )
 from repro.pipeline.config import (
+    CHUNK_STAGE,
+    DEFAULT_CHUNK_JOBS,
+    PLAN_STAGE,
     STAGE_FIELDS,
     STAGE_VERSIONS,
     STAGES,
     ShardConfig,
     ShardReport,
     StageTiming,
+    chunk_key,
+    plan_key,
     stage_key,
 )
 
@@ -48,23 +53,30 @@ __all__ = [
     "STAGES",
     "STAGE_FIELDS",
     "STAGE_VERSIONS",
+    "CHUNK_STAGE",
+    "DEFAULT_CHUNK_JOBS",
     "MANIFEST_NAME",
+    "PLAN_STAGE",
     "ArtifactCache",
     "CacheEntry",
     "CacheError",
+    "ChunkPlan",
     "RunManifest",
     "ShardConfig",
     "ShardReport",
     "StageTiming",
     "build_dataset",
     "canonical_json",
+    "chunk_key",
     "content_key",
     "default_cache_dir",
     "load_dataset",
+    "plan_key",
     "run_pipeline",
     "run_shard",
     "save_dataset",
     "stage_key",
+    "stream_shard",
 ]
 
 # Heavy symbols resolved lazily (PEP 562): name -> defining submodule.
@@ -76,6 +88,8 @@ _LAZY_ATTRS = {
     "run_shard": "repro.pipeline.stages",
     "load_dataset": "repro.pipeline.artifacts",
     "save_dataset": "repro.pipeline.artifacts",
+    "ChunkPlan": "repro.pipeline.stream",
+    "stream_shard": "repro.pipeline.stream",
 }
 
 

@@ -301,3 +301,35 @@ class ArtifactCache:
     def size_bytes(self) -> int:
         """Total on-disk size of all committed entries."""
         return sum(e.size_bytes for e in self.entries())
+
+    def remove_orphan_shards(self, chunk_stage: str = "chunk") -> int:
+        """Delete spill shards whose dataset already committed; returns count.
+
+        A streaming run (:mod:`repro.pipeline.stream`) deletes its spill
+        shards after compaction, but a crash *between* the dataset commit
+        and the cleanup — or a run with ``keep_shards`` — leaves chunk
+        entries behind that no future run will ever read (resume checks
+        the dataset first). Those, plus damaged chunk entries and stale
+        ``tmp/`` staging directories, are the orphans removed here.
+        Shards of an *interrupted* run (no dataset entry yet) are kept —
+        they are what makes the run resumable.
+        """
+        removed = 0
+        for entry in self.entries(chunk_stage):
+            dataset_key = entry.meta.get("dataset_key")
+            if entry.damaged or (
+                dataset_key is not None and self.has("dataset", dataset_key)
+            ):
+                shutil.rmtree(entry.path)
+                removed += 1
+        stage_dir = self.root / chunk_stage
+        if stage_dir.is_dir() and not any(stage_dir.iterdir()):
+            stage_dir.rmdir()
+        tmp_root = self.root / "tmp"
+        if tmp_root.is_dir():
+            for leftover in tmp_root.iterdir():
+                shutil.rmtree(leftover, ignore_errors=True)
+                removed += 1
+            if not any(tmp_root.iterdir()):
+                tmp_root.rmdir()
+        return removed

@@ -34,13 +34,32 @@ __all__ = [
     "STAGES",
     "STAGE_FIELDS",
     "STAGE_VERSIONS",
+    "PLAN_STAGE",
+    "CHUNK_STAGE",
+    "DEFAULT_CHUNK_JOBS",
     "ShardConfig",
     "StageTiming",
     "ShardReport",
     "stage_key",
+    "plan_key",
+    "chunk_key",
 ]
 
 STAGES: tuple[str, ...] = ("workload", "schedule", "telemetry", "dataset")
+
+# Streaming-mode cache stages (docs/PIPELINE.md "Streaming mode"). The
+# plan stage holds the columnar workload plan; the chunk stage holds the
+# spilled per-chunk shards (jobs + power sums + samples + a resume
+# checkpoint). Both are addressed *through* the monolithic stage keys,
+# so any knob that would invalidate the dataset invalidates them too.
+PLAN_STAGE = "plan"
+CHUNK_STAGE = "chunk"
+
+#: Default jobs per streaming chunk; ~32 MB of live state per chunk.
+DEFAULT_CHUNK_JOBS = 100_000
+
+_PLAN_VERSION = 1
+_CHUNK_VERSION = 1
 
 # Bump a stage's version when its semantics change; every downstream key
 # incorporates the versions of its upstream stages too.
@@ -150,6 +169,40 @@ def stage_key(shard: ShardConfig, stage: str) -> str:
             "stage": stage,
             "versions": {s: STAGE_VERSIONS[s] for s in upstream},
             "config": {f: config[f] for f in STAGE_FIELDS[stage]},
+        }
+    )
+
+
+def plan_key(shard: ShardConfig) -> str:
+    """Content-address of the columnar workload plan for one shard.
+
+    Derived from the workload stage key: the plan is just the columnar
+    form of the same job stream, so everything that invalidates the
+    workload invalidates the plan.
+    """
+    return content_key(
+        {
+            "stage": PLAN_STAGE,
+            "version": _PLAN_VERSION,
+            "workload": stage_key(shard, "workload"),
+        }
+    )
+
+
+def chunk_key(shard: ShardConfig, chunk_jobs: int, index: int) -> str:
+    """Content-address of one spilled chunk shard of a streaming build.
+
+    Keyed on the dataset stage key plus the chunk geometry: a chunk is
+    only reusable by a run that would produce the identical dataset with
+    the identical chunk boundaries.
+    """
+    return content_key(
+        {
+            "stage": CHUNK_STAGE,
+            "version": _CHUNK_VERSION,
+            "dataset": stage_key(shard, "dataset"),
+            "chunk_jobs": chunk_jobs,
+            "index": index,
         }
     )
 

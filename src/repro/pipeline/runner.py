@@ -21,10 +21,12 @@ from typing import Any, Iterable, Sequence
 
 from repro.errors import PipelineError
 from repro.obs.logs import get_logger
-from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS, REGISTRY
+from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS, REGISTRY, peak_rss_bytes
 from repro.obs.tracing import trace_span
 from repro.pipeline.cache import ArtifactCache, canonical_json, default_cache_dir
+from repro.pipeline.config import DEFAULT_CHUNK_JOBS
 from repro.pipeline.stages import ShardConfig, ShardReport, run_shard
+from repro.pipeline.stream import stream_shard
 from repro.telemetry.dataset import JobDataset
 
 __all__ = ["RunManifest", "run_pipeline", "build_dataset", "MANIFEST_NAME"]
@@ -59,6 +61,9 @@ class RunManifest:
     shards: list[ShardReport] = field(default_factory=list)
     created_unix: float = 0.0
     version: int = _MANIFEST_VERSION
+    # Peak resident set size of the run (parent process plus reaped
+    # pool workers), captured when the manifest is assembled.
+    peak_rss_bytes: int = 0
 
     @property
     def n_jobs(self) -> int:
@@ -92,6 +97,7 @@ class RunManifest:
             "workers": self.workers,
             "cache_dir": self.cache_dir,
             "total_seconds": round(self.total_seconds, 4),
+            "peak_rss_bytes": self.peak_rss_bytes,
             "n_jobs": self.n_jobs,
             "n_gaps": self.n_gaps,
             "stages_cached": self.stages_cached,
@@ -108,6 +114,7 @@ class RunManifest:
             shards=[ShardReport.from_dict(s) for s in data["shards"]],
             created_unix=data.get("created_unix", 0.0),
             version=data.get("version", _MANIFEST_VERSION),
+            peak_rss_bytes=data.get("peak_rss_bytes", 0),
         )
 
     def save(self, path: str | os.PathLike) -> Path:
@@ -123,11 +130,15 @@ class RunManifest:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
 
-def _shard_worker(payload: tuple[str, dict]) -> dict:
+def _shard_worker(payload: tuple[str, dict, bool, int]) -> dict:
     """Process-pool entry point: run one shard against the shared cache."""
-    cache_root, shard_dict = payload
+    cache_root, shard_dict, stream, chunk_jobs = payload
     shard = ShardConfig.from_dict(shard_dict)
-    report, _ = run_shard(shard, ArtifactCache(cache_root), want_dataset=False)
+    cache = ArtifactCache(cache_root)
+    if stream:
+        report = stream_shard(shard, cache, chunk_jobs=chunk_jobs)
+    else:
+        report, _ = run_shard(shard, cache, want_dataset=False)
     return report.to_dict()
 
 
@@ -149,6 +160,8 @@ def run_pipeline(
     workers: int = 1,
     manifest_path: str | os.PathLike | None = None,
     force: bool = False,
+    stream: bool = False,
+    chunk_jobs: int = DEFAULT_CHUNK_JOBS,
 ) -> RunManifest:
     """Build every shard's dataset artifact, in parallel, through the cache.
 
@@ -167,6 +180,12 @@ def run_pipeline(
         written to ``<cache_dir>/manifest-latest.json``.
     force:
         Recompute every stage even on cache hits.
+    stream:
+        Build each shard through the bounded-memory streaming path
+        (:func:`repro.pipeline.stream.stream_shard`) instead of the
+        monolithic stages. The committed artifacts are byte-identical.
+    chunk_jobs:
+        Jobs per streaming chunk (ignored unless ``stream``).
 
     Returns
     -------
@@ -180,15 +199,23 @@ def run_pipeline(
 
     t0 = time.perf_counter()
     with trace_span(
-        "pipeline.run", workers=workers, n_shards=len(todo), force=force
+        "pipeline.run", workers=workers, n_shards=len(todo), force=force,
+        stream=stream,
     ):
         if workers > 1 and len(todo) > 1 and not force:
-            payloads = [(str(cache.root), s.to_dict()) for s in todo]
+            payloads = [
+                (str(cache.root), s.to_dict(), stream, chunk_jobs) for s in todo
+            ]
             with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
                 reports = [
                     ShardReport.from_dict(d)
                     for d in pool.map(_shard_worker, payloads)
                 ]
+        elif stream:
+            reports = [
+                stream_shard(s, cache, chunk_jobs=chunk_jobs, force=force)
+                for s in todo
+            ]
         else:
             reports = [
                 run_shard(s, cache, want_dataset=False, force=force)[0]
@@ -200,6 +227,7 @@ def run_pipeline(
         total_seconds=time.perf_counter() - t0,
         shards=reports,
         created_unix=time.time(),
+        peak_rss_bytes=peak_rss_bytes(),
     )
     _RUNS.inc()
     _RUN_SECONDS.observe(manifest.total_seconds)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from typing import Any
 
-from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS, REGISTRY
+from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS, REGISTRY, peak_rss_bytes
 from repro.obs.tracing import trace_span
 from repro.pipeline.artifacts import load_dataset, save_dataset
 from repro.pipeline.cache import ArtifactCache
@@ -168,7 +168,8 @@ def _run_shard_stages(
                 cache.store_pickle(
                     "workload", keys["workload"], specs,
                     {**meta_common, "n_items": len(specs),
-                     "seconds": round(time.perf_counter() - t0, 4)},
+                     "seconds": round(time.perf_counter() - t0, 4),
+                 "peak_rss_bytes": peak_rss_bytes()},
                 )
                 timed("workload", False, len(specs), t0)
         with staged("schedule", False):
@@ -179,7 +180,8 @@ def _run_shard_stages(
             cache.store_pickle(
                 "schedule", keys["schedule"], scheduled,
                 {**meta_common, "n_items": len(scheduled),
-                 "seconds": round(time.perf_counter() - t0, 4)},
+                 "seconds": round(time.perf_counter() - t0, 4),
+                 "peak_rss_bytes": peak_rss_bytes()},
             )
             timed("schedule", False, len(scheduled), t0)
 
@@ -195,7 +197,8 @@ def _run_shard_stages(
                 {**meta_common, "n_items": sample.num_jobs,
                  "n_traces": len(sample.traces),
                  "n_gaps": sample.n_gaps,
-                 "seconds": round(time.perf_counter() - t0, 4)},
+                 "seconds": round(time.perf_counter() - t0, 4),
+                 "peak_rss_bytes": peak_rss_bytes()},
             )
             timed(
                 "telemetry", False, sample.num_jobs, t0,
@@ -220,7 +223,8 @@ def _run_shard_stages(
             # The gap count rides on the final artifact too, so a later
             # cache-hit load still reports how many samples were filled in.
             {**meta_common, "n_gaps": getattr(sample, "n_gaps", 0),
-             "seconds": round(time.perf_counter() - t0, 4)},
+             "seconds": round(time.perf_counter() - t0, 4),
+             "peak_rss_bytes": peak_rss_bytes()},
         )
         timed("dataset", False, dataset.num_jobs, t0, len(dataset.traces),
               getattr(sample, "n_gaps", 0))

@@ -18,19 +18,22 @@ __all__ = ["NodePool"]
 
 
 class NodePool:
-    """Boolean free-map over ``num_nodes`` node ids.
+    """Byte free-map over ``num_nodes`` node ids.
 
     A min-heap free-list backs allocation: popping the ``n`` smallest
     free ids is O(n log num_nodes), replacing the O(num_nodes)
-    ``np.flatnonzero`` scan of the free-map per allocation. The boolean
-    map is kept in lockstep as the double-free guard (and for cheap
-    membership queries in diagnostics).
+    ``np.flatnonzero`` scan of the free-map per allocation. The free-map
+    is a ``bytearray`` kept in lockstep as the double-free guard:
+    per-id byte reads/writes beat numpy fancy indexing for the handful
+    of ids a single allocate/release touches, and the pool sits on the
+    scheduler's per-event hot path (millions of calls per million-job
+    build — docs/PERFORMANCE.md).
     """
 
     def __init__(self, num_nodes: int) -> None:
         if num_nodes < 1:
             raise AllocationError("pool needs at least one node")
-        self._free = np.ones(num_nodes, dtype=bool)
+        self._free = bytearray(b"\x01" * num_nodes)
         self._free_count = num_nodes
         # Ascending range is already a valid min-heap.
         self._free_heap = list(range(num_nodes))
@@ -60,21 +63,45 @@ class NodePool:
             )
         heap = self._free_heap
         pop = heapq.heappop
+        free = self._free
         # Successive min-pops yield the lowest free ids in ascending
         # order — the same ids (and intp dtype) flatnonzero produced.
-        ids = np.array([pop(heap) for _ in range(n)], dtype=np.intp)
-        self._free[ids] = False
+        taken = [pop(heap) for _ in range(n)]
+        for i in taken:
+            free[i] = 0
         self._free_count -= n
-        return ids
+        return np.array(taken, dtype=np.intp)
+
+    def state(self) -> dict:
+        """Checkpoint payload; heap order is preserved verbatim.
+
+        The free-map travels as a numpy bool array — the format the
+        pipeline's pickled resume checkpoints carry regardless of the
+        pool's in-memory representation.
+        """
+        return {
+            "free": np.frombuffer(bytes(self._free), dtype=bool).copy(),
+            "free_count": self._free_count,
+            "free_heap": list(self._free_heap),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NodePool":
+        pool = cls(len(state["free"]))
+        pool._free = bytearray(np.asarray(state["free"], dtype=bool).tobytes())
+        pool._free_count = state["free_count"]
+        pool._free_heap = list(state["free_heap"])
+        return pool
 
     def release(self, ids: np.ndarray) -> None:
         """Return nodes to the pool; double-free is an error."""
-        ids = np.asarray(ids)
-        if self._free[ids].any():
-            raise AllocationError(f"double free of nodes {ids[self._free[ids]].tolist()}")
-        self._free[ids] = True
-        self._free_count += len(ids)
+        free = self._free
         heap = self._free_heap
         push = heapq.heappush
-        for i in ids.tolist():
+        id_list = ids.tolist() if isinstance(ids, np.ndarray) else list(ids)
+        for i in id_list:
+            if free[i]:
+                raise AllocationError(f"double free of node {i}")
+            free[i] = 1
             push(heap, i)
+        self._free_count += len(id_list)

@@ -144,6 +144,22 @@ class RunningSet:
         entry = self._by_job.pop(job_id)
         del self._entries[bisect_left(self._entries, entry)]
 
+    def state(self) -> dict:
+        """Checkpoint payload; entry order and ``start_seq`` are preserved."""
+        return {
+            "entries": list(self._entries),
+            "by_job": dict(self._by_job),
+            "seq": self._seq,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RunningSet":
+        running = cls()
+        running._entries = list(state["entries"])
+        running._by_job = dict(state["by_job"])
+        running._seq = state["seq"]
+        return running
+
     def shadow(self, head_nodes: int, free_now: int) -> tuple[int, int] | None:
         """EASY shadow time and extra nodes for a blocked queue head.
 

@@ -27,8 +27,9 @@ enforces this on randomized workloads and a pinned-seed golden digest.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
 
 from repro.errors import SchedulerError
 from repro.scheduler.job import ScheduledJob
@@ -36,7 +37,7 @@ from repro.scheduler.nodepool import NodePool
 from repro.scheduler.queueing import JobQueue, QueueNode, RunningSet
 from repro.workload.generator import JobSpec
 
-__all__ = ["SchedulerConfig", "Simulator", "simulate"]
+__all__ = ["SchedulerConfig", "SimulatorState", "Simulator", "simulate"]
 
 
 @dataclass(frozen=True)
@@ -53,8 +54,41 @@ class SchedulerConfig:
             raise SchedulerError("backfill_depth must be >= 0")
 
 
+@dataclass
+class SimulatorState:
+    """Picklable checkpoint of a mid-stream :class:`Simulator`.
+
+    Captures *everything* event processing depends on — the free-node
+    heap arrangement, the wait queue with its settled prefix and resume
+    position, the running set (entries, per-job index, start sequence),
+    and the pending completion heap — so a simulator restored from a
+    checkpoint schedules the remaining arrivals bit-identically to one
+    that never stopped. Produced by :meth:`Simulator.snapshot`, consumed
+    by :meth:`Simulator.restore`; the streaming pipeline stores one per
+    spilled chunk shard (docs/PIPELINE.md).
+    """
+
+    config: SchedulerConfig
+    pool: dict[str, Any]
+    running: list[ScheduledJob]
+    running_set: dict[str, Any]
+    queue: list[JobSpec]
+    settled_prefix: int
+    resume_index: int | None  # position in queue; None = block reaches tail
+    completions: list[tuple[int, int, int]]
+    event_seq: int
+    clock: int
+    pending_results: list[ScheduledJob] = field(default_factory=list)
+
+
 class Simulator:
-    """FCFS + EASY backfill over exclusive whole nodes."""
+    """FCFS + EASY backfill over exclusive whole nodes.
+
+    Jobs can be supplied all at once (:meth:`run`) or in submit-ordered
+    chunks (:meth:`feed` + :meth:`drain`, harvesting started jobs with
+    :meth:`take_results` between chunks) — the event sequence, and hence
+    every placement, is identical either way.
+    """
 
     def __init__(self, config: SchedulerConfig) -> None:
         self.config = config
@@ -63,6 +97,13 @@ class Simulator:
         self._running: dict[int, ScheduledJob] = {}
         self._running_set = RunningSet()
         self._results: list[ScheduledJob] = []
+        # Completion events: (end_s, seq, job_id); arrivals are consumed
+        # from each fed chunk with a cursor instead of heap entries.
+        self._completions: list[tuple[int, int, int]] = []
+        self._event_seq = 0
+        # Time of the last processed arrival — feeding an earlier job
+        # would rewrite history the engine already committed.
+        self._clock = 0
         # Arrival coalescing is only sound when admission is the default
         # always-true rule: a subclass constraint (e.g. a power budget)
         # can flip with time or committed state, invalidating the
@@ -82,40 +123,44 @@ class Simulator:
 
     def run(self, jobs: Sequence[JobSpec]) -> list[ScheduledJob]:
         """Schedule all jobs; returns completions in start order."""
-        jobs = sorted(jobs, key=lambda j: (j.submit_s, j.job_id))
+        self.feed(jobs)
+        self.drain()
+        return self._results
+
+    def feed(self, jobs: Sequence[JobSpec]) -> None:
+        """Process one submit-ordered chunk of arrivals.
+
+        Events are advanced exactly to the chunk's last submit time;
+        completions beyond it stay pending so a later chunk (whose jobs
+        must not submit earlier) continues the identical event sequence.
+        """
+        # attrgetter builds the (submit, id) keys in C — the sort is
+        # usually a no-op pass over an already-ordered plan slice, so
+        # key extraction is its entire cost.
+        jobs = sorted(jobs, key=operator.attrgetter("submit_s", "job_id"))
         for job in jobs:
             if job.nodes > self.config.num_nodes:
                 raise SchedulerError(
                     f"job {job.job_id} requests {job.nodes} nodes; "
                     f"system has {self.config.num_nodes}"
                 )
-        # Completion events: (end_s, seq, job_id). Arrivals are consumed
-        # from the sorted list with a cursor instead of heap entries.
-        completions: list[tuple[int, int, int]] = []
-        seq = 0
+        if jobs and jobs[0].submit_s < self._clock:
+            raise SchedulerError(
+                f"job {jobs[0].job_id} submits at {jobs[0].submit_s}, before "
+                f"the already-processed arrival time {self._clock}"
+            )
+        completions = self._completions
         cursor = 0
         n_jobs = len(jobs)
-        while cursor < n_jobs or completions or self._queue:
-            next_arrival = jobs[cursor].submit_s if cursor < n_jobs else None
-            next_completion = completions[0][0] if completions else None
-            if next_arrival is None and next_completion is None:
-                raise SchedulerError(
-                    f"deadlock: {len(self._queue)} queued jobs can never start "
-                    "(machine too small or admission constraint unsatisfiable)"
-                )
+        while cursor < n_jobs:
+            next_arrival = jobs[cursor].submit_s
             # Process the earlier event; completions first on ties so
             # arrivals see the freed nodes.
-            if next_completion is not None and (
-                next_arrival is None or next_completion <= next_arrival
-            ):
-                now, _, job_id = heapq.heappop(completions)
-                finished = self._running.pop(job_id)
-                self.pool.release(finished.node_ids)
-                self._running_set.discard(job_id)
-                self._on_finish(finished)
-                newly = self._schedule_pass(now)
+            if completions and completions[0][0] <= next_arrival:
+                newly = self._complete_next()
             else:
                 now = next_arrival
+                self._clock = now
                 q_before = len(self._queue)
                 tail_before = self._queue.tail
                 while cursor < n_jobs and jobs[cursor].submit_s == now:
@@ -134,10 +179,94 @@ class Simulator:
                     newly = self._arrival_pass(now)
                 else:
                     newly = self._schedule_pass(now)
-            for started in newly:
-                heapq.heappush(completions, (started.end_s, seq, started.spec.job_id))
-                seq += 1
-        return self._results
+            self._push_completions(newly)
+
+    def drain(self) -> None:
+        """Process every remaining event (no further arrivals expected)."""
+        while self._completions or self._queue:
+            if not self._completions:
+                raise SchedulerError(
+                    f"deadlock: {len(self._queue)} queued jobs can never start "
+                    "(machine too small or admission constraint unsatisfiable)"
+                )
+            self._push_completions(self._complete_next())
+
+    def take_results(self) -> list[ScheduledJob]:
+        """Drain jobs started since the last harvest (start order).
+
+        Started jobs are final — their placement can never change — so a
+        streaming consumer can take them chunk by chunk; the
+        concatenation across harvests equals :meth:`run`'s return value.
+        """
+        out = self._results
+        self._results = []
+        return out
+
+    def _complete_next(self) -> list[ScheduledJob]:
+        """Pop and process the earliest completion event."""
+        now, _, job_id = heapq.heappop(self._completions)
+        finished = self._running.pop(job_id)
+        self.pool.release(finished.node_ids)
+        self._running_set.discard(job_id)
+        self._on_finish(finished)
+        return self._schedule_pass(now)
+
+    def _push_completions(self, newly: list[ScheduledJob]) -> None:
+        for started in newly:
+            heapq.heappush(
+                self._completions, (started.end_s, self._event_seq, started.spec.job_id)
+            )
+            self._event_seq += 1
+
+    # -- checkpointing ---------------------------------------------------
+
+    def snapshot(self) -> SimulatorState:
+        """Capture the full engine state (after harvesting results)."""
+        resume_index: int | None = None
+        if self._resume_node is not None:
+            index = 0
+            node = self._queue.head
+            while node is not None and node is not self._resume_node:
+                index += 1
+                node = node.next
+            if node is None:
+                raise SchedulerError("resume node vanished from the queue")
+            resume_index = index
+        return SimulatorState(
+            config=self.config,
+            pool=self.pool.state(),
+            running=list(self._running.values()),
+            running_set=self._running_set.state(),
+            queue=list(self._queue),
+            settled_prefix=self._settled_prefix,
+            resume_index=resume_index,
+            completions=list(self._completions),
+            event_seq=self._event_seq,
+            clock=self._clock,
+            pending_results=list(self._results),
+        )
+
+    @classmethod
+    def restore(cls, state: SimulatorState) -> "Simulator":
+        """Rebuild a simulator that continues exactly where ``state`` was."""
+        sim = cls(state.config)
+        sim.pool = NodePool.from_state(state.pool)
+        sim._running = {job.spec.job_id: job for job in state.running}
+        sim._running_set = RunningSet.from_state(state.running_set)
+        for spec in state.queue:
+            sim._queue.append(spec)
+        sim._settled_prefix = state.settled_prefix
+        if state.resume_index is not None:
+            node = sim._queue.head
+            for _ in range(state.resume_index):
+                assert node is not None
+                node = node.next
+            sim._resume_node = node
+        sim._completions = list(state.completions)
+        sim._event_seq = state.event_seq
+        sim._clock = state.clock
+        sim._results = list(state.pending_results)
+        return sim
 
     def _schedule_pass(self, now: int) -> list[ScheduledJob]:
         """One full FCFS + backfill pass; returns newly started jobs."""

@@ -52,6 +52,7 @@ __all__ = [
     "TelemetrySample",
     "build_inputs",
     "sample_telemetry",
+    "join_jobs",
     "join_dataset",
     "assemble",
     "generate_dataset",
@@ -312,6 +313,26 @@ def sample_telemetry(
     )
 
 
+def join_jobs(scheduled: list[ScheduledJob], sample: TelemetrySample) -> Table:
+    """Join accounting records with sampled power into the job-level table.
+
+    The column-building half of :func:`join_dataset`, shared with the
+    streaming pipeline, which joins each spilled chunk independently:
+    every derived column is per-job, so a chunk's table equals the
+    matching slice of the monolithic one.
+    """
+    jobs = accounting_table(scheduled)
+    jobs = jobs.with_column("pernode_power_w", sample.pernode_power)
+    jobs = jobs.with_column("energy_j", sample.energy)
+    jobs = jobs.with_column(
+        "node_hours",
+        jobs["nodes"].astype(float) * jobs["runtime_s"].astype(float) / 3600.0,
+    )
+    jobs = jobs.with_column("is_debug", sample.is_debug)
+    jobs = jobs.with_column("instrumented", sample.instrumented)
+    return jobs
+
+
 def join_dataset(
     cluster: Cluster,
     scheduled: list[ScheduledJob],
@@ -348,22 +369,15 @@ def join_dataset(
     np.subtract.at(bounds, b_min, nodes_per_job)
     active = np.cumsum(bounds[:-1])
     job_power = np.zeros(n_minutes, dtype=float)
-    power_sum = sample.power_sum
-    for i in range(m):
-        job_power[a_min[i] : b_min[i]] += power_sum[i]
+    # tolist() up front: per-element numpy scalar indexing dominates the
+    # slice adds themselves at million-job scale.
+    for a, b, w in zip(a_min.tolist(), b_min.tolist(), sample.power_sum.tolist()):
+        job_power[a:b] += w
 
     if np.any(active > cluster.num_nodes):
         raise TelemetryError("scheduler over-allocated nodes (timeline check)")
 
-    jobs = accounting_table(scheduled)
-    jobs = jobs.with_column("pernode_power_w", sample.pernode_power)
-    jobs = jobs.with_column("energy_j", sample.energy)
-    jobs = jobs.with_column(
-        "node_hours",
-        jobs["nodes"].astype(float) * jobs["runtime_s"].astype(float) / 3600.0,
-    )
-    jobs = jobs.with_column("is_debug", sample.is_debug)
-    jobs = jobs.with_column("instrumented", sample.instrumented)
+    jobs = join_jobs(scheduled, sample)
 
     return JobDataset(
         spec=cluster.spec,

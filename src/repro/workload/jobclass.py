@@ -78,14 +78,21 @@ class JobClass:
 
     def sample_runtime(self, rng: np.random.Generator) -> int:
         """Actual runtime of one instance (seconds, >= 180, <= walltime)."""
+        walltime = self.req_walltime_s
         if rng.random() < self.limit_hit_prob:
-            runtime = float(self.req_walltime_s)
+            runtime = float(walltime)
         else:
             a, b = self.runtime_beta
-            runtime = self.req_walltime_s * rng.beta(a, b)
-        return int(min(max(runtime, 180), self.req_walltime_s))
+            runtime = walltime * rng.beta(a, b)
+        # Inline clamp: min()/max() builtin calls are measurable at
+        # millions of draws (the streaming builder's plan stage).
+        if runtime < 180:
+            runtime = 180
+        return int(runtime) if runtime < walltime else int(walltime)
 
     def sample_power_fraction(self, rng: np.random.Generator) -> float:
         """Per-instance nominal power fraction (class value ± noise)."""
         frac = self.power_fraction * rng.lognormal(0.0, self.within_sigma)
-        return float(min(max(frac, 0.2), 0.99))
+        if frac < 0.2:
+            return 0.2
+        return float(frac) if frac < 0.99 else 0.99

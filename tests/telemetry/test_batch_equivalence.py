@@ -19,8 +19,10 @@ from repro.telemetry.schema import save_jobs_npz
 from repro.workload.generator import WorkloadGenerator
 
 # sha256 of the jobs NPZ written from generate_dataset("emmy", seed=7,
-# num_nodes=64, num_users=24, horizon_s=10 days, max_traces=50).
-GOLDEN_SMALL_NPZ = "15f676db0f3a0dc835c44f865e104dca7508bfff0763a3abdca4e5cecf7e0669"
+# num_nodes=64, num_users=24, horizon_s=10 days, max_traces=50), with
+# write_npz's pinned deflate level 1 (re-pinned when the level changed;
+# see docs/PERFORMANCE.md).
+GOLDEN_SMALL_NPZ = "6934d59e6c1eee93547a74f394fc1f19eac8ef4aee14d273559051bdcc847824"
 
 
 def _scheduled(system="emmy", seed=11, num_nodes=48, num_users=16, days=5):

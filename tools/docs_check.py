@@ -7,12 +7,13 @@ Fails (exit 1) if any name in ``repro.__all__``:
   is documented where they are defined and in docs/API.md), or
 * does not appear in docs/API.md.
 
-Also checks the ``repro.pipeline.__all__`` surface for docstrings, and
-that every module listed in the package docstring's layer map has a
-module docstring; that every top-level module under ``src/repro``
-appears in docs/ARCHITECTURE.md's module index; and that the serving
-surface (``repro.serve.__all__``) is covered by docs/SERVICE.md. Run
-via ``make docs-check``.
+Also checks the ``repro.pipeline.__all__`` surface for docstrings and
+coverage in docs/PIPELINE.md, and that every module listed in the
+package docstring's layer map has a module docstring; that every
+top-level module under ``src/repro`` appears in
+docs/ARCHITECTURE.md's module index; and that the serving surface
+(``repro.serve.__all__``) is covered by docs/SERVICE.md. Run via
+``make docs-check``.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 API_DOC = REPO_ROOT / "docs" / "API.md"
+PIPELINE_DOC = REPO_ROOT / "docs" / "PIPELINE.md"
 FAULTS_DOC = REPO_ROOT / "docs" / "FAULTS.md"
 OBS_DOC = REPO_ROOT / "docs" / "OBSERVABILITY.md"
 ARCH_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
@@ -50,6 +52,15 @@ def check_api_doc() -> list[str]:
         return ["docs/API.md is missing entirely"]
     text = API_DOC.read_text()
     module = importlib.import_module("repro")
+    return [name for name in module.__all__ if name not in text]
+
+
+def check_pipeline_doc() -> list[str]:
+    """The pipeline surface must be covered by docs/PIPELINE.md."""
+    if not PIPELINE_DOC.is_file():
+        return ["docs/PIPELINE.md is missing entirely"]
+    text = PIPELINE_DOC.read_text()
+    module = importlib.import_module("repro.pipeline")
     return [name for name in module.__all__ if name not in text]
 
 
@@ -114,6 +125,8 @@ def main() -> int:
             problems.append(f"missing docstring: {name}")
     for name in check_api_doc():
         problems.append(f"absent from docs/API.md: repro.{name}")
+    for name in check_pipeline_doc():
+        problems.append(f"absent from docs/PIPELINE.md: repro.pipeline.{name}")
     for name in check_faults_doc():
         problems.append(f"absent from docs/FAULTS.md: repro.faults.{name}")
     for name in check_obs_doc():

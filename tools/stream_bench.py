@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Perf + memory gate for the streaming (chunked) dataset builder.
+
+Builds a million-plus-job dataset with ``repro.pipeline.stream_shard``
+into a throwaway cache and records end-to-end throughput (jobs/s) and
+peak RSS. The measurement runs in a **fresh subprocess** so
+``ru_maxrss`` reflects only the streaming build — not whatever the
+parent interpreter touched before (methodology: docs/PERFORMANCE.md).
+
+Two gates, both enforced by ``--check``:
+
+* relative: throughput must stay within ``--tolerance`` of the
+  committed ``BENCH_stream.json`` baseline (same shape as the
+  ``perf_check.py`` gate);
+* absolute: throughput must clear ``--min-jobs-per-second`` (default
+  15,000) and peak RSS must stay under ``--max-rss-gib`` (default
+  2 GiB) — the bounded-memory contract, not just a no-regression check.
+
+Usage::
+
+    python tools/stream_bench.py                 # measure, print table
+    python tools/stream_bench.py --update        # rewrite BENCH_stream.json
+    python tools/stream_bench.py --check         # CI gate
+
+``make bench-stream`` wraps ``--update``; ``make bench-stream-check``
+wraps ``--check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from perf_check import gate_throughput, load_baseline  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_stream.json"
+GIB = 1024**3
+
+
+def worker(config: dict) -> dict:
+    """One streaming build in this (fresh) process; returns the record."""
+    from repro.obs.metrics import peak_rss_bytes
+    from repro.pipeline import ArtifactCache, ShardConfig, stream_shard
+
+    shard = ShardConfig(
+        system=config["system"], seed=config["seed"],
+        num_nodes=config["num_nodes"], num_users=config["num_users"],
+        horizon_s=config["horizon_s"], max_traces=config["max_traces"],
+    )
+    with tempfile.TemporaryDirectory(prefix="stream-bench-") as tmp:
+        t0 = time.perf_counter()
+        report = stream_shard(
+            shard, ArtifactCache(tmp),
+            chunk_jobs=config["chunk_jobs"],
+            compact_workers=config["compact_workers"],
+        )
+        total = time.perf_counter() - t0
+    stage_seconds: dict[str, float] = {}
+    n_chunks = 0
+    for timing in report.stages:
+        stage_seconds[timing.stage] = round(
+            stage_seconds.get(timing.stage, 0.0) + timing.seconds, 4
+        )
+        n_chunks += timing.stage == "chunk"
+    return {
+        "config": config,
+        "stages": stage_seconds,
+        "n_jobs": report.n_jobs,
+        "n_traces": report.n_traces,
+        "n_chunks": n_chunks,
+        "total_seconds": round(total, 4),
+        "jobs_per_second": round(report.n_jobs / total, 2),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def measure(args: argparse.Namespace) -> dict:
+    """Best-of-``--reps`` runs, each in a fresh subprocess.
+
+    The subprocess keeps ``ru_maxrss`` honest (the build's alone, not the
+    parent's); best-of filters out the run-to-run noise of a shared box,
+    same as ``perf_check.py``. Peak RSS is reported as the *maximum*
+    across reps — the memory contract must hold on every run, not just
+    the fastest one.
+    """
+    config = {
+        "system": args.system, "seed": args.seed, "num_nodes": args.num_nodes,
+        "num_users": args.num_users, "horizon_s": args.horizon_s,
+        "max_traces": args.max_traces, "chunk_jobs": args.chunk_jobs,
+        "compact_workers": args.compact_workers,
+    }
+    best: dict | None = None
+    worst_rss = 0
+    for rep in range(args.reps):
+        with tempfile.NamedTemporaryFile("r", suffix=".json") as out:
+            subprocess.run(
+                [sys.executable, __file__, "--worker", out.name,
+                 "--worker-config", json.dumps(config)],
+                check=True,
+            )
+            result = json.load(out)
+        print(f"rep {rep + 1}/{args.reps}: {result['total_seconds']:.1f}s, "
+              f"{result['jobs_per_second']:,.0f} jobs/s, "
+              f"peak RSS {result['peak_rss_bytes'] / 1024**2:,.0f} MiB")
+        worst_rss = max(worst_rss, result["peak_rss_bytes"])
+        if best is None or result["total_seconds"] < best["total_seconds"]:
+            best = result
+    assert best is not None
+    best["reps"] = args.reps
+    best["peak_rss_bytes"] = worst_rss
+    best["peak_rss_mib"] = round(worst_rss / 1024**2, 1)
+    return best
+
+
+def print_report(result: dict) -> None:
+    cfg = result["config"]
+    print(f"\nstream-bench: {cfg['system']} seed {cfg['seed']}, "
+          f"{result['n_jobs']:,} jobs in {result['n_chunks']} chunks "
+          f"of {cfg['chunk_jobs']:,}")
+    for stage, secs in sorted(result["stages"].items()):
+        share = secs / result["total_seconds"] if result["total_seconds"] else 0.0
+        print(f"  {stage:10s} {secs:8.2f}s  {share:5.1%}")
+    print(f"  {'total':10s} {result['total_seconds']:8.2f}s  "
+          f"{result['jobs_per_second']:,.0f} jobs/s, "
+          f"peak RSS {result['peak_rss_mib']:,.0f} MiB")
+
+
+def gate_absolute(result: dict, min_jobs_s: float, max_rss_bytes: int) -> bool:
+    """The bounded-memory contract: absolute floor + ceiling."""
+    ok = True
+    if result["jobs_per_second"] < min_jobs_s:
+        print(f"stream-bench: {result['jobs_per_second']:,.0f} jobs/s below the "
+              f"absolute floor of {min_jobs_s:,.0f}", file=sys.stderr)
+        ok = False
+    if result["peak_rss_bytes"] > max_rss_bytes:
+        print(f"stream-bench: peak RSS {result['peak_rss_bytes'] / GIB:.2f} GiB "
+              f"exceeds the {max_rss_bytes / GIB:.1f} GiB ceiling",
+              file=sys.stderr)
+        ok = False
+    return ok
+
+
+def check(result: dict, args: argparse.Namespace) -> int:
+    baseline = load_baseline(result, args.baseline, name="stream-bench")
+    if baseline is None:
+        return 2
+    ok = gate_throughput(
+        result["jobs_per_second"], baseline["jobs_per_second"],
+        args.tolerance, name="stream-bench",
+    )
+    ok &= gate_absolute(
+        result, args.min_jobs_per_second, int(args.max_rss_gib * GIB)
+    )
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--system", default="emmy", choices=("emmy", "meggie"))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--num-nodes", type=int, default=14000)
+    parser.add_argument("--num-users", type=int, default=1400)
+    parser.add_argument("--horizon-s", type=int, default=26265600,
+                        help="2x the emmy default: ~1.3M jobs (default)")
+    parser.add_argument("--max-traces", type=int, default=2000)
+    parser.add_argument("--chunk-jobs", type=int, default=100_000)
+    parser.add_argument("--compact-workers", type=int, default=1)
+    parser.add_argument("--reps", type=int, default=2,
+                        help="best-of-N repetitions (default 2)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional throughput drop for --check")
+    parser.add_argument("--min-jobs-per-second", type=float, default=15_000,
+                        help="absolute throughput floor (default 15,000)")
+    parser.add_argument("--max-rss-gib", type=float, default=2.0,
+                        help="absolute peak-RSS ceiling in GiB (default 2)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default: BENCH_stream.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the baseline and absolute limits")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline with this measurement")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write the measurement JSON here")
+    parser.add_argument("--worker", type=Path, default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--worker-config", default=None, help=argparse.SUPPRESS)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.worker is not None:
+        record = worker(json.loads(args.worker_config))
+        args.worker.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return 0
+    result = measure(args)
+    print_report(result)
+    if args.json is not None:
+        args.json.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    if args.update:
+        if not gate_absolute(
+            result, args.min_jobs_per_second, int(args.max_rss_gib * GIB)
+        ):
+            print("stream-bench: refusing to commit a baseline that fails "
+                  "the absolute gates", file=sys.stderr)
+            return 1
+        args.baseline.write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"stream-bench: wrote {args.baseline}")
+    if args.check:
+        return check(result, args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

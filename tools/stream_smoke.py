@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI smoke for the streaming dataset builder (byte-identity end to end).
+
+Drives the real CLI twice — ``repro pipeline run --stream --chunk-jobs N``
+and the monolithic equivalent — into two throwaway caches, then asserts
+the committed dataset artifacts are **byte-identical** (every file except
+``meta.json``, which carries timestamps). This is the streaming
+contract's cheapest end-to-end enforcement: same flags, same seed, same
+bytes, regardless of chunking (docs/PIPELINE.md "Streaming builds").
+
+The streaming run's manifest is written to ``--manifest`` (default
+``stream-smoke-manifest.json``) so CI can upload it when the gate fails.
+
+Usage::
+
+    python tools/stream_smoke.py              # default small shard
+    make stream-smoke                         # same, via make
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run_cli(cache_dir: Path, shard_flags: list[str], *,
+             stream: bool, chunk_jobs: int, manifest: Path | None) -> None:
+    cmd = [sys.executable, "-m", "repro", "pipeline", "run",
+           "--cache-dir", str(cache_dir), *shard_flags]
+    if stream:
+        cmd += ["--stream", "--chunk-jobs", str(chunk_jobs)]
+    if manifest is not None:
+        cmd += ["--manifest", str(manifest)]
+    subprocess.run(cmd, check=True,
+                   env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+
+
+def dataset_digest(cache_dir: Path) -> tuple[str, list[str]]:
+    """SHA-256 over the single dataset entry's files (meta.json excluded)."""
+    stage_dir = cache_dir / "dataset"
+    entries = [p for p in stage_dir.iterdir() if p.is_dir()]
+    if len(entries) != 1:
+        raise SystemExit(
+            f"stream-smoke: expected one dataset entry in {stage_dir}, "
+            f"found {len(entries)}"
+        )
+    names: list[str] = []
+    h = hashlib.sha256()
+    for path in sorted(entries[0].iterdir()):
+        if path.name == "meta.json":
+            continue
+        names.append(path.name)
+        h.update(path.name.encode())
+        h.update(path.read_bytes())
+    return h.hexdigest(), names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--system", default="emmy", choices=("emmy", "meggie"))
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--num-nodes", type=int, default=64)
+    parser.add_argument("--num-users", type=int, default=32)
+    # Sized so the default shard spans several chunks at --chunk-jobs
+    # 2000 — a single-chunk run would not cross any chunk boundary.
+    parser.add_argument("--horizon-days", type=float, default=120)
+    parser.add_argument("--max-traces", type=int, default=32)
+    parser.add_argument("--chunk-jobs", type=int, default=2000)
+    parser.add_argument("--manifest", type=Path,
+                        default=Path("stream-smoke-manifest.json"))
+    args = parser.parse_args(argv)
+
+    shard_flags = [
+        "--system", args.system, "--seed", str(args.seed),
+        "--num-nodes", str(args.num_nodes), "--num-users", str(args.num_users),
+        "--horizon-days", str(args.horizon_days),
+        "--max-traces", str(args.max_traces),
+    ]
+    tmp = Path(tempfile.mkdtemp(prefix="stream-smoke-"))
+    try:
+        _run_cli(tmp / "stream", shard_flags, stream=True,
+                 chunk_jobs=args.chunk_jobs, manifest=args.manifest)
+        _run_cli(tmp / "mono", shard_flags, stream=False,
+                 chunk_jobs=0, manifest=None)
+        stream_digest, stream_files = dataset_digest(tmp / "stream")
+        mono_digest, mono_files = dataset_digest(tmp / "mono")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    if stream_files != mono_files:
+        print(f"stream-smoke: file sets differ: streaming {stream_files} "
+              f"vs monolithic {mono_files}", file=sys.stderr)
+        return 1
+    if stream_digest != mono_digest:
+        print(f"stream-smoke: BYTE MISMATCH — streaming {stream_digest} "
+              f"vs monolithic {mono_digest} over {stream_files}",
+              file=sys.stderr)
+        return 1
+    print(f"stream-smoke: byte-identical over {stream_files} "
+          f"(sha256 {stream_digest[:16]}…, chunk_jobs={args.chunk_jobs})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
