@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint coverage bench bench-check bench-smoke serve-bench serve-bench-check serve-smoke bench-stream bench-stream-check stream-smoke chaos-soak chaos-smoke docs-check pipeline clean-cache all
+.PHONY: test lint coverage bench bench-check bench-smoke serve-bench serve-bench-check serve-smoke lifecycle-smoke bench-stream bench-stream-check stream-smoke chaos-soak chaos-smoke docs-check pipeline clean-cache all
 
 all: lint test docs-check
 
@@ -37,6 +37,11 @@ serve-smoke:         ## CI smoke: boot the forked pool, short open-loop
 	$(PYTHON) tools/serve_bench.py --num-nodes 24 --num-users 10 \
 		--horizon-days 2 --max-traces 10 --workers 2 --connections 4 \
 		--rate 50 --duration 3 --json serve-smoke.json
+
+lifecycle-smoke:     ## CI gate: feedback -> drift -> shadow -> promote ->
+                     ## rollback end to end over HTTP; journal kept on
+                     ## failure (docs/LIFECYCLE.md)
+	$(PYTHON) tools/lifecycle_smoke.py
 
 bench-stream:        ## measure the 1.3M-job streaming build, rewrite BENCH_stream.json
 	$(PYTHON) tools/stream_bench.py --update

@@ -8,7 +8,11 @@ Subcommands
                 and print paper-style summaries.
 ``predict``   — run the Fig 14/15 prediction evaluation.
 ``serve``     — run the micro-batched online prediction service
-                (docs/SERVICE.md).
+                (docs/SERVICE.md). ``--lifecycle`` attaches the
+                drift-aware model lifecycle (docs/LIFECYCLE.md), and the
+                ``serve promote`` / ``serve rollback`` /
+                ``serve history`` / ``serve replay`` verbs administer
+                the journaled version lineage offline.
 ``specs``     — print Table 1.
 ``pipeline``  — the cached, parallel experiment runner
                 (``run`` / ``run-all`` / ``status`` / ``clean``); see
@@ -117,6 +121,68 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--trace-file", type=Path, default=None,
                      help="append trace spans (JSONL) here for the whole "
                      "serve lifetime (docs/OBSERVABILITY.md)")
+    srv.add_argument("--lifecycle", action="store_true",
+                     help="attach the drift-aware model lifecycle: "
+                     "/v1/feedback, shadow evaluation, promote/rollback "
+                     "(docs/LIFECYCLE.md)")
+    srv.add_argument("--lifecycle-dir", type=Path, default=None,
+                     help="journal/feedback root (default: "
+                     "<cache>/lifecycle); implies --lifecycle")
+
+    # Lifecycle admin verbs: plain `serve` (no verb) runs the server.
+    lsub = srv.add_subparsers(
+        dest="serve_command",
+        metavar="{promote,rollback,history,replay}",
+    )
+
+    def add_lifecycle_args(p: argparse.ArgumentParser) -> None:
+        add_scale_args(p)
+        p.add_argument("--cache-dir", type=Path, default=None,
+                       help="artifact cache holding the model versions")
+        p.add_argument("--lifecycle-dir", type=Path, default=None,
+                       help="journal/feedback root (default: "
+                       "<cache>/lifecycle)")
+        p.add_argument("--who", default=None,
+                       help="who to record in the audit journal "
+                       "(default: $USER)")
+        p.add_argument("--why", default="",
+                       help="free-text reason recorded in the journal")
+
+    spro = lsub.add_parser(
+        "promote", help="flip the active model version (journaled, audited)"
+    )
+    add_lifecycle_args(spro)
+    spro.add_argument("--model", required=True,
+                      help="model name (BDT KNN FLDA online)")
+    spro.add_argument("--version", type=int, required=True,
+                      help="registered lineage version to promote")
+
+    srb = lsub.add_parser(
+        "rollback",
+        help="restore a previous version (bit-identical predictions)",
+    )
+    add_lifecycle_args(srb)
+    srb.add_argument("--model", required=True)
+    srb.add_argument("--to-version", type=int, default=None,
+                     help="target version (default: the pre-promote active)")
+
+    shis = lsub.add_parser(
+        "history", help="print the lifecycle audit journal (JSONL)"
+    )
+    add_lifecycle_args(shis)
+    shis.add_argument("--model", default=None,
+                      help="only this model's events")
+
+    srep = lsub.add_parser(
+        "replay",
+        help="feed the scenario's jobs through /v1/feedback semantics "
+        "in submit order (prequential, deterministic)",
+    )
+    add_lifecycle_args(srep)
+    srep.add_argument("--limit", type=int, default=None,
+                      help="at most this many jobs (default: all)")
+    srep.add_argument("--batch", type=int, default=256,
+                      help="feedback records per batch")
 
     sub.add_parser("specs", help="print the Table 1 system specifications")
 
@@ -302,6 +368,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
+    if getattr(args, "serve_command", None):
+        return _cmd_serve_lifecycle(args)
+
     from repro.serve import create_server
 
     if args.trace_file is not None:
@@ -326,6 +395,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             spec, workers=args.workers, host=args.host, port=args.port,
             cache_dir=args.cache_dir, max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms, warm=tuple(args.warm),
+            lifecycle=args.lifecycle, lifecycle_dir=args.lifecycle_dir,
         ) as pool:
             print(f"serving on http://{pool.address} with {args.workers} "
                   f"workers  (POST /predict, /predict/bulk; Ctrl-C stops)")
@@ -344,6 +414,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = create_server(
             spec, host=args.host, port=args.port, cache_dir=args.cache_dir,
             max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            lifecycle=args.lifecycle, lifecycle_dir=args.lifecycle_dir,
         )
         for model, state in server.service.warm(tuple(args.warm)).items():
             if state != "ok":
@@ -359,6 +430,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("\nshutting down")
         finally:
             server.close()
+    return 0
+
+
+def _cmd_serve_lifecycle(args: argparse.Namespace) -> int:
+    """``serve promote|rollback|history|replay`` — offline lifecycle admin.
+
+    These verbs operate on the shared on-disk journal + artifact cache,
+    so a running server pool (same --cache-dir) picks up promotes and
+    rollbacks within its journal poll interval; no restart needed.
+    """
+    import json as _json
+    import os
+
+    from repro.serve.lifecycle import ModelLifecycle, replay_feedback
+    from repro.serve.registry import ModelRegistry
+
+    spec = ScenarioSpec.from_args(args)
+    registry = ModelRegistry(cache_dir=args.cache_dir)
+    manager = ModelLifecycle(
+        spec, registry=registry, lifecycle_dir=args.lifecycle_dir
+    )
+    who = args.who or os.environ.get("USER", "cli")
+    verb = args.serve_command
+    from repro.errors import ServeError
+
+    try:
+        if verb == "promote":
+            event = manager.promote(
+                args.model, args.version, who=who, why=args.why
+            )
+            print(f"promoted {args.model} "
+                  f"v{event['from_version']} -> v{event['version']} "
+                  f"(scenario {spec.label})")
+        elif verb == "rollback":
+            event = manager.rollback(
+                args.model, to_version=args.to_version, who=who, why=args.why
+            )
+            print(f"rolled back {args.model} "
+                  f"v{event['from_version']} -> v{event['version']} "
+                  f"(scenario {spec.label})")
+        elif verb == "history":
+            events = manager.history(model=args.model)
+            for event in events:
+                print(_json.dumps(event, sort_keys=True))
+            if not events:
+                print(f"(no lifecycle events for scenario {spec.label})",
+                      file=sys.stderr)
+        elif verb == "replay":
+            from repro.pipeline import build_dataset
+
+            ds = build_dataset(
+                **spec.dataset_kwargs(), cache_dir=registry.cache.root
+            )
+            result = replay_feedback(
+                manager, ds.jobs, limit=args.limit, batch=args.batch
+            )
+            print(f"replayed {result['replayed']} jobs "
+                  f"(learner has seen {result['learner_jobs']}; "
+                  f"drift events: {len(result['drift_events'])})")
+        else:  # pragma: no cover - argparse restricts the choices
+            raise ServeError(f"unknown serve verb {verb!r}")
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

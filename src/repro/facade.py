@@ -91,6 +91,8 @@ def create_server(
     max_batch: int = 64,
     max_wait_ms: float = 2.0,
     warm: tuple[str, ...] = (),
+    lifecycle: bool = False,
+    lifecycle_dir=None,
     **kwargs: Any,
 ):
     """A ready micro-batched prediction server for one scenario.
@@ -98,6 +100,9 @@ def create_server(
     Thin re-export of :func:`repro.serve.create_server`; returns a
     :class:`~repro.serve.PredictionServer` (``serve_forever`` /
     ``serve_in_background`` / ``close``). See docs/SERVICE.md.
+    ``lifecycle=True`` attaches the drift-aware model lifecycle —
+    ``/v1/feedback``, shadow evaluation, and journaled
+    promote/rollback (docs/LIFECYCLE.md).
     """
     scenario_kwargs, passthrough = _split_kwargs(kwargs)
     if passthrough:
@@ -114,6 +119,8 @@ def create_server(
         max_batch=max_batch,
         max_wait_ms=max_wait_ms,
         warm=warm,
+        lifecycle=lifecycle,
+        lifecycle_dir=lifecycle_dir,
     )
 
 

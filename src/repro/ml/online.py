@@ -14,7 +14,10 @@ each job runs, and learns from it afterwards. This module provides
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -23,6 +26,10 @@ from repro.frames import Table
 from repro.ml.metrics import ErrorSummary, error_summary
 
 __all__ = ["OnlinePowerPredictor", "OnlineResult", "evaluate_online"]
+
+#: Separator joining tuple-key parts in the serialized state (never
+#: appears in user names, which come from ``u<number>`` generators).
+_KEY_SEP = "\x1f"
 
 
 class _RunningMean:
@@ -86,6 +93,81 @@ class OnlinePowerPredictor:
         self._user_nodes.setdefault((user, int(nodes)), _RunningMean()).update(power_w)
         self._user.setdefault(user, _RunningMean()).update(power_w)
         self._global.update(power_w)
+
+    # -- state serialization (lifecycle snapshots, docs/LIFECYCLE.md) ----
+
+    def state_dict(self) -> dict[str, Any]:
+        """Plain-JSON form of the full predictor state.
+
+        Floats serialize via ``repr`` (the JSON encoder's float path), so
+        :meth:`from_state_dict` restores a *bit-identical* predictor —
+        the property the lifecycle layer's promote/rollback round-trip
+        test asserts. Level keys join their parts with an unprintable
+        separator to stay JSON-able.
+        """
+
+        def dump(table: Mapping[Any, _RunningMean]) -> list[list[Any]]:
+            out = []
+            for key, stat in table.items():
+                parts = key if isinstance(key, tuple) else (key,)
+                joined = _KEY_SEP.join(str(p) for p in parts)
+                out.append([joined, stat.count, stat.mean])
+            out.sort(key=lambda row: row[0])
+            return out
+
+        return {
+            "format": 1,
+            "min_count": self.min_count,
+            "global": [self._global.count, self._global.mean],
+            "exact": dump(self._exact),
+            "user_nodes": dump(self._user_nodes),
+            "user": dump(self._user),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Mapping[str, Any]) -> "OnlinePowerPredictor":
+        """Rebuild a predictor from :meth:`state_dict` (bit-identical)."""
+        if state.get("format") != 1:
+            raise ValidationError(
+                f"unknown online-predictor state format {state.get('format')!r}"
+            )
+        predictor = cls(min_count=int(state["min_count"]))
+        count, mean = state["global"]
+        predictor._global.count = int(count)
+        predictor._global.mean = float(mean)
+
+        def load(rows, arity: int):
+            table: dict = {}
+            for joined, count, mean in rows:
+                parts = joined.split(_KEY_SEP)
+                if arity == 1:
+                    key: Any = parts[0]
+                else:
+                    key = (parts[0], *(int(p) for p in parts[1:arity]))
+                stat = _RunningMean()
+                stat.count = int(count)
+                stat.mean = float(mean)
+                table[key] = stat
+            return table
+
+        predictor._exact = load(state["exact"], 3)
+        predictor._user_nodes = load(state["user_nodes"], 2)
+        predictor._user = load(state["user"], 1)
+        return predictor
+
+    def copy(self) -> "OnlinePowerPredictor":
+        """Independent bit-identical clone (state-dict round trip)."""
+        return OnlinePowerPredictor.from_state_dict(self.state_dict())
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical state — equal iff states are equal.
+
+        Two predictors fed the same records in the same order digest
+        identically on any machine, which is how the lifecycle tests
+        assert prequential determinism without comparing predictions.
+        """
+        payload = json.dumps(self.state_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
 
 
 @dataclass(frozen=True)

@@ -420,19 +420,25 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, dict[tuple[str, ...], float]]:
         """Flat ``{name: {label-values: value}}`` of counters and gauges.
 
-        Histograms contribute their ``_count`` series. This is the form
-        the chaos auditor diffs before/after a soak, so invariants hold
-        even when earlier runs in the same process already moved the
-        process-wide counters.
+        Histograms contribute their ``_count`` *and* ``_sum`` series, so
+        a :meth:`delta` between two snapshots yields windowed means
+        (Δsum / Δcount) — the drift detector's rolling prediction-error
+        windows are exactly this. This is also the form the chaos
+        auditor diffs before/after a soak, so invariants hold even when
+        earlier runs in the same process already moved the process-wide
+        counters.
         """
         with self._lock:
             metrics = list(self._metrics.values())
         out: dict[str, dict[tuple[str, ...], float]] = {}
         for metric in metrics:
             if isinstance(metric, Histogram):
+                series = metric.series()
                 out[metric.name + "_count"] = {
-                    key: float(snap["count"])
-                    for key, snap in metric.series().items()
+                    key: float(snap["count"]) for key, snap in series.items()
+                }
+                out[metric.name + "_sum"] = {
+                    key: float(snap["sum"]) for key, snap in series.items()
                 }
             else:
                 out[metric.name] = dict(metric.series())

@@ -13,20 +13,33 @@ long-lived concurrent service rather than an offline batch evaluation:
   :class:`~repro.serve.flat_bdt.FlatBDTServable` — the fitted BDT
   flattened into contiguous arrays with a vectorized level-order
   descent (bit-identical to the object tree, ~10× the throughput);
+* :class:`~repro.serve.api.PredictRequest` /
+  :class:`~repro.serve.api.PredictResponse` /
+  :func:`~repro.serve.api.as_predict_request` — the one canonical
+  predict surface every entry point funnels through;
 * :class:`~repro.serve.service.PredictionService` — the embeddable
   facade (validation, per-request latency accounting, bulk path,
-  stats);
+  stats); :meth:`~repro.serve.service.PredictionService.predict_request`
+  is the single entry point;
+* :class:`~repro.serve.lifecycle.ModelLifecycle` /
+  :class:`~repro.serve.lifecycle.LineageJournal` /
+  :class:`~repro.serve.lifecycle.DriftDetector` — drift-aware online
+  serving: feedback ingest, shadow evaluation of candidate versions,
+  and journaled promote/rollback (docs/LIFECYCLE.md);
 * :class:`~repro.serve.http.PredictionServer` /
   :func:`~repro.serve.http.create_server` — the stdlib HTTP/JSON
-  front-end (``repro-power serve``; ``/predict``, ``/predict/bulk``,
-  ``/models``, ``/healthz``);
+  front-end (``repro-power serve``; ``/v1/predict``,
+  ``/v1/predict/bulk``, ``/v1/models``, ``/v1/healthz``,
+  ``/v1/feedback``, ``/v1/admin/*``, plus pre-``/v1`` deprecation
+  shims);
 * :class:`~repro.serve.forking.ForkingServer` — the pre-forked
   multi-process front-end: N ``SO_REUSEPORT`` workers on one port,
   fleet-aggregated ``/metrics``, supervised restarts, graceful
   shutdown (``repro-power serve --workers N``).
 
 See docs/SERVICE.md for endpoints, batching knobs, cache layout, and
-the load-generator harness (``tools/serve_bench.py``).
+the load-generator harness (``tools/serve_bench.py``); docs/LIFECYCLE.md
+covers the feedback/drift/promote loop.
 
 Every symbol resolves lazily (PEP 562) so importing :mod:`repro` or the
 CLI's bookkeeping commands never pays for numpy or the ML layer.
@@ -34,19 +47,27 @@ CLI's bookkeeping commands never pays for numpy or the ML layer.
 
 __all__ = [
     "BatchStats",
+    "DriftDetector",
     "FlatBDT",
     "FlatBDTServable",
     "ForkingServer",
     "LatencyStats",
+    "LineageJournal",
     "MeanPowerServable",
     "MicroBatcher",
+    "ModelLifecycle",
+    "ModelRef",
     "ModelRegistry",
     "OnlineServable",
+    "PredictRequest",
+    "PredictResponse",
     "PredictionServer",
     "PredictionService",
     "SERVE_MODELS",
     "WorkerConfig",
+    "as_predict_request",
     "create_server",
+    "replay_feedback",
 ]
 
 # Lazy attribute map (PEP 562): name -> defining module.
@@ -61,6 +82,14 @@ _LAZY_ATTRS = {
     "ModelRegistry": "repro.serve.registry",
     "OnlineServable": "repro.serve.registry",
     "SERVE_MODELS": "repro.serve.registry",
+    "PredictRequest": "repro.serve.api",
+    "PredictResponse": "repro.serve.api",
+    "as_predict_request": "repro.serve.api",
+    "DriftDetector": "repro.serve.lifecycle",
+    "LineageJournal": "repro.serve.lifecycle",
+    "ModelLifecycle": "repro.serve.lifecycle",
+    "ModelRef": "repro.serve.lifecycle",
+    "replay_feedback": "repro.serve.lifecycle",
     "LatencyStats": "repro.serve.service",
     "PredictionService": "repro.serve.service",
     "PredictionServer": "repro.serve.http",

@@ -1,0 +1,166 @@
+"""The one documented predict surface: ``PredictRequest`` in, ``PredictResponse`` out.
+
+Before PR 8 the serving stack had three parallel predict entry points
+(``Servable.predict_records``, ``MicroBatcher.predict/predict_many``,
+``PredictionService.predict*``) with three slightly different calling
+conventions. They all still exist — batching and vectorized inference
+are implementation layers — but every one of them now funnels through
+:meth:`repro.serve.service.PredictionService.predict_request`, which
+takes a :class:`PredictRequest` and returns a :class:`PredictResponse`.
+
+The shims mirror :func:`repro.spec.as_scenario`: existing call sites
+keep working unchanged.
+
+* :func:`as_predict_request` coerces a mapping, a bare record list, or
+  an existing request into a canonical frozen :class:`PredictRequest`;
+* :class:`PredictResponse` supports **mapping-style access**
+  (``response["predictions"]``, ``response["degraded"]``, …) so code
+  written against the old ``predict_detailed`` dicts reads it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import ServeError
+
+__all__ = ["PredictRequest", "PredictResponse", "as_predict_request"]
+
+#: The execution modes a request may name. ``batched`` submits each
+#: record to the micro-batcher (single-job requests coalesce across
+#: clients); ``bulk`` answers the caller-assembled batch with one
+#: vectorized call on the calling thread (the NDJSON path).
+PREDICT_MODES = ("batched", "bulk")
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One prediction request, in canonical frozen form.
+
+    Parameters
+    ----------
+    records:
+        The job records to predict for (each needs ``user``, ``nodes``,
+        ``req_walltime_s``). Stored as a tuple so requests are hashable
+        and immutable.
+    model:
+        Model name from :data:`repro.serve.registry.SERVE_MODELS`.
+    scenario:
+        Optional scenario override/overlay, anything
+        :meth:`PredictionService.resolve_scenario` accepts.
+    mode:
+        ``"batched"`` (default — coalescing micro-batcher) or ``"bulk"``
+        (one vectorized call, no queue).
+    timeout:
+        Per-request result timeout (batched mode only).
+    version:
+        Explicit lineage version to serve from, or ``None`` (default)
+        to resolve the active version through the lifecycle journal
+        (version 1 when no lifecycle is attached) — docs/LIFECYCLE.md.
+    """
+
+    records: tuple[Mapping[str, Any], ...]
+    model: str = "BDT"
+    scenario: Any = None
+    mode: str = "batched"
+    timeout: float | None = 30.0
+    version: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "records", tuple(self.records))
+        if self.mode not in PREDICT_MODES:
+            raise ServeError(
+                f"unknown predict mode {self.mode!r}; known: {PREDICT_MODES}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def as_predict_request(request: Any = None, /, **kwargs: Any) -> PredictRequest:
+    """Coerce anything request-shaped into a :class:`PredictRequest`.
+
+    Accepts (mirroring :func:`repro.spec.as_scenario`):
+
+    * an existing :class:`PredictRequest` (returned as-is, or replaced
+      field-wise when ``kwargs`` are given);
+    * a mapping with a ``records`` (or legacy ``jobs``) key plus any
+      other request fields;
+    * a bare sequence of record mappings, with request fields in
+      ``kwargs`` (``as_predict_request(records, model="KNN")``).
+    """
+    if isinstance(request, PredictRequest):
+        if not kwargs:
+            return request
+        from dataclasses import replace
+
+        return replace(request, **kwargs)
+    if request is None:
+        payload = dict(kwargs)
+    elif isinstance(request, Mapping):
+        payload = {**request, **kwargs}
+    else:  # a bare sequence of records
+        payload = {"records": request, **kwargs}
+    if "jobs" in payload and "records" not in payload:
+        payload["records"] = payload.pop("jobs")
+    records = payload.pop("records", None)
+    if records is None:
+        raise ServeError("a predict request needs records")
+    unknown = sorted(
+        set(payload) - {"model", "scenario", "mode", "timeout", "version"}
+    )
+    if unknown:
+        raise ServeError(f"unknown predict-request fields {unknown}")
+    return PredictRequest(records=tuple(records), **payload)
+
+
+@dataclass(frozen=True)
+class PredictResponse:
+    """One prediction response: values plus serving provenance.
+
+    Field access works both attribute-style (``response.predictions``)
+    and mapping-style (``response["predictions"]``) — the latter keeps
+    every call site written against the old ``predict_detailed`` dict
+    shape working unchanged.
+    """
+
+    predictions: Any  # np.ndarray, request order
+    degraded: bool
+    served_by: str  # model name that actually answered
+    model: str  # model name that was requested
+    version: int = 1  # lineage version that answered (1 = base)
+    latency_s: float = 0.0
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self.to_dict()[key]
+        except KeyError:
+            raise KeyError(key) from None
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.to_dict()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.to_dict())
+
+    def keys(self) -> Sequence[str]:
+        """Mapping-shim view of the response fields."""
+        return tuple(self.to_dict())
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Mapping-shim ``get``."""
+        return self.to_dict().get(key, default)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The legacy ``predict_detailed`` dict shape (plus lineage)."""
+        return {
+            "predictions": self.predictions,
+            "degraded": self.degraded,
+            "served_by": self.served_by,
+            "model": self.model,
+            "version": self.version,
+            "latency_s": self.latency_s,
+            **dict(self.extras),
+        }

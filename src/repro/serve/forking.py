@@ -88,6 +88,12 @@ class WorkerConfig:
     warm: tuple[str, ...] = ("BDT",)
     snapshot_interval_s: float = 0.5
     verbose: bool = False
+    #: Attach a ModelLifecycle in each worker. The journal lives under
+    #: ``lifecycle_dir`` (default: the shared cache's ``lifecycle/``
+    #: subtree), so every worker replays the same fsync'd event log —
+    #: a promote on any worker flips the active version pool-wide.
+    lifecycle: bool = False
+    lifecycle_dir: str | None = None
 
     def spec(self) -> ScenarioSpec:
         """The scenario the worker serves."""
@@ -138,14 +144,27 @@ def worker_main(config: WorkerConfig) -> int:
     # Imports happen here, inside the spawned child, so the parent can
     # construct WorkerConfig without touching numpy or the ML layer.
     from repro.serve.http import PredictionServer
+    from repro.serve.registry import ModelRegistry
     from repro.serve.service import PredictionService
 
     metrics_dir = Path(config.metrics_dir)
+    spec = config.spec()
+    registry = ModelRegistry(
+        cache_dir=Path(config.cache_dir) if config.cache_dir else None
+    )
+    lifecycle = None
+    if config.lifecycle or config.lifecycle_dir is not None:
+        from repro.serve.lifecycle import ModelLifecycle
+
+        lifecycle = ModelLifecycle(
+            spec, registry=registry, lifecycle_dir=config.lifecycle_dir
+        )
     service = PredictionService(
-        config.spec(),
-        cache_dir=Path(config.cache_dir) if config.cache_dir else None,
+        spec,
+        registry=registry,
         max_batch=config.max_batch,
         max_wait_s=config.max_wait_ms / 1e3,
+        lifecycle=lifecycle,
     )
     server = PredictionServer(
         service,
@@ -219,6 +238,8 @@ class ForkingServer:
         max_restarts: int = 5,
         snapshot_interval_s: float = 0.5,
         verbose: bool = False,
+        lifecycle: bool = False,
+        lifecycle_dir=None,
         **scenario_kwargs: Any,
     ) -> None:
         if workers < 1:
@@ -232,6 +253,10 @@ class ForkingServer:
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.warm = tuple(warm)
+        self.lifecycle = bool(lifecycle) or lifecycle_dir is not None
+        self.lifecycle_dir = (
+            str(lifecycle_dir) if lifecycle_dir is not None else None
+        )
         self.max_restarts = max_restarts
         self.snapshot_interval_s = snapshot_interval_s
         self.verbose = verbose
@@ -297,6 +322,8 @@ class ForkingServer:
             warm=self.warm,
             snapshot_interval_s=self.snapshot_interval_s,
             verbose=self.verbose,
+            lifecycle=self.lifecycle,
+            lifecycle_dir=self.lifecycle_dir,
         )
 
     def _spawn(self, ctx, worker_id: int) -> None:

@@ -8,23 +8,37 @@ With ``reuse_port=True`` several such servers (one per worker process)
 bind the same port and the kernel shards accepted connections across
 them — see :mod:`repro.serve.forking`.
 
-Endpoints (see docs/SERVICE.md for payloads):
+The HTTP surface is **versioned under** ``/v1/`` (see docs/API.md and
+docs/SERVICE.md for payloads):
 
-* ``GET /healthz`` — liveness + request counters + latency snapshot
+* ``GET /v1/healthz`` — liveness + request counters + latency snapshot
   (+ ``worker`` id under the forked front-end);
-* ``GET /models``  — warm models, registry counters, batcher stats;
-* ``GET /metrics`` — Prometheus text exposition; process-local by
+* ``GET /v1/models``  — per-model **lineage**: active version,
+  registered versions, shadow candidate + paired-eval evidence, drift
+  latch (docs/LIFECYCLE.md);
+* ``GET /v1/metrics`` — Prometheus text exposition; process-local by
   default, fleet-aggregated across workers when the server was given a
   ``metrics_dir`` of peer snapshots (docs/OBSERVABILITY.md);
-* ``POST /predict`` — ``{"model": "BDT", "jobs": [{"user": ...,
+* ``POST /v1/predict`` — ``{"model": "BDT", "jobs": [{"user": ...,
   "nodes": ..., "req_walltime_s": ...}, ...]}`` (or a single ``"job"``)
-  with an optional ``"scenario"`` overlay; responds with predictions in
-  request order plus per-request latency;
-* ``POST /predict/bulk`` — persistent-connection NDJSON bulk mode: one
-  job object per body line, one bare-float prediction per response
-  line. The whole body is parsed in a single pass and answered by one
-  vectorized predict (no micro-batcher), which is how high-volume
-  clients reach five-digit predictions/s.
+  with optional ``"scenario"`` overlay and ``"version"`` pin; responds
+  with predictions in request order plus per-request latency;
+* ``POST /v1/predict/bulk`` — persistent-connection NDJSON bulk mode:
+  one job object per body line, one bare-float prediction per response
+  line, answered by one vectorized predict (no micro-batcher);
+* ``POST /v1/feedback`` — observed job outcomes
+  (``{"jobs": [{..., "power_w": ...}]}``) into the lifecycle layer;
+* ``POST /v1/admin/promote`` / ``POST /v1/admin/rollback`` — flip the
+  active version (journaled, with who/why + shadow evidence);
+* ``GET /v1/admin/history`` — the audit journal.
+
+The pre-``/v1`` paths (``/healthz``, ``/models``, ``/metrics``,
+``/predict``, ``/predict/bulk``) still answer — they are **deprecation
+shims**: same handlers, plus a ``Deprecation: true`` header, a ``Link:
+…; rel="successor-version"`` pointer, and a
+``repro_http_deprecated_requests_total`` count. Legacy ``/models``
+keeps its original service-stats payload; the lineage view is
+``/v1/models`` only.
 """
 
 from __future__ import annotations
@@ -40,6 +54,7 @@ from urllib.parse import parse_qs
 from repro.errors import ReproError, ScenarioError, ServeError, ValidationError
 from repro.faults.injector import active_injector
 from repro.obs.metrics import REGISTRY, render_merged
+from repro.serve.registry import ModelRegistry
 from repro.serve.service import PredictionService
 
 __all__ = ["PredictionServer", "create_server"]
@@ -54,8 +69,27 @@ METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: The NDJSON content type the bulk endpoint speaks, both directions.
 NDJSON_CONTENT_TYPE = "application/x-ndjson"
 
-_KNOWN_ENDPOINTS = frozenset(
-    {"/healthz", "/models", "/metrics", "/predict", "/predict/bulk"}
+#: Legacy path → canonical ``/v1`` successor (the deprecation shims).
+_LEGACY_PATHS = {
+    "/healthz": "/v1/healthz",
+    "/models": "/v1/models",
+    "/metrics": "/v1/metrics",
+    "/predict": "/v1/predict",
+    "/predict/bulk": "/v1/predict/bulk",
+}
+
+_KNOWN_ENDPOINTS = frozenset(_LEGACY_PATHS) | frozenset(
+    {
+        "/v1/healthz",
+        "/v1/models",
+        "/v1/metrics",
+        "/v1/predict",
+        "/v1/predict/bulk",
+        "/v1/feedback",
+        "/v1/admin/promote",
+        "/v1/admin/rollback",
+        "/v1/admin/history",
+    }
 )
 
 _HTTP_REQUESTS = REGISTRY.counter(
@@ -67,6 +101,11 @@ _HTTP_RESPONSES = REGISTRY.counter(
     "repro_http_responses_total",
     "HTTP responses sent, by endpoint and status code.",
     labelnames=("endpoint", "status"),
+)
+_HTTP_DEPRECATED = REGISTRY.counter(
+    "repro_http_deprecated_requests_total",
+    "Requests answered through a pre-/v1 deprecation-shim path.",
+    labelnames=("endpoint",),
 )
 
 
@@ -87,18 +126,37 @@ def _float_repr(value: float) -> str:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes the three endpoints onto the shared service."""
+    """Routes the versioned endpoints (and their shims) onto the service."""
 
     server: "PredictionServer"
     protocol_version = "HTTP/1.1"
 
+    #: Set per request when the legacy path was used: the successor URL
+    #: advertised in the deprecation headers.
+    _successor: str | None = None
+
     # -- helpers ---------------------------------------------------------
+
+    def _route(self, path: str) -> str:
+        """Canonical ``/v1`` path for a request path; flags legacy use."""
+        self._successor = None
+        successor = _LEGACY_PATHS.get(path)
+        if successor is not None:
+            self._successor = successor
+            _HTTP_DEPRECATED.inc(endpoint=path)
+            return successor
+        return path
 
     def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         _HTTP_RESPONSES.inc(endpoint=_endpoint_label(self.path), status=status)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._successor is not None:
+            self.send_header("Deprecation", "true")
+            self.send_header(
+                "Link", f'<{self._successor}>; rel="successor-version"'
+            )
         if self.server.worker_id is not None:
             self.send_header("X-Worker", str(self.server.worker_id))
         self.end_headers()
@@ -133,14 +191,16 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
-        _HTTP_REQUESTS.inc(endpoint=_endpoint_label(self.path))
+        raw_path, _, query = self.path.partition("?")
+        _HTTP_REQUESTS.inc(endpoint=_endpoint_label(raw_path))
+        path = self._route(raw_path)
         service = self.server.service
-        if self.path == "/metrics":
+        if path == "/v1/metrics":
             self._send_body(
                 200, self.server.render_metrics().encode("utf-8"),
                 METRICS_CONTENT_TYPE,
             )
-        elif self.path == "/healthz":
+        elif path == "/v1/healthz":
             snap = service.latency.snapshot()
             payload = {
                 **service.health(),
@@ -153,21 +213,53 @@ class _Handler(BaseHTTPRequestHandler):
             if injector is not None:
                 payload["faults"] = injector.snapshot()
             self._send_json(200, payload)
-        elif self.path == "/models":
-            payload = service.stats()
+        elif path == "/v1/models":
+            # The legacy path keeps its original service-stats payload;
+            # the canonical path answers with the lineage view.
+            if raw_path == "/models":
+                payload = service.stats()
+            else:
+                payload = service.lineage_stats()
             if self.server.worker_id is not None:
                 payload["worker"] = self.server.worker_id
             self._send_json(200, payload)
+        elif path == "/v1/admin/history":
+            lifecycle = service.lifecycle
+            if lifecycle is None:
+                self._send_error_json(400, "lifecycle disabled on this server")
+                return
+            params = parse_qs(query)
+            model = params.get("model", [None])[0]
+            try:
+                events = lifecycle.history(model)
+            except _BAD_REQUEST_ERRORS as exc:
+                self._send_error_json(400, str(exc))
+                return
+            self._send_json(
+                200,
+                {
+                    "events": events,
+                    "journal": str(lifecycle.journal.path),
+                    "damaged_lines": lifecycle.journal.damaged_lines,
+                },
+            )
         else:
             self._send_error_json(404, f"no such endpoint {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802
-        path, _, query = self.path.partition("?")
-        _HTTP_REQUESTS.inc(endpoint=_endpoint_label(path))
-        if path == "/predict/bulk":
+        raw_path, _, query = self.path.partition("?")
+        _HTTP_REQUESTS.inc(endpoint=_endpoint_label(raw_path))
+        path = self._route(raw_path)
+        if path == "/v1/predict/bulk":
             self._post_bulk(query)
             return
-        if path != "/predict":
+        if path == "/v1/feedback":
+            self._post_feedback()
+            return
+        if path in ("/v1/admin/promote", "/v1/admin/rollback"):
+            self._post_admin(path.rsplit("/", 1)[1])
+            return
+        if path != "/v1/predict":
             self._send_error_json(404, f"no such endpoint {self.path!r}")
             return
         t0 = perf_counter()
@@ -183,8 +275,9 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ServeError('request needs "jobs": [...] or "job": {...}')
             model = payload.get("model", "BDT")
             scenario = payload.get("scenario")
-            detail = self.server.service.predict_detailed(
-                jobs, model=model, scenario=scenario
+            version = payload.get("version")
+            detail = self.server.service.predict_request(
+                jobs, model=model, scenario=scenario, version=version
             )
         except _BAD_REQUEST_ERRORS as exc:
             self._send_error_json(400, str(exc))
@@ -200,16 +293,74 @@ class _Handler(BaseHTTPRequestHandler):
             200,
             {
                 "model": model,
-                "served_by": detail["served_by"],
-                "degraded": detail["degraded"],
+                "served_by": detail.served_by,
+                "version": detail.version,
+                "degraded": detail.degraded,
                 "dataset_digest": spec.dataset_digest,
                 # repr-based JSON floats round-trip exactly: the decoded
                 # predictions are bit-identical to the in-process ones.
-                "predictions": [float(p) for p in detail["predictions"]],
-                "n": len(detail["predictions"]),
+                "predictions": [float(p) for p in detail.predictions],
+                "n": len(detail.predictions),
                 "latency_ms": round((perf_counter() - t0) * 1e3, 3),
             },
         )
+
+    def _post_feedback(self) -> None:
+        """``POST /v1/feedback``: observed outcomes into the lifecycle."""
+        try:
+            payload = self._read_json()
+            if not isinstance(payload, Mapping):
+                raise ServeError("request body must be a JSON object")
+            jobs = payload.get("jobs", payload.get("records"))
+            if not jobs or not isinstance(jobs, list):
+                raise ServeError('feedback needs "jobs": [...]')
+            outcome = self.server.service.feedback(jobs)
+        except _BAD_REQUEST_ERRORS as exc:
+            self._send_error_json(400, str(exc))
+            return
+        except ReproError as exc:
+            self._send_error_json(500, str(exc))
+            return
+        except Exception as exc:  # a handler thread must never die silently
+            self._send_error_json(500, f"internal error: {exc}")
+            return
+        self._send_json(200, outcome)
+
+    def _post_admin(self, verb: str) -> None:
+        """``POST /v1/admin/promote|rollback``: journaled version flips."""
+        lifecycle = self.server.service.lifecycle
+        if lifecycle is None:
+            self._send_error_json(400, "lifecycle disabled on this server")
+            return
+        try:
+            payload = self._read_json()
+            if not isinstance(payload, Mapping):
+                raise ServeError("request body must be a JSON object")
+            model = payload.get("model")
+            if not isinstance(model, str):
+                raise ServeError('admin request needs "model"')
+            who = str(payload.get("who", "http"))
+            why = str(payload.get("why", ""))
+            if verb == "promote":
+                version = payload.get("version")
+                if not isinstance(version, int):
+                    raise ServeError('promote needs an integer "version"')
+                event = lifecycle.promote(model, version, who=who, why=why)
+            else:
+                to_version = payload.get("to_version")
+                if to_version is not None and not isinstance(to_version, int):
+                    raise ServeError('"to_version" must be an integer')
+                event = lifecycle.rollback(model, to_version, who=who, why=why)
+        except _BAD_REQUEST_ERRORS as exc:
+            self._send_error_json(400, str(exc))
+            return
+        except ReproError as exc:
+            self._send_error_json(500, str(exc))
+            return
+        except Exception as exc:  # a handler thread must never die silently
+            self._send_error_json(500, f"internal error: {exc}")
+            return
+        self._send_json(200, {"event": event, "active": lifecycle.active_version(model)})
 
     def _post_bulk(self, query: str) -> None:
         """The NDJSON bulk mode: one job per body line, one float per
@@ -234,6 +385,14 @@ class _Handler(BaseHTTPRequestHandler):
                 scenario = json.loads(params["scenario"][0])
                 if not isinstance(scenario, Mapping):
                     raise ServeError("scenario query param must be a JSON object")
+            version = None
+            if "version" in params:
+                try:
+                    version = int(params["version"][0])
+                except ValueError:
+                    raise ServeError(
+                        "version query param must be an integer"
+                    ) from None
             raw = self._read_body()
             records: list[Any] = []
             for lineno, line in enumerate(raw.split(b"\n"), start=1):
@@ -252,8 +411,9 @@ class _Handler(BaseHTTPRequestHandler):
                 records.append(record)
             if not records:
                 raise ServeError("bulk request body has no job lines")
-            detail = self.server.service.predict_bulk(
-                records, model=model, scenario=scenario
+            detail = self.server.service.predict_request(
+                records, model=model, scenario=scenario, mode="bulk",
+                version=version,
             )
         except _BAD_REQUEST_ERRORS as exc:
             self._send_error_json(400, str(exc))
@@ -265,16 +425,22 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(500, f"internal error: {exc}")
             return
         body = "\n".join(
-            _float_repr(p) for p in detail["predictions"]
+            _float_repr(p) for p in detail.predictions
         ).encode("ascii") + b"\n"
-        _HTTP_RESPONSES.inc(endpoint="/predict/bulk", status=200)
+        _HTTP_RESPONSES.inc(endpoint=_endpoint_label(self.path), status=200)
         self.send_response(200)
         self.send_header("Content-Type", NDJSON_CONTENT_TYPE)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Model", model)
-        self.send_header("X-Served-By", detail["served_by"])
-        self.send_header("X-Degraded", "1" if detail["degraded"] else "0")
-        self.send_header("X-N", str(len(detail["predictions"])))
+        self.send_header("X-Served-By", detail.served_by)
+        self.send_header("X-Version", str(detail.version))
+        self.send_header("X-Degraded", "1" if detail.degraded else "0")
+        self.send_header("X-N", str(len(detail.predictions)))
+        if self._successor is not None:
+            self.send_header("Deprecation", "true")
+            self.send_header(
+                "Link", f'<{self._successor}>; rel="successor-version"'
+            )
         if self.server.worker_id is not None:
             self.send_header("X-Worker", str(self.server.worker_id))
         self.end_headers()
@@ -389,6 +555,8 @@ def create_server(
     max_wait_ms: float = 2.0,
     warm: tuple[str, ...] = (),
     verbose: bool = False,
+    lifecycle: bool = False,
+    lifecycle_dir=None,
     **scenario_kwargs,
 ) -> PredictionServer:
     """Build a ready-to-serve :class:`PredictionServer` for one scenario.
@@ -397,18 +565,32 @@ def create_server(
     :func:`repro.spec.as_scenario` shim, so both a
     :class:`~repro.spec.ScenarioSpec` and the legacy keyword style work.
     ``warm`` names models to train/load before the socket starts
-    answering (e.g. ``("BDT",)``). The caller owns the lifecycle: call
+    answering (e.g. ``("BDT",)``). ``lifecycle=True`` (or a
+    ``lifecycle_dir``) attaches a
+    :class:`~repro.serve.lifecycle.ModelLifecycle`, enabling
+    ``/v1/feedback``, shadow evaluation, and the admin verbs
+    (docs/LIFECYCLE.md). The caller owns the server: call
     ``serve_forever`` (or :meth:`PredictionServer.serve_in_background`)
     and :meth:`PredictionServer.close`.
     """
     from repro.spec import as_scenario
 
+    spec = as_scenario(scenario, **scenario_kwargs)
+    if registry is None:
+        registry = ModelRegistry(cache_dir=cache_dir)
+    manager = None
+    if lifecycle or lifecycle_dir is not None:
+        from repro.serve.lifecycle import ModelLifecycle
+
+        manager = ModelLifecycle(
+            spec, registry=registry, lifecycle_dir=lifecycle_dir
+        )
     service = PredictionService(
-        as_scenario(scenario, **scenario_kwargs),
+        spec,
         registry=registry,
-        cache_dir=cache_dir,
         max_batch=max_batch,
         max_wait_s=max_wait_ms / 1e3,
+        lifecycle=manager,
     )
     server = PredictionServer(service, host=host, port=port, verbose=verbose)
     if warm:

@@ -1,11 +1,26 @@
 """Model registry: trained predictors keyed by dataset content address.
 
-A served model's identity is ``(dataset digest, model name, model
-version)`` where the dataset digest is exactly the pipeline cache key of
-the scenario's ``dataset`` stage (:attr:`repro.spec.ScenarioSpec.dataset_digest`).
-Two scenarios that hash to the same dataset therefore share one trained
-model — and retraining never happens for a scenario the registry (or its
-on-disk cache) has seen.
+A served model's identity is the full lineage tuple ``(dataset digest,
+model name, code version, lineage version)``:
+
+* the **dataset digest** is exactly the pipeline cache key of the
+  scenario's ``dataset`` stage
+  (:attr:`repro.spec.ScenarioSpec.dataset_digest`) — two scenarios that
+  hash to the same dataset share trained models;
+* the **code version** (:data:`_MODEL_VERSIONS`) invalidates cached
+  artifacts when training *semantics* change;
+* the **lineage version** distinguishes successive trained states of
+  the *same* model under the lifecycle layer
+  (docs/LIFECYCLE.md): version 1 is the base artifact trained from the
+  scenario dataset, versions 2+ are immutable snapshots committed via
+  :meth:`ModelRegistry.put` (e.g. a feedback-updated online predictor).
+  Which version serves live traffic is *not* the registry's business —
+  the :class:`~repro.serve.lifecycle.LineageJournal` owns the ``active``
+  pointer; the registry only stores and retrieves immutable artifacts.
+
+Every component of the identity is threaded through **both** the warm
+LRU key and the on-disk content key, so bumping either version can
+never serve a stale warm entry (the PR-8 eviction fix).
 
 Lookup order on :meth:`ModelRegistry.get`:
 
@@ -14,9 +29,11 @@ Lookup order on :meth:`ModelRegistry.get`:
    stage of the same :class:`~repro.pipeline.ArtifactCache` the pipeline
    uses (``pipeline status`` lists them, ``pipeline clean --stage model``
    drops them);
-3. **train** — build the scenario's dataset through the cached pipeline
-   (:func:`repro.pipeline.build_dataset`), fit via the shared
-   :func:`repro.ml.fit_predictor` path, commit to the artifact cache.
+3. **train** — version 1 only: build the scenario's dataset through the
+   cached pipeline (:func:`repro.pipeline.build_dataset`), fit via the
+   shared :func:`repro.ml.fit_predictor` path, commit to the artifact
+   cache. Versions 2+ are snapshots, not re-derivable — a missing
+   artifact raises instead of silently retraining something different.
 """
 
 from __future__ import annotations
@@ -95,6 +112,16 @@ class OnlineServable:
     def __init__(self, predictor, n_train: int) -> None:
         self._predictor = predictor
         self.n_train = n_train
+
+    @property
+    def predictor(self):
+        """The wrapped :class:`~repro.ml.OnlinePowerPredictor`.
+
+        The lifecycle layer reads this to seed its live learner from the
+        active version's frozen state (a copy — the artifact itself is
+        immutable).
+        """
+        return self._predictor
 
     def predict_records(self, records: Sequence[Mapping]) -> np.ndarray:
         """Per-record hierarchical-mean lookups (O(1) each)."""
@@ -191,7 +218,10 @@ class ModelRegistry:
         self.load_retries = load_retries
         self.retry_backoff_s = retry_backoff_s
         self.cache = ArtifactCache(cache_dir if cache_dir is not None else default_cache_dir())
-        self._lru: "OrderedDict[tuple[str, str], Any]" = OrderedDict()
+        # LRU keys carry the full lineage (digest, model, code version,
+        # lineage version) — the same components as the disk key — so a
+        # version bump can never hit a stale warm entry.
+        self._lru: "OrderedDict[tuple[str, str, int, int], Any]" = OrderedDict()
         self._fallbacks: dict[str, MeanPowerServable] = {}
         self._lock = threading.RLock()
         self.hits = 0
@@ -214,32 +244,51 @@ class ModelRegistry:
             )
         return model
 
-    def model_key(self, scenario: ScenarioSpec, model: str) -> str:
-        """Content address of one (scenario dataset, model) artifact."""
+    @staticmethod
+    def check_version(version: int) -> int:
+        """Validate and return a lineage ``version`` (must be >= 1)."""
+        version = int(version)
+        if version < 1:
+            raise ServeError(f"model version must be >= 1, got {version}")
+        return version
+
+    def model_key(self, scenario: ScenarioSpec, model: str, version: int = 1) -> str:
+        """Content address of one (scenario dataset, model, version) artifact.
+
+        Version 1 (the base artifact trained from the scenario dataset)
+        keys exactly as before the lifecycle redesign, so pre-existing
+        on-disk caches stay valid; versions 2+ add the lineage field.
+        """
         from repro.pipeline.cache import content_key
 
         self.check_model_name(model)
-        return content_key(
-            {
-                "format": 1,
-                "stage": MODEL_STAGE,
-                "dataset": scenario.dataset_digest,
-                "model": model,
-                "version": _MODEL_VERSIONS[model],
-            }
-        )
+        version = self.check_version(version)
+        payload = {
+            "format": 1,
+            "stage": MODEL_STAGE,
+            "dataset": scenario.dataset_digest,
+            "model": model,
+            "version": _MODEL_VERSIONS[model],
+        }
+        if version != 1:
+            payload["lineage"] = version
+        return content_key(payload)
 
     # -- lookup / training -----------------------------------------------
 
-    def get(self, scenario, model: str = "BDT"):
-        """The fitted predictor for (scenario, model); trains on first use.
+    def get(self, scenario, model: str = "BDT", version: int = 1):
+        """The fitted predictor for (scenario, model, version).
 
         ``scenario`` is anything :func:`repro.spec.as_scenario` accepts.
+        Version 1 trains on first use; versions 2+ are immutable
+        lifecycle snapshots and raise :class:`~repro.errors.ServeError`
+        when their artifact is missing (they cannot be re-derived).
         Thread-safe; concurrent misses on the same key train once.
         """
         spec = as_scenario(scenario)
         self.check_model_name(model)
-        key = (spec.dataset_digest, model)
+        version = self.check_version(version)
+        key = (spec.dataset_digest, model, _MODEL_VERSIONS[model], version)
         with self._lock:
             servable = self._lru.get(key)
             if servable is not None:
@@ -248,14 +297,21 @@ class ModelRegistry:
                 _LOOKUPS.inc(outcome="hit")
                 return servable
             self.misses += 1
-            disk_key = self.model_key(spec, model)
+            disk_key = self.model_key(spec, model, version)
             servable = self._load_cached(disk_key) if self.use_disk else None
             if servable is None:
+                if version != 1:
+                    raise ServeError(
+                        f"model {model!r} version {version} for scenario "
+                        f"{spec.label} has no stored artifact (snapshots "
+                        "cannot be retrained; roll back to a version that "
+                        "exists)"
+                    )
                 servable = self._train(spec, model)
                 self.trained += 1
                 _LOOKUPS.inc(outcome="trained")
                 if self.use_disk:
-                    self._store(spec, model, disk_key, servable)
+                    self._store(spec, model, disk_key, servable, version)
             else:
                 _LOOKUPS.inc(outcome="disk")
             servable = self._specialize(servable, model)
@@ -263,6 +319,86 @@ class ModelRegistry:
             while len(self._lru) > self.capacity:
                 self._lru.popitem(last=False)
             return servable
+
+    def put(self, scenario, model: str, servable, version: int, meta=None):
+        """Commit an immutable lineage snapshot as ``version``.
+
+        The lifecycle layer calls this to freeze a candidate (e.g. the
+        feedback-updated online predictor) as a content-addressed
+        artifact. Versions are write-once: committing over an existing
+        version raises instead of mutating history. Returns the disk
+        key (also stored in the journal's ``register`` event as
+        ``trained_at_key``).
+        """
+        spec = as_scenario(scenario)
+        self.check_model_name(model)
+        version = self.check_version(version)
+        disk_key = self.model_key(spec, model, version)
+        key = (spec.dataset_digest, model, _MODEL_VERSIONS[model], version)
+        with self._lock:
+            exists = key in self._lru or (
+                self.use_disk and self.cache.has(MODEL_STAGE, disk_key)
+            )
+            if exists:
+                raise ServeError(
+                    f"model {model!r} version {version} already exists for "
+                    f"scenario {spec.label}; versions are immutable"
+                )
+            if self.use_disk:
+                self._store(spec, model, disk_key, servable, version, meta)
+            self._lru[key] = self._specialize(servable, model)
+            while len(self._lru) > self.capacity:
+                self._lru.popitem(last=False)
+        return disk_key
+
+    def has_version(self, scenario, model: str, version: int) -> bool:
+        """Is this lineage version available (warm or on disk)?"""
+        spec = as_scenario(scenario)
+        self.check_model_name(model)
+        version = self.check_version(version)
+        if version == 1:
+            return True  # always derivable from the frozen scenario
+        key = (spec.dataset_digest, model, _MODEL_VERSIONS[model], version)
+        with self._lock:
+            if key in self._lru:
+                return True
+            return self.use_disk and self.cache.has(
+                MODEL_STAGE, self.model_key(spec, model, version)
+            )
+
+    def versions(self, scenario, model: str) -> list[int]:
+        """Sorted lineage versions available for (scenario, model)."""
+        spec = as_scenario(scenario)
+        self.check_model_name(model)
+        found = {1}
+        with self._lock:
+            for (digest, lru_model, code, version) in self._lru:
+                if digest == spec.dataset_digest and lru_model == model and \
+                        code == _MODEL_VERSIONS[model]:
+                    found.add(version)
+        if self.use_disk:
+            try:
+                for entry in self.cache.entries(MODEL_STAGE):
+                    meta = entry.meta
+                    if (
+                        meta.get("dataset_key") == spec.dataset_digest
+                        and meta.get("model") == model
+                    ):
+                        found.add(int(meta.get("lineage_version", 1)))
+            except Exception:  # noqa: BLE001 — a damaged cache lists less
+                pass
+        return sorted(found)
+
+    def train(self, scenario, model: str):
+        """Train a fresh (unspecialized) servable from the frozen dataset.
+
+        Deterministic given the scenario: the lifecycle layer uses this
+        to mint new estimator candidates without touching the LRU or the
+        cache (committing the result is :meth:`put`'s job).
+        """
+        spec = as_scenario(scenario)
+        self.check_model_name(model)
+        return self._train(spec, model)
 
     @staticmethod
     def _specialize(servable, model: str):
@@ -305,7 +441,15 @@ class ModelRegistry:
                     time.sleep(self.retry_backoff_s * (2**attempt))
         return None
 
-    def _store(self, spec: ScenarioSpec, model: str, disk_key: str, servable) -> None:
+    def _store(
+        self,
+        spec: ScenarioSpec,
+        model: str,
+        disk_key: str,
+        servable,
+        version: int = 1,
+        meta: Mapping[str, Any] | None = None,
+    ) -> None:
         """Commit a fitted servable; a failed write never fails the get."""
         try:
             self.cache.store_pickle(
@@ -314,10 +458,13 @@ class ModelRegistry:
                 servable,
                 {
                     "config": spec.to_dict(),
-                    "label": f"{spec.label}/{model}",
+                    "label": f"{spec.label}/{model}"
+                    + (f"@v{version}" if version != 1 else ""),
                     "model": model,
                     "dataset_key": spec.dataset_digest,
+                    "lineage_version": version,
                     "n_items": servable.n_train,
+                    **dict(meta or ()),
                 },
             )
         except CacheError:
@@ -395,9 +542,10 @@ class ModelRegistry:
                 {
                     "dataset_digest": digest,
                     "model": model,
+                    "version": version,
                     "n_train": servable.n_train,
                 }
-                for (digest, model), servable in self._lru.items()
+                for (digest, model, _code, version), servable in self._lru.items()
             ]
 
     def stats(self) -> dict[str, Any]:

@@ -5,10 +5,22 @@ in-process callers (tests, the bench harness, notebooks) drive. It owns
 
 * a :class:`~repro.serve.registry.ModelRegistry` (shared, or private),
 * one :class:`~repro.serve.batching.MicroBatcher` per served
-  (dataset digest, model) pair, created lazily, and
+  (dataset digest, model, version) triple, created lazily,
+* optionally a :class:`~repro.serve.lifecycle.ModelLifecycle` — when
+  attached, requests resolve the **active** lineage version through the
+  journal, live traffic is **shadow-mirrored** to a registered candidate
+  off the hot path, and :meth:`feedback` accepts observed outcomes
+  (docs/LIFECYCLE.md), and
 * :class:`LatencyStats` — structured per-request latency accounting
   (count, exact mean, and bucket-derived p50/p99 — see
   :class:`repro.obs.metrics.Histogram`).
+
+Every public predict entry point funnels through
+:meth:`PredictionService.predict_request` — one
+:class:`~repro.serve.api.PredictRequest` in, one
+:class:`~repro.serve.api.PredictResponse` out; ``predict`` /
+``predict_detailed`` / ``predict_bulk`` are thin coercion shims kept for
+existing call sites.
 
 Requests are validated *before* they enter a batch: an unknown user (for
 the estimator models, whose category encoders are frozen at fit time)
@@ -18,6 +30,7 @@ batch-mates share.
 
 from __future__ import annotations
 
+import functools
 import threading
 import time
 from typing import Any, Mapping, Sequence
@@ -27,6 +40,7 @@ import numpy as np
 from repro.errors import ReproError, ServeError, ServiceClosed
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, REGISTRY, Histogram
 from repro.obs.tracing import trace_span
+from repro.serve.api import PredictRequest, PredictResponse, as_predict_request
 from repro.serve.batching import MicroBatcher
 from repro.serve.registry import ModelRegistry
 from repro.spec import ScenarioSpec, as_scenario
@@ -122,6 +136,12 @@ class PredictionService:
     max_batch / max_wait_s / max_queue:
         Batching knobs, passed to every per-model
         :class:`~repro.serve.batching.MicroBatcher`.
+    lifecycle:
+        An optional :class:`~repro.serve.lifecycle.ModelLifecycle` for
+        the same scenario (and sharing this service's registry). When
+        set, requests without an explicit ``version`` serve the
+        journal's active version, live responses are mirrored to the
+        shadow candidate, and :meth:`feedback` ingests outcomes.
     """
 
     def __init__(
@@ -132,14 +152,17 @@ class PredictionService:
         max_batch: int = 64,
         max_wait_s: float = 0.002,
         max_queue: int = 4096,
+        lifecycle=None,
     ) -> None:
         self.scenario = as_scenario(scenario)
         self.registry = registry or ModelRegistry(cache_dir=cache_dir)
+        self.lifecycle = lifecycle
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
         self.max_queue = max_queue
         self.latency = LatencyStats()
-        self._batchers: dict[tuple[str, str], MicroBatcher] = {}
+        self._batchers: dict[tuple[str, str, int], MicroBatcher] = {}
+        self._shadow_pending: set[tuple[str, str, int]] = set()
         self._lock = threading.Lock()
         self._started = time.monotonic()
         self._closed = False
@@ -148,24 +171,44 @@ class PredictionService:
 
     # -- plumbing --------------------------------------------------------
 
-    def _batcher(self, spec: ScenarioSpec, model: str) -> MicroBatcher:
-        """The lazily created micro-batcher for one (scenario, model)."""
-        servable = self.registry.get(spec, model)  # outside our lock: may train
-        key = (spec.dataset_digest, model)
+    def _batcher(
+        self, spec: ScenarioSpec, model: str, version: int = 1
+    ) -> MicroBatcher:
+        """The lazily created batcher for one (scenario, model, version)."""
+        # Outside our lock: may train (v1) or load a snapshot artifact.
+        servable = self.registry.get(spec, model, version=version)
+        key = (spec.dataset_digest, model, version)
         with self._lock:
             if self._closed:
                 raise ServiceClosed("service is closed")
             batcher = self._batchers.get(key)
             if batcher is None:
+                suffix = f".v{version}" if version != 1 else ""
                 batcher = MicroBatcher(
                     servable.predict_records,
                     max_batch=self.max_batch,
                     max_wait_s=self.max_wait_s,
                     max_queue=self.max_queue,
-                    name=f"{model}@{key[0][:8]}",
+                    name=f"{model}{suffix}@{key[0][:8]}",
                 )
                 self._batchers[key] = batcher
             return batcher
+
+    def _resolve_version(self, spec: ScenarioSpec, model: str, explicit) -> int:
+        """The lineage version a request serves from.
+
+        An explicit request version wins; otherwise the lifecycle
+        journal's active pointer (for the service's own scenario — an
+        overlayed scenario has no lifecycle state and serves version 1).
+        """
+        if explicit is not None:
+            return self.registry.check_version(explicit)
+        if (
+            self.lifecycle is not None
+            and spec.dataset_digest == self.scenario.dataset_digest
+        ):
+            return self.lifecycle.active_version(model)
+        return 1
 
     def _validate(self, records: Sequence[Mapping], servable) -> None:
         for i, record in enumerate(records):
@@ -196,6 +239,46 @@ class PredictionService:
 
     # -- request surface -------------------------------------------------
 
+    def predict_request(
+        self, request: Any = None, /, **kwargs: Any
+    ) -> PredictResponse:
+        """The one predict entry point: request object in, response out.
+
+        Accepts anything :func:`~repro.serve.api.as_predict_request`
+        coerces (an existing :class:`~repro.serve.api.PredictRequest`, a
+        mapping, or ``records=... model=...`` keywords). ``batched``
+        mode submits each record to the coalescing micro-batcher;
+        ``bulk`` answers the caller-assembled batch with one vectorized
+        call on the calling thread — bit-identical outputs for the same
+        rows. When the registry cannot produce the requested model
+        (training keeps failing under faults), the request is answered
+        by the mean-power baseline and flagged ``degraded`` instead of
+        erroring — caller mistakes (unknown model/user, malformed
+        fields, an overloaded or closed batcher) still raise.
+        """
+        request = as_predict_request(request, **kwargs)
+        _REQUESTS.inc()
+        bulk = request.mode == "bulk"
+        if bulk:
+            _BULK.inc()
+            _BULK_SIZE.observe(len(request))
+        t0 = time.perf_counter()
+        span_name = "serve.predict_bulk" if bulk else "serve.predict"
+        with trace_span(
+            span_name, model=request.model, n_records=len(request)
+        ) as span:
+            try:
+                result = self._predict_checked(request, t0)
+            except Exception:
+                _OUTCOMES.inc(outcome="failed")
+                raise
+            outcome = "degraded" if result.degraded else "ok"
+            _OUTCOMES.inc(outcome=outcome)
+            _LATENCY.observe(time.perf_counter() - t0)
+            if span is not None:
+                span.set(outcome=outcome)
+        return result
+
     def predict(
         self,
         records: Sequence[Mapping],
@@ -205,14 +288,15 @@ class PredictionService:
     ) -> np.ndarray:
         """Micro-batched predictions for request-order ``records``.
 
-        Each record is submitted individually, so concurrent callers'
-        single-job requests coalesce into shared vectorized calls.
-        ``scenario`` overrides the service default for this request only
-        (a mapping overlays just the fields it names).
+        Coercion shim over :meth:`predict_request`: each record is
+        submitted individually, so concurrent callers' single-job
+        requests coalesce into shared vectorized calls. ``scenario``
+        overrides the service default for this request only (a mapping
+        overlays just the fields it names).
         """
-        return self.predict_detailed(
+        return self.predict_request(
             records, model=model, scenario=scenario, timeout=timeout
-        )["predictions"]
+        ).predictions
 
     def predict_detailed(
         self,
@@ -220,95 +304,53 @@ class PredictionService:
         model: str = "BDT",
         scenario: "ScenarioSpec | Mapping | None" = None,
         timeout: float | None = 30.0,
-    ) -> dict[str, Any]:
-        """:meth:`predict` plus degraded-mode accounting.
+    ) -> PredictResponse:
+        """:meth:`predict` plus degraded-mode accounting (shim).
 
-        Returns ``{"predictions": ndarray, "degraded": bool,
-        "served_by": model name}``. When the registry cannot produce the
-        requested model (training keeps failing under faults), the
-        request is answered by the registry's mean-power baseline and
-        flagged ``degraded: true`` instead of erroring — caller mistakes
-        (unknown model/user, malformed fields, an overloaded or closed
-        batcher) still raise exactly as before.
+        Returns a :class:`~repro.serve.api.PredictResponse`, which also
+        reads like the legacy ``{"predictions", "degraded",
+        "served_by"}`` dict.
         """
-        _REQUESTS.inc()
-        t0 = time.perf_counter()
-        with trace_span(
-            "serve.predict", model=model, n_records=len(records)
-        ) as span:
-            try:
-                result = self._predict_checked(
-                    records, model, scenario, timeout, t0
-                )
-            except Exception:
-                _OUTCOMES.inc(outcome="failed")
-                raise
-            outcome = "degraded" if result["degraded"] else "ok"
-            _OUTCOMES.inc(outcome=outcome)
-            _LATENCY.observe(time.perf_counter() - t0)
-            if span is not None:
-                span.set(outcome=outcome)
-        return result
+        return self.predict_request(
+            records, model=model, scenario=scenario, timeout=timeout
+        )
 
     def predict_bulk(
         self,
         records: Sequence[Mapping],
         model: str = "BDT",
         scenario: "ScenarioSpec | Mapping | None" = None,
-    ) -> dict[str, Any]:
-        """One vectorized predict for a caller-assembled batch.
+    ) -> PredictResponse:
+        """One vectorized predict for a caller-assembled batch (shim).
 
         The high-volume path behind ``POST /predict/bulk``: the request
         already *is* a batch, so it skips the micro-batcher entirely —
-        no queue, no futures, no straggler wait — and calls the
-        servable's vectorized predict directly on the calling thread.
-        Outputs are bit-identical to :meth:`predict` for the same rows
-        (both paths end in the same ``predict_records``); degraded-mode
-        fallback and the request/outcome metric invariant behave exactly
-        like the single-record path.
+        no queue, no futures, no straggler wait.
         """
-        _REQUESTS.inc()
-        _BULK.inc()
-        _BULK_SIZE.observe(len(records))
-        t0 = time.perf_counter()
-        with trace_span(
-            "serve.predict_bulk", model=model, n_records=len(records)
-        ) as span:
-            try:
-                result = self._predict_checked(
-                    records, model, scenario, None, t0, bulk=True
-                )
-            except Exception:
-                _OUTCOMES.inc(outcome="failed")
-                raise
-            outcome = "degraded" if result["degraded"] else "ok"
-            _OUTCOMES.inc(outcome=outcome)
-            _LATENCY.observe(time.perf_counter() - t0)
-            if span is not None:
-                span.set(outcome=outcome)
-        return result
+        return self.predict_request(
+            records, model=model, scenario=scenario, mode="bulk"
+        )
 
-    def _predict_checked(
-        self,
-        records: Sequence[Mapping],
-        model: str,
-        scenario: "ScenarioSpec | Mapping | None",
-        timeout: float | None,
-        t0: float,
-        bulk: bool = False,
-    ) -> dict[str, Any]:
+    def _predict_checked(self, request: PredictRequest, t0: float) -> PredictResponse:
+        records = request.records
+        model = request.model
         if not records:
             raise ServeError("predict needs at least one record")
-        spec = self.resolve_scenario(scenario)
+        spec = self.resolve_scenario(request.scenario)
         self.registry.check_model_name(model)
+        version = self._resolve_version(spec, model, request.version)
         try:
-            servable = self.registry.get(spec, model)
+            servable = self.registry.get(spec, model, version=version)
         except ServiceClosed:
             raise
         except ReproError:
-            return self._predict_degraded(spec, records, t0)
+            if request.version is not None:
+                # The caller pinned a version that cannot be served —
+                # that's their mistake (400), not a degrade case.
+                raise
+            return self._predict_degraded(request, spec, t0)
         self._validate(records, servable)
-        if bulk:
+        if request.mode == "bulk":
             with self._lock:
                 if self._closed:
                     raise ServiceClosed("service is closed")
@@ -316,33 +358,119 @@ class PredictionService:
             # so concurrent bulk calls need no serialization.
             values = servable.predict_records(records)
         else:
-            batcher = self._batcher(spec, model)
-            values = batcher.predict_many(records, timeout=timeout)
+            batcher = self._batcher(spec, model, version)
+            values = batcher.predict_many(records, timeout=request.timeout)
         with self._lock:
             self._degraded_active = False
         self.latency.record(time.perf_counter() - t0)
-        return {
-            "predictions": np.asarray(values, dtype=float),
-            "degraded": False,
-            "served_by": servable.model_name,
-        }
+        values = np.asarray(values, dtype=float)
+        self._maybe_mirror(spec, model, version, records, values)
+        return PredictResponse(
+            predictions=values,
+            degraded=False,
+            served_by=servable.model_name,
+            model=model,
+            version=version,
+        )
 
     def _predict_degraded(
-        self, spec: ScenarioSpec, records: Sequence[Mapping], t0: float
-    ) -> dict[str, Any]:
+        self, request: PredictRequest, spec: ScenarioSpec, t0: float
+    ) -> PredictResponse:
         """Answer from the mean-power baseline; flag it in the response."""
         servable = self.registry.fallback(spec)
-        self._validate(records, servable)  # field checks still apply
-        values = servable.predict_records(records)
+        self._validate(request.records, servable)  # field checks still apply
+        values = servable.predict_records(request.records)
         with self._lock:
             self.n_degraded += 1
             self._degraded_active = True
         self.latency.record(time.perf_counter() - t0)
-        return {
-            "predictions": np.asarray(values, dtype=float),
-            "degraded": True,
-            "served_by": servable.model_name,
-        }
+        return PredictResponse(
+            predictions=np.asarray(values, dtype=float),
+            degraded=True,
+            served_by=servable.model_name,
+            model=request.model,
+            version=1,
+        )
+
+    # -- shadow evaluation (docs/LIFECYCLE.md) ---------------------------
+
+    def _maybe_mirror(
+        self,
+        spec: ScenarioSpec,
+        model: str,
+        version: int,
+        records: Sequence[Mapping],
+        values: np.ndarray,
+    ) -> None:
+        """Mirror a live response to the shadow candidate, off the hot path.
+
+        Strictly fire-and-forget: records are enqueued on the
+        *candidate's* micro-batcher (never the live one) and the paired
+        live/candidate deltas are folded in by done-callbacks on the
+        candidate batcher's worker thread. If the candidate's batcher
+        does not exist yet, it is built by a background thread and this
+        request's mirror is skipped — the live path never trains, loads,
+        or waits for a shadow model. Failures only ever count drops.
+        """
+        lifecycle = self.lifecycle
+        if lifecycle is None:
+            return
+        try:
+            if spec.dataset_digest != self.scenario.dataset_digest:
+                return
+            candidate = lifecycle.candidate_version(model)
+            if candidate is None or candidate == version:
+                return
+            key = (spec.dataset_digest, model, candidate)
+            with self._lock:
+                batcher = self._batchers.get(key)
+                if batcher is None:
+                    if self._closed or key in self._shadow_pending:
+                        return
+                    self._shadow_pending.add(key)
+            if batcher is None:
+                threading.Thread(
+                    target=self._prepare_shadow,
+                    args=(spec, model, candidate, key),
+                    name=f"shadow-warm-{model}-v{candidate}",
+                    daemon=True,
+                ).start()
+                return
+            for record, live in zip(records, values):
+                try:
+                    future = batcher.submit(record)
+                except ReproError:
+                    lifecycle.count_shadow_drop(model)
+                    continue
+                future.add_done_callback(
+                    functools.partial(lifecycle.record_shadow, model, float(live))
+                )
+        except Exception:  # noqa: BLE001 — shadowing must never break live
+            pass
+
+    def _prepare_shadow(self, spec, model, version, key) -> None:
+        """Background build of a shadow candidate's batcher (loads artifact)."""
+        try:
+            self._batcher(spec, model, version)
+        except Exception:  # noqa: BLE001 — a missing snapshot just drops
+            if self.lifecycle is not None:
+                self.lifecycle.count_shadow_drop(model)
+        finally:
+            with self._lock:
+                self._shadow_pending.discard(key)
+
+    def feedback(self, records: Sequence[Mapping]) -> dict[str, Any]:
+        """Ingest observed job outcomes through the lifecycle layer.
+
+        Raises :class:`~repro.errors.ServeError` when the service was
+        built without a lifecycle (docs/LIFECYCLE.md).
+        """
+        if self.lifecycle is None:
+            raise ServeError(
+                "feedback needs a lifecycle-enabled service "
+                "(pass lifecycle= or serve with --lifecycle)"
+            )
+        return self.lifecycle.feedback(records)
 
     def predict_one(
         self,
@@ -388,7 +516,8 @@ class PredictionService:
         for model in models:
             self.registry.check_model_name(model)
             try:
-                self._batcher(self.scenario, model)
+                version = self._resolve_version(self.scenario, model, None)
+                self._batcher(self.scenario, model, version)
             except ServiceClosed:
                 raise
             except ReproError as exc:
@@ -426,8 +555,9 @@ class PredictionService:
         """Structured service state: scenario, registry, batchers, latency."""
         with self._lock:
             batchers = {
-                f"{model}@{digest[:12]}": b.stats.snapshot()
-                for (digest, model), b in self._batchers.items()
+                f"{model}{f'.v{version}' if version != 1 else ''}@{digest[:12]}":
+                    b.stats.snapshot()
+                for (digest, model, version), b in self._batchers.items()
             }
         return {
             "scenario": self.scenario.to_dict(),
@@ -444,6 +574,51 @@ class PredictionService:
                 "max_wait_ms": self.max_wait_s * 1e3,
                 "max_queue": self.max_queue,
             },
+            "lifecycle": (
+                self.lifecycle.summary() if self.lifecycle is not None else None
+            ),
+        }
+
+    def lineage_stats(self) -> dict[str, Any]:
+        """The ``/v1/models`` payload: per-model lineage + shadow state.
+
+        With a lifecycle attached this is journal-derived (active
+        pointer, registered versions, candidate, shadow evidence, drift
+        latch); without one it reduces to the warm registry view with
+        everything at version 1.
+        """
+        if self.lifecycle is not None:
+            models = self.lifecycle.lineage()
+            lifecycle = self.lifecycle.summary()
+        else:
+            warm = {
+                (row["dataset_digest"], row["model"]): row
+                for row in self.registry.loaded()
+            }
+            models = [
+                {
+                    "model": model,
+                    "active": 1,
+                    "versions": [1],
+                    "candidate": None,
+                    "trained_at_key": self.registry.model_key(
+                        self.scenario, model, 1
+                    ),
+                    "shadow": None,
+                    "drift": False,
+                    "warm": (self.scenario.dataset_digest, model) in warm,
+                }
+                for model in sorted(
+                    {m for (_d, m, _v) in self._batchers}
+                    | {row["model"] for row in self.registry.loaded()}
+                )
+            ]
+            lifecycle = None
+        return {
+            "scenario": self.scenario.to_dict(),
+            "dataset_digest": self.scenario.dataset_digest,
+            "models": models,
+            "lifecycle": lifecycle,
         }
 
     def close(self) -> None:

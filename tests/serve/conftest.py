@@ -43,3 +43,21 @@ def tiny_records(tiny_spec, serve_cache) -> list[dict]:
         }
         for i in range(min(32, len(jobs)))
     ]
+
+
+@pytest.fixture(scope="session")
+def feedback_records(tiny_spec, serve_cache) -> list[dict]:
+    """Observed-outcome records (with power) for the lifecycle feedback loop."""
+    from repro.pipeline import build_dataset
+
+    dataset = build_dataset(**tiny_spec.dataset_kwargs(), cache_dir=serve_cache)
+    jobs = dataset.jobs.sort_by("submit_s")
+    return [
+        {
+            "user": str(jobs["user"][i]),
+            "nodes": int(jobs["nodes"][i]),
+            "req_walltime_s": int(jobs["req_walltime_s"][i]),
+            "power_w": float(jobs["pernode_power_w"][i]),
+        }
+        for i in range(min(80, len(jobs)))
+    ]

@@ -1,0 +1,233 @@
+"""The /v1 HTTP surface, deprecation shims, and the canonical API pair.
+
+Covers the api_redesign contract: one ``PredictRequest`` in /
+``PredictResponse`` out pair behind every entry point (with
+``as_scenario``-style coercion shims), a versioned ``/v1`` HTTP
+namespace whose legacy paths answer through instrumented deprecation
+shims, and the lifecycle admin endpoints.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    PredictRequest,
+    PredictResponse,
+    as_predict_request,
+    create_server,
+)
+
+RECORD = {"user": "user001", "nodes": 2, "req_walltime_s": 600}
+
+
+# -- request coercion shims ----------------------------------------------
+
+
+def test_as_predict_request_passthrough_and_replace():
+    req = PredictRequest(records=(RECORD,), model="online")
+    assert as_predict_request(req) is req
+    replaced = as_predict_request(req, model="KNN")
+    assert replaced.model == "KNN" and replaced.records == req.records
+
+
+def test_as_predict_request_accepts_bare_record_sequences():
+    req = as_predict_request([RECORD, RECORD], model="online", timeout=5.0)
+    assert len(req) == 2
+    assert req.model == "online" and req.timeout == 5.0
+    assert req.mode == "batched" and req.version is None
+
+
+def test_as_predict_request_accepts_legacy_jobs_mapping():
+    req = as_predict_request({"jobs": [RECORD], "model": "online"})
+    assert req.records == (RECORD,)
+
+
+def test_as_predict_request_rejects_unknown_fields():
+    with pytest.raises(ServeError, match="unknown predict-request fields"):
+        as_predict_request({"records": [RECORD], "modle": "BDT"})
+    with pytest.raises(ServeError, match="needs records"):
+        as_predict_request({})
+    with pytest.raises(ServeError, match="unknown predict mode"):
+        PredictRequest(records=(RECORD,), mode="streaming")
+
+
+def test_predict_response_mapping_shim():
+    resp = PredictResponse(
+        predictions=np.array([1.0]), degraded=False, served_by="online",
+        model="online", version=3, latency_s=0.01, extras={"n": 1},
+    )
+    # Old call sites read predict_detailed() dicts; the shim keeps them.
+    assert resp["served_by"] == "online" and resp["n"] == 1
+    assert resp.get("missing") is None
+    assert "degraded" in resp and set(resp.keys()) >= {"predictions", "version"}
+    assert dict(resp.to_dict())["version"] == 3
+    with pytest.raises(KeyError):
+        resp["nope"]
+
+
+# -- the /v1 surface over HTTP -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def v1_server(tiny_spec, serve_cache, tmp_path_factory):
+    server = create_server(
+        tiny_spec,
+        cache_dir=serve_cache,
+        lifecycle_dir=tmp_path_factory.mktemp("v1-lifecycle"),
+        warm=("online",),
+        max_wait_ms=1.0,
+    )
+    server.serve_in_background()
+    yield server
+    server.close()
+
+
+def _request(server, method, path, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    body = None if payload is None else json.dumps(payload).encode()
+    conn.request(method, path, body=body,
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    raw = response.read()
+    conn.close()
+    return response.status, dict(response.headers), raw
+
+
+def _json(server, method, path, payload=None):
+    status, headers, raw = _request(server, method, path, payload)
+    return status, headers, json.loads(raw)
+
+
+def test_v1_healthz_and_legacy_shim(v1_server):
+    status, headers, body = _json(v1_server, "GET", "/v1/healthz")
+    assert status == 200 and body["status"] == "ok"
+    assert "Deprecation" not in headers
+
+    status, headers, legacy = _json(v1_server, "GET", "/healthz")
+    assert status == 200 and legacy["status"] == "ok"
+    assert headers["Deprecation"] == "true"
+    assert 'rel="successor-version"' in headers["Link"]
+    assert "/v1/healthz" in headers["Link"]
+
+
+def test_legacy_requests_tick_the_deprecation_counter(v1_server):
+    _json(v1_server, "GET", "/healthz")
+    _, _, raw = _request(v1_server, "GET", "/v1/metrics")
+    exposition = raw.decode()
+    assert "repro_http_deprecated_requests_total" in exposition
+    line = next(
+        l for l in exposition.splitlines()
+        if l.startswith("repro_http_deprecated_requests_total")
+        and 'endpoint="/healthz"' in l
+    )
+    assert float(line.rsplit(" ", 1)[1]) >= 1
+
+
+def test_v1_models_is_the_lineage_view(v1_server):
+    status, _, body = _json(v1_server, "GET", "/v1/models")
+    assert status == 200
+    assert body["dataset_digest"]
+    rows = {row["model"]: row for row in body["models"]}
+    assert set(rows) >= {"BDT", "KNN", "FLDA", "online"}
+    online = rows["online"]
+    assert online["active"] == 1 and 1 in online["versions"]
+    assert {"candidate", "shadow", "drift", "trained_at_key"} <= set(online)
+
+    # The legacy /models payload keeps its pre-/v1 stats shape.
+    status, headers, legacy = _json(v1_server, "GET", "/models")
+    assert status == 200 and headers["Deprecation"] == "true"
+    assert "batchers" in legacy and "registry" in legacy
+
+
+def test_v1_predict_carries_the_lineage_version(v1_server, tiny_records):
+    payload = {"model": "online", "jobs": tiny_records[:4]}
+    status, _, body = _json(v1_server, "POST", "/v1/predict", payload)
+    assert status == 200
+    assert body["version"] == 1 and len(body["predictions"]) == 4
+
+    status, _, pinned = _json(
+        v1_server, "POST", "/v1/predict", {**payload, "version": 1}
+    )
+    assert status == 200 and pinned["predictions"] == body["predictions"]
+
+    status, _, err = _json(
+        v1_server, "POST", "/v1/predict", {**payload, "version": 99}
+    )
+    assert status == 400 and "no stored artifact" in err["error"]
+
+
+def test_v1_bulk_headers(v1_server, tiny_records):
+    body = "\n".join(json.dumps(r) for r in tiny_records[:3]).encode()
+    conn = http.client.HTTPConnection("127.0.0.1", v1_server.port, timeout=30)
+    conn.request("POST", "/v1/predict/bulk?model=online", body=body,
+                 headers={"Content-Type": "application/x-ndjson"})
+    response = conn.getresponse()
+    lines = response.read().decode().splitlines()
+    headers = dict(response.headers)
+    conn.close()
+    assert response.status == 200 and len(lines) == 3
+    assert headers["X-Version"] == "1" and "Deprecation" not in headers
+
+
+def test_v1_feedback_and_admin_round_trip(v1_server, feedback_records):
+    manager = v1_server.service.lifecycle
+    status, _, out = _json(v1_server, "POST", "/v1/feedback",
+                           {"jobs": feedback_records[:8]})
+    assert status == 200 and out["accepted"] == 8
+
+    status, _, err = _json(v1_server, "POST", "/v1/feedback", {"jobs": []})
+    assert status == 400 and "error" in err
+
+    version = manager.create_candidate("online", who="test", why="api")
+    status, _, out = _json(
+        v1_server, "POST", "/v1/admin/promote",
+        {"model": "online", "version": version, "who": "test", "why": "api"},
+    )
+    assert status == 200 and out["active"] == version
+
+    status, _, hist = _json(v1_server, "GET", "/v1/admin/history?model=online")
+    assert status == 200
+    events = [e["event"] for e in hist["events"]]
+    assert events[-2:] == ["register", "promote"]
+    assert hist["events"][-1]["who"] == "test"
+
+    status, _, out = _json(v1_server, "POST", "/v1/admin/rollback",
+                           {"model": "online", "who": "test"})
+    assert status == 200 and out["active"] == 1
+
+    status, _, models = _json(v1_server, "GET", "/v1/models")
+    online = next(r for r in models["models"] if r["model"] == "online")
+    assert online["active"] == 1
+
+
+def test_admin_promote_validation(v1_server):
+    status, _, err = _json(v1_server, "POST", "/v1/admin/promote",
+                           {"model": "online"})
+    assert status == 400 and "version" in err["error"]
+    status, _, err = _json(v1_server, "POST", "/v1/admin/promote",
+                           {"model": "online", "version": 1})
+    assert status == 400  # already active
+
+
+def test_lifecycle_endpoints_disabled_without_lifecycle(
+    tiny_spec, serve_cache
+):
+    server = create_server(tiny_spec, cache_dir=serve_cache)
+    server.serve_in_background()
+    try:
+        status, _, err = _json(server, "POST", "/v1/feedback",
+                               {"jobs": [dict(RECORD, power_w=100.0)]})
+        assert status == 400 and "lifecycle" in err["error"]
+        status, _, err = _json(server, "POST", "/v1/admin/promote",
+                               {"model": "online", "version": 2})
+        assert status == 400 and "lifecycle" in err["error"]
+        status, _, err = _json(server, "GET", "/v1/admin/history")
+        assert status == 400 and "lifecycle" in err["error"]
+    finally:
+        server.close()

@@ -11,9 +11,10 @@ Also checks the ``repro.pipeline.__all__`` surface for docstrings and
 coverage in docs/PIPELINE.md, and that every module listed in the
 package docstring's layer map has a module docstring; that every
 top-level module under ``src/repro`` appears in
-docs/ARCHITECTURE.md's module index; and that the serving surface
-(``repro.serve.__all__``) is covered by docs/SERVICE.md. Run via
-``make docs-check``.
+docs/ARCHITECTURE.md's module index; that the serving surface
+(``repro.serve.__all__``) is covered by docs/SERVICE.md; and that the
+model-lifecycle surface (``repro.serve.lifecycle.__all__``) is covered
+by docs/LIFECYCLE.md. Run via ``make docs-check``.
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ FAULTS_DOC = REPO_ROOT / "docs" / "FAULTS.md"
 OBS_DOC = REPO_ROOT / "docs" / "OBSERVABILITY.md"
 ARCH_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
 SERVICE_DOC = REPO_ROOT / "docs" / "SERVICE.md"
+LIFECYCLE_DOC = REPO_ROOT / "docs" / "LIFECYCLE.md"
 PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
 
 
@@ -117,6 +119,15 @@ def check_service_doc() -> list[str]:
     return [name for name in module.__all__ if name not in text]
 
 
+def check_lifecycle_doc() -> list[str]:
+    """The model-lifecycle surface must be covered by docs/LIFECYCLE.md."""
+    if not LIFECYCLE_DOC.is_file():
+        return ["docs/LIFECYCLE.md is missing entirely"]
+    text = LIFECYCLE_DOC.read_text()
+    module = importlib.import_module("repro.serve.lifecycle")
+    return [name for name in module.__all__ if name not in text]
+
+
 def main() -> int:
     problems: list[str] = []
     for module_name in ("repro", "repro.pipeline", "repro.faults", "repro.obs",
@@ -135,6 +146,10 @@ def main() -> int:
         problems.append(f"absent from docs/ARCHITECTURE.md: repro.{name}")
     for name in check_service_doc():
         problems.append(f"absent from docs/SERVICE.md: repro.serve.{name}")
+    for name in check_lifecycle_doc():
+        problems.append(
+            f"absent from docs/LIFECYCLE.md: repro.serve.lifecycle.{name}"
+        )
 
     if problems:
         print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
