@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint coverage bench bench-check bench-smoke serve-bench serve-bench-check serve-smoke lifecycle-smoke bench-stream bench-stream-check stream-smoke chaos-soak chaos-smoke docs-check pipeline clean-cache all
+.PHONY: test lint coverage bench bench-check bench-smoke serve-bench serve-bench-check serve-smoke lifecycle-smoke bench-stream bench-stream-check stream-smoke chaos-soak chaos-smoke incidents-smoke incidents-bench incidents-bench-check docs-check pipeline clean-cache all
 
 all: lint test docs-check
 
@@ -60,6 +60,17 @@ chaos-soak:          ## fault-injection soak: 0 lost requests, all points fire
 
 chaos-smoke:         ## CI gate: short seeded chaos run (same audit, ~30s)
 	$(PYTHON) tools/chaos_soak.py --duration 6
+
+incidents-smoke:     ## CI gate: 2-scenario graded incident run (control +
+                     ## cache-corrupt) with a digest-determinism check;
+                     ## bundles kept in .incidents-smoke (docs/INCIDENTS.md)
+	$(PYTHON) tools/incidents_smoke.py
+
+incidents-bench:     ## run the full incident catalog, rewrite SCORECARD_incidents.json
+	$(PYTHON) tools/incidents_bench.py
+
+incidents-bench-check: ## verify the committed scorecard still reproduces
+	$(PYTHON) tools/incidents_bench.py --check
 
 docs-check:          ## every public symbol has a docstring and an API.md entry
 	$(PYTHON) tools/docs_check.py

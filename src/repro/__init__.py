@@ -21,6 +21,10 @@ The package has four layers:
 6. **Serving** — :mod:`repro.serve`, the online prediction service
    (micro-batched model serving behind ``repro-power serve``; see
    docs/SERVICE.md).
+7. **Incidents** — :mod:`repro.incidents`, the auto-graded chaos
+   incident benchmark over the served system (scenario catalog,
+   recorded bundles, baseline detectors, scorecard gates; see
+   docs/INCIDENTS.md).
 
 The canonical scenario description is :class:`repro.ScenarioSpec` — one
 frozen object (system, seed, scale, horizon) shared by the CLI flags,

@@ -33,12 +33,13 @@ same scenario description.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 from pathlib import Path
 
-from repro.errors import ObsError, PipelineError
+from repro.errors import IncidentError, ObsError, PipelineError
 from repro.spec import ScenarioSpec
 
 __all__ = ["main", "build_parser"]
@@ -265,6 +266,51 @@ def build_parser() -> argparse.ArgumentParser:
                         help="remove spill shards left by interrupted "
                         "streaming runs whose dataset already committed, "
                         "plus stale tmp staging dirs")
+
+    inc = sub.add_parser(
+        "incidents",
+        help="auto-graded chaos incident benchmark (docs/INCIDENTS.md)",
+    )
+    isub = inc.add_subparsers(dest="incidents_command", required=True)
+
+    ilist = isub.add_parser("list", help="show the registered scenario catalog")
+    ilist.add_argument("--json", action="store_true",
+                       help="machine-readable catalog instead of the table")
+
+    irun = isub.add_parser(
+        "run",
+        help="run scenarios against a live served system, writing one "
+        "incident bundle per scenario",
+    )
+    irun.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                      help="scenario names (see `incidents list`)")
+    irun.add_argument("--all", action="store_true",
+                      help="run every registered scenario")
+    irun.add_argument("--out-dir", type=Path, required=True,
+                      help="directory receiving one bundle dir per scenario")
+    irun.add_argument("--cache-dir", type=Path, default=None,
+                      help="scratch artifact cache shared across the run "
+                      "(default: a private temp dir per scenario)")
+    irun.add_argument("--detector", default="rules",
+                      help="baseline detector to grade with afterwards "
+                      "(empty string skips grading)")
+    irun.add_argument("--scorecard", type=Path, default=None,
+                      help="also write the grading scorecard JSON here")
+
+    igrade = isub.add_parser(
+        "grade",
+        help="score detector answers against recorded incident bundles",
+    )
+    igrade.add_argument("bundles", nargs="+", type=Path, metavar="BUNDLE",
+                        help="incident bundle directories from `incidents run`")
+    igrade.add_argument("--answers", type=Path, default=None,
+                        help="JSON file with a list of detector answers "
+                        "(default: run the --detector baseline instead)")
+    igrade.add_argument("--detector", default="rules",
+                        help="baseline detector to answer with when no "
+                        "--answers file is given")
+    igrade.add_argument("--scorecard", type=Path, default=None,
+                        help="write the scorecard JSON here")
     return parser
 
 
@@ -711,6 +757,107 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
+def _cmd_incidents(args: argparse.Namespace) -> int:
+    if args.incidents_command == "list":
+        return _cmd_incidents_list(args)
+    if args.incidents_command == "run":
+        return _cmd_incidents_run(args)
+    if args.incidents_command == "grade":
+        return _cmd_incidents_grade(args)
+    raise AssertionError(
+        f"unhandled incidents command {args.incidents_command!r}"
+    )
+
+
+def _cmd_incidents_list(args: argparse.Namespace) -> int:
+    from repro.incidents import SCENARIOS
+
+    if args.json:
+        print(json.dumps(
+            [s.to_dict() for s in SCENARIOS.values()], indent=2, sort_keys=True
+        ))
+        return 0
+    print(f"{'scenario':<24} {'kind':<9} {'faulted points'}")
+    for s in SCENARIOS.values():
+        points = ", ".join(s.fault_points) or "-"
+        print(f"{s.name:<24} {s.kind:<9} {points}")
+        print(f"{'':<24} {'':<9} {s.description}")
+    return 0
+
+
+def _resolve_incident_names(args: argparse.Namespace) -> list[str]:
+    from repro.incidents import get_scenario, scenario_names
+
+    if args.all:
+        if args.scenarios:
+            raise IncidentError("pass scenario names or --all, not both")
+        return list(scenario_names())
+    if not args.scenarios:
+        raise IncidentError("pass at least one scenario name, or --all")
+    for name in args.scenarios:
+        get_scenario(name)  # fail loudly before running anything
+    return list(args.scenarios)
+
+
+def _cmd_incidents_run(args: argparse.Namespace) -> int:
+    from repro.incidents import run_scenario
+
+    names = _resolve_incident_names(args)
+    bundles = []
+    for name in names:
+        bundle = run_scenario(
+            name, args.out_dir, cache_dir=args.cache_dir, verbose=True
+        )
+        bundles.append(bundle)
+    print(f"wrote {len(bundles)} bundle(s) under {args.out_dir}")
+    if not args.detector:
+        return 0
+    return _grade_bundles(bundles, args.detector, None, args.scorecard)
+
+
+def _cmd_incidents_grade(args: argparse.Namespace) -> int:
+    from repro.incidents import IncidentBundle
+
+    bundles = [IncidentBundle.load(path) for path in args.bundles]
+    return _grade_bundles(bundles, args.detector, args.answers, args.scorecard)
+
+
+def _grade_bundles(bundles, detector_name, answers_path, scorecard_path) -> int:
+    from repro.incidents import (
+        DetectorAnswer, Scorecard, get_detector, grade_answer,
+    )
+
+    if answers_path is not None:
+        raw = json.loads(Path(answers_path).read_text())
+        if not isinstance(raw, list):
+            raise IncidentError("answers file must hold a JSON list")
+        answers = {a.scenario: a for a in map(DetectorAnswer.from_dict, raw)}
+        detector_label = next(iter(answers.values())).detector if answers else "answers"
+
+        def answer_for(bundle):
+            answer = answers.get(bundle.scenario_name)
+            if answer is None:
+                raise IncidentError(
+                    f"answers file has no entry for {bundle.scenario_name!r}"
+                )
+            return answer
+    else:
+        detector = get_detector(detector_name)
+        detector_label = detector.name
+        answer_for = detector.analyze
+
+    card = Scorecard(detector=detector_label)
+    for bundle in bundles:
+        card.add(grade_answer(bundle, answer_for(bundle)))
+    print(card.summary())
+    if scorecard_path is not None:
+        Path(scorecard_path).write_text(
+            json.dumps(card.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"scorecard written to {scorecard_path}")
+    return 0 if card.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     # $REPRO_TRACE_FILE traces any subcommand without touching its flags
@@ -723,7 +870,7 @@ def main(argv: list[str] | None = None) -> int:
             configure_tracing(trace_env)
     try:
         return _dispatch(args)
-    except (ObsError, PipelineError) as exc:
+    except (IncidentError, ObsError, PipelineError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:
@@ -755,6 +902,8 @@ def _dispatch(args) -> int:
         return _cmd_pipeline(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "incidents":
+        return _cmd_incidents(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

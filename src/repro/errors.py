@@ -88,5 +88,9 @@ class FaultError(ReproError):
     """Invalid fault-injection plan or injector misuse."""
 
 
+class IncidentError(ReproError):
+    """Incident-benchmark misuse: unknown scenario, malformed bundle."""
+
+
 class ObsError(ReproError):
     """Observability misuse: bad metric/label names, invalid trace files."""

@@ -93,9 +93,15 @@ class FaultInjector:
         with self._lock:
             self._fires[point] = self._fires.get(point, 0) + 1
         _FAULT_FIRES.inc(point=point)
+        self._record_fire(point, n)
         if rule.duration_s > 0:
             time.sleep(rule.duration_s)
         return True
+
+    def _record_fire(self, point: str, n: int) -> None:
+        """Subclass hook: called once per fired call, before any latency
+        sleep, with the fired call's per-point index. The incident
+        orchestrator's ledger injector timestamps fires through this."""
 
     # -- inspection ------------------------------------------------------
 

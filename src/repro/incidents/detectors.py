@@ -1,0 +1,296 @@
+"""Baseline incident detectors: threshold rules over the observable record.
+
+A detector reads an :class:`~repro.incidents.orchestrator.IncidentBundle`
+— the armed-phase metric delta, the observer's windowed deltas, the
+client/ops event log, and the healthy latency reference — and answers
+three questions: *was there an incident?*, *which injection points does
+the evidence localize?*, and *when did it start?* It must not read the
+ledger or the ``repro_fault_*`` metric families (the answer key); the
+grader scores it against those.
+
+:class:`RuleBasedDetector` is the first family (docs/INCIDENTS.md): one
+rule per failure mode, each mapping an observable signature to a point:
+
+=====================  ====================================================
+``batcher.crash``      ``repro_batcher_crashes_total`` moved
+``registry.train``     ``repro_predict_outcomes_total{outcome=degraded}``
+                       moved (the service fell back to the mean baseline)
+``http.malformed``     ``repro_http_responses_total{status=400}`` moved
+``cache.corrupt``      an operator read/build failed with UnpicklingError
+``cache.read``         an operator *read* failed with CacheError
+``cache.write``        an operator *build* failed with CacheError, with no
+                       read-side CacheError to blame instead
+``telemetry.drop``     a rebuild succeeded but had to gap-fill samples
+``batcher.latency``    served-request latency ≥ both an absolute floor and
+                       a multiple of the unfaulted reference latency
+=====================  ====================================================
+
+Onset estimates come from the first observer window where the rule's
+metric moved (window start) or the first matching event's timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import IncidentError
+from repro.incidents.orchestrator import IncidentBundle
+
+__all__ = [
+    "DetectorAnswer",
+    "RuleBasedDetector",
+    "BASELINE_DETECTORS",
+    "get_detector",
+]
+
+
+@dataclass(frozen=True)
+class DetectorAnswer:
+    """What one detector concluded about one bundle.
+
+    ``points`` maps each localized injection point to the detector's
+    onset estimate in seconds since arming (``None`` when the rule has
+    no usable timing signal). ``detected`` is the headline verdict —
+    for a clean bundle it must stay False.
+    """
+
+    scenario: str
+    detector: str
+    detected: bool
+    points: dict[str, float | None] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (``incidents grade`` answer files)."""
+        return {
+            "scenario": self.scenario,
+            "detector": self.detector,
+            "detected": self.detected,
+            "points": dict(self.points),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DetectorAnswer":
+        """Inverse of :meth:`to_dict`; unknown keys fail loudly."""
+        data = dict(data)
+        unknown = sorted(set(data) - {"scenario", "detector", "detected", "points"})
+        if unknown:
+            raise IncidentError(f"unknown detector-answer fields {unknown}")
+        points = {
+            str(p): (None if t is None else float(t))
+            for p, t in dict(data.get("points", {})).items()
+        }
+        return cls(
+            scenario=str(data["scenario"]),
+            detector=str(data.get("detector", "unknown")),
+            detected=bool(data["detected"]),
+            points=points,
+        )
+
+
+def _series_total(
+    delta: Mapping[str, Mapping[tuple[str, ...], float]],
+    name: str,
+    label: str | None = None,
+) -> float:
+    """Total movement of a family, optionally only rows carrying ``label``."""
+    series = delta.get(name, {})
+    if label is None:
+        return float(sum(series.values()))
+    return float(sum(v for labels, v in series.items() if label in labels))
+
+
+def _first_window_t(
+    windows: list[dict[str, Any]], name: str, label: str | None = None
+) -> float | None:
+    """Start time of the first observer window where ``name`` moved."""
+    for window in windows:
+        if _series_total(window.get("series", {}), name, label) > 0:
+            return float(window["t0"])
+    return None
+
+
+def _first_event_t(
+    events: list[dict[str, Any]], kind: str, **match: Any
+) -> float | None:
+    """Timestamp of the first event of ``kind`` matching all ``match``."""
+    for event in events:
+        if event.get("kind") != kind:
+            continue
+        if all(event.get(k) == v for k, v in match.items()):
+            return float(event["t"])
+    return None
+
+
+class RuleBasedDetector:
+    """The baseline threshold-rule detector (see module docs).
+
+    Parameters
+    ----------
+    latency_floor_s:
+        Absolute armed-phase mean-latency floor below which the latency
+        rule never fires (keeps scheduler jitter from flagging healthy
+        runs on slow machines).
+    latency_ratio:
+        Armed mean latency must also exceed ``latency_ratio`` × the
+        bundle's unfaulted reference latency.
+    min_evidence:
+        How many matching events an event-based rule needs (1 = any).
+        The ``conservative`` variant uses 2 to shrug off one-off blips
+        at the cost of missing short incidents.
+    """
+
+    def __init__(
+        self,
+        name: str = "rules",
+        latency_floor_s: float = 0.030,
+        latency_ratio: float = 4.0,
+        min_evidence: int = 1,
+    ) -> None:
+        if min_evidence < 1:
+            raise IncidentError("min_evidence must be >= 1")
+        self.name = name
+        self.latency_floor_s = latency_floor_s
+        self.latency_ratio = latency_ratio
+        self.min_evidence = min_evidence
+
+    # -- individual rules ------------------------------------------------
+
+    def _events_of(
+        self, bundle: IncidentBundle, kind: str, error_type: str | None = None
+    ) -> list[dict[str, Any]]:
+        return [
+            e
+            for e in bundle.events
+            if e.get("kind") == kind
+            and (error_type is None or e.get("error_type") == error_type)
+        ]
+
+    def _rule_batcher_crash(self, bundle: IncidentBundle) -> float | None:
+        delta = bundle.metric_delta()
+        if _series_total(delta, "repro_batcher_crashes_total") <= 0:
+            return None
+        t = _first_window_t(bundle.windows, "repro_batcher_crashes_total")
+        return t if t is not None else 0.0
+
+    def _rule_registry_train(self, bundle: IncidentBundle) -> float | None:
+        delta = bundle.metric_delta()
+        if _series_total(
+            delta, "repro_predict_outcomes_total", "degraded"
+        ) <= 0:
+            return None
+        t = _first_window_t(
+            bundle.windows, "repro_predict_outcomes_total", "degraded"
+        )
+        if t is None:
+            t = _first_event_t(bundle.events, "request", category="degraded")
+        return t if t is not None else 0.0
+
+    def _rule_http_malformed(self, bundle: IncidentBundle) -> float | None:
+        delta = bundle.metric_delta()
+        if _series_total(delta, "repro_http_responses_total", "400") <= 0:
+            return None
+        t = _first_window_t(
+            bundle.windows, "repro_http_responses_total", "400"
+        )
+        return t if t is not None else 0.0
+
+    def _rule_cache_corrupt(self, bundle: IncidentBundle) -> float | None:
+        bad = self._events_of(bundle, "read_error", "UnpicklingError")
+        bad += self._events_of(bundle, "build_error", "UnpicklingError")
+        if len(bad) < self.min_evidence:
+            return None
+        return min(float(e["t"]) for e in bad)
+
+    def _rule_cache_read(self, bundle: IncidentBundle) -> float | None:
+        bad = self._events_of(bundle, "read_error", "CacheError")
+        if len(bad) < self.min_evidence:
+            return None
+        return min(float(e["t"]) for e in bad)
+
+    def _rule_cache_write(self, bundle: IncidentBundle) -> float | None:
+        # A pure artifact read cannot reach the write path, so read-side
+        # CacheErrors pin the blame on cache.read; only otherwise does a
+        # failed build implicate the write path.
+        if self._events_of(bundle, "read_error", "CacheError"):
+            return None
+        bad = self._events_of(bundle, "build_error", "CacheError")
+        if len(bad) < self.min_evidence:
+            return None
+        return min(float(e["t"]) for e in bad)
+
+    def _rule_telemetry_drop(self, bundle: IncidentBundle) -> float | None:
+        gappy = [
+            e
+            for e in self._events_of(bundle, "build_ok")
+            if e.get("gaps", 0) > 0
+        ]
+        if len(gappy) < self.min_evidence:
+            return None
+        return min(float(e["t"]) for e in gappy)
+
+    def _rule_batcher_latency(self, bundle: IncidentBundle) -> float | None:
+        served = [
+            e
+            for e in bundle.events
+            if e.get("kind") == "request"
+            and not e.get("malformed")
+            and e.get("category") in ("ok", "degraded")
+        ]
+        if not served:
+            return None
+        mean = sum(e["latency_s"] for e in served) / len(served)
+        ref = float(bundle.manifest.get("ref_latency_s", 0.0))
+        threshold = max(self.latency_floor_s, self.latency_ratio * ref)
+        if mean < threshold:
+            return None
+        for event in served:
+            if event["latency_s"] >= threshold:
+                return float(event["t"])
+        return float(served[0]["t"])
+
+    # -- the verdict -----------------------------------------------------
+
+    def analyze(self, bundle: IncidentBundle) -> DetectorAnswer:
+        """Run every rule over one bundle and assemble the answer."""
+        rules = {
+            "batcher.crash": self._rule_batcher_crash,
+            "registry.train": self._rule_registry_train,
+            "http.malformed": self._rule_http_malformed,
+            "cache.corrupt": self._rule_cache_corrupt,
+            "cache.read": self._rule_cache_read,
+            "cache.write": self._rule_cache_write,
+            "telemetry.drop": self._rule_telemetry_drop,
+            "batcher.latency": self._rule_batcher_latency,
+        }
+        points: dict[str, float | None] = {}
+        for point, rule in rules.items():
+            onset = rule(bundle)
+            if onset is not None:
+                points[point] = round(onset, 6)
+        return DetectorAnswer(
+            scenario=bundle.scenario_name,
+            detector=self.name,
+            detected=bool(points),
+            points=points,
+        )
+
+
+#: The shipped detector family. ``rules`` is the benchmark's headline
+#: baseline; ``conservative`` trades recall on short incidents for
+#: robustness against one-off blips.
+BASELINE_DETECTORS: dict[str, RuleBasedDetector] = {
+    "rules": RuleBasedDetector("rules"),
+    "conservative": RuleBasedDetector("conservative", min_evidence=2),
+}
+
+
+def get_detector(name: str) -> RuleBasedDetector:
+    """Look up a shipped detector; unknown names fail loudly."""
+    try:
+        return BASELINE_DETECTORS[name]
+    except KeyError:
+        raise IncidentError(
+            f"unknown detector {name!r}; "
+            f"known: {', '.join(BASELINE_DETECTORS)}"
+        ) from None

@@ -1,0 +1,269 @@
+"""Score detector answers against a bundle's derived ground truth.
+
+The grader never trusts a detector's framing: truth is the injector
+ledger baked into the bundle (which points actually fired, when), and
+an answer is judged on three axes (docs/INCIDENTS.md):
+
+* **detection** — did the detector's headline verdict match whether any
+  fault fired? On the fault-free control any ``detected=True`` is a
+  false alarm.
+* **localization** — precision / recall / F1 of the predicted point set
+  against the fired set.
+* **timing** — per correctly-localized point, time-to-detect (onset
+  estimate minus the point's first fire time) and whether the estimate
+  lands inside ``onset_tolerance_s`` of the truth.
+
+:class:`Scorecard` aggregates one detector's grades over a batch of
+bundles and enforces the benchmark's headline gates: perfect recall on
+every single-point scenario, zero false positives on the control.
+``tools/incidents_bench.py`` commits the scorecard; CI smoke asserts
+``scorecard.passed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import IncidentError
+from repro.incidents.detectors import DetectorAnswer
+from repro.incidents.orchestrator import IncidentBundle
+
+__all__ = ["IncidentGrade", "Scorecard", "grade_answer"]
+
+
+@dataclass(frozen=True)
+class IncidentGrade:
+    """One detector answer scored against one bundle."""
+
+    scenario: str
+    kind: str
+    detector: str
+    truth_points: tuple[str, ...]
+    predicted_points: tuple[str, ...]
+    detection_correct: bool
+    false_alarm: bool
+    precision: float
+    recall: float
+    f1: float
+    ttd_s: dict[str, float] = field(default_factory=dict)
+    onset_hits: int = 0
+    onset_scored: int = 0
+
+    @property
+    def true_positives(self) -> tuple[str, ...]:
+        return tuple(p for p in self.predicted_points if p in self.truth_points)
+
+    @property
+    def mean_ttd_s(self) -> float | None:
+        """Mean time-to-detect over scored points, None when unscored."""
+        if not self.ttd_s:
+            return None
+        return sum(self.ttd_s.values()) / len(self.ttd_s)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (scorecards)."""
+        mean = self.mean_ttd_s
+        return {
+            "scenario": self.scenario,
+            "kind": self.kind,
+            "detector": self.detector,
+            "truth_points": list(self.truth_points),
+            "predicted_points": list(self.predicted_points),
+            "detection_correct": self.detection_correct,
+            "false_alarm": self.false_alarm,
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f1": round(self.f1, 4),
+            "ttd_s": {p: round(t, 4) for p, t in sorted(self.ttd_s.items())},
+            "mean_ttd_s": None if mean is None else round(mean, 4),
+            "onset_hits": self.onset_hits,
+            "onset_scored": self.onset_scored,
+        }
+
+
+def _truth_points(truth: Mapping[str, Any]) -> dict[str, dict[str, Any]]:
+    fired = truth.get("fired_points", {})
+    if not isinstance(fired, Mapping):
+        raise IncidentError("malformed ground truth: fired_points")
+    return {str(p): dict(info) for p, info in fired.items()}
+
+
+def grade_answer(
+    bundle: IncidentBundle,
+    answer: DetectorAnswer,
+    onset_tolerance_s: float = 2.0,
+) -> IncidentGrade:
+    """Score one answer against one bundle (see module docs).
+
+    Precision of an empty prediction on a faulted bundle is 0 by
+    convention (the detector offered nothing); on the control an empty
+    prediction is perfect — precision, recall, and F1 all read 1.0.
+    """
+    if answer.scenario != bundle.scenario_name:
+        raise IncidentError(
+            f"answer is for {answer.scenario!r}, "
+            f"bundle is {bundle.scenario_name!r}"
+        )
+    truth = _truth_points(bundle.ground_truth)
+    truth_set = set(truth)
+    predicted = set(answer.points)
+    tp = predicted & truth_set
+    had_incident = bool(truth_set)
+
+    if truth_set or predicted:
+        precision = len(tp) / len(predicted) if predicted else 0.0
+        recall = len(tp) / len(truth_set) if truth_set else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+    else:
+        precision = recall = f1 = 1.0  # clean bundle, clean answer
+
+    ttd: dict[str, float] = {}
+    onset_hits = onset_scored = 0
+    for point in sorted(tp):
+        estimate = answer.points.get(point)
+        if estimate is None:
+            continue
+        first_t = float(truth[point]["first_t"])
+        onset_scored += 1
+        ttd[point] = float(estimate) - first_t
+        if abs(ttd[point]) <= onset_tolerance_s:
+            onset_hits += 1
+
+    return IncidentGrade(
+        scenario=bundle.scenario_name,
+        kind=str(bundle.manifest["scenario"].get("kind", "unknown")),
+        detector=answer.detector,
+        truth_points=tuple(sorted(truth_set)),
+        predicted_points=tuple(sorted(predicted)),
+        detection_correct=answer.detected == had_incident,
+        false_alarm=answer.detected and not had_incident,
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        ttd_s=ttd,
+        onset_hits=onset_hits,
+        onset_scored=onset_scored,
+    )
+
+
+@dataclass
+class Scorecard:
+    """One detector's grades over a batch of bundles, plus the gates."""
+
+    detector: str
+    grades: list[IncidentGrade] = field(default_factory=list)
+    onset_tolerance_s: float = 2.0
+
+    def add(self, grade: IncidentGrade) -> None:
+        """Append one scenario's grade."""
+        if grade.detector != self.detector:
+            raise IncidentError(
+                f"grade from {grade.detector!r} on a "
+                f"{self.detector!r} scorecard"
+            )
+        self.grades.append(grade)
+
+    # -- aggregates ------------------------------------------------------
+
+    def _of_kind(self, kind: str) -> list[IncidentGrade]:
+        return [g for g in self.grades if g.kind == kind]
+
+    @property
+    def mean_precision(self) -> float:
+        return (
+            sum(g.precision for g in self.grades) / len(self.grades)
+            if self.grades
+            else 0.0
+        )
+
+    @property
+    def mean_recall(self) -> float:
+        return (
+            sum(g.recall for g in self.grades) / len(self.grades)
+            if self.grades
+            else 0.0
+        )
+
+    @property
+    def single_point_recall(self) -> float:
+        """Worst-case recall across single-point scenarios (1.0 = perfect)."""
+        singles = self._of_kind("single")
+        return min((g.recall for g in singles), default=1.0)
+
+    @property
+    def control_false_positives(self) -> int:
+        """Points predicted on fault-free controls (must be zero)."""
+        return sum(len(g.predicted_points) for g in self._of_kind("control"))
+
+    def problems(self) -> list[str]:
+        """Gate failures, empty when the benchmark's bar is met."""
+        out = []
+        if not self.grades:
+            out.append("no scenarios were graded")
+        missed = [
+            g.scenario
+            for g in self._of_kind("single")
+            if g.recall < 1.0
+        ]
+        if missed:
+            out.append(f"single-point scenario(s) missed: {missed}")
+        if self.control_false_positives:
+            fps = [
+                f"{g.scenario}:{list(g.predicted_points)}"
+                for g in self._of_kind("control")
+                if g.predicted_points
+            ]
+            out.append(f"false positive(s) on control: {fps}")
+        wrong = [g.scenario for g in self.grades if not g.detection_correct]
+        if wrong:
+            out.append(f"detection verdict wrong on: {wrong}")
+        return out
+
+    @property
+    def passed(self) -> bool:
+        return not self.problems()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (the committed scorecard)."""
+        return {
+            "detector": self.detector,
+            "onset_tolerance_s": self.onset_tolerance_s,
+            "n_scenarios": len(self.grades),
+            "mean_precision": round(self.mean_precision, 4),
+            "mean_recall": round(self.mean_recall, 4),
+            "single_point_recall": round(self.single_point_recall, 4),
+            "control_false_positives": self.control_false_positives,
+            "passed": self.passed,
+            "problems": self.problems(),
+            "scenarios": [g.to_dict() for g in self.grades],
+        }
+
+    def summary(self) -> str:
+        """Human-readable digest for the CLI / bench tools."""
+        lines = [
+            f"incident benchmark: detector {self.detector!r}, "
+            f"{len(self.grades)} scenario(s)",
+        ]
+        for g in self.grades:
+            mean = g.mean_ttd_s
+            ttd = "-" if mean is None else f"{mean:+.2f}s"
+            lines.append(
+                f"  {g.scenario:<24} {g.kind:<8} "
+                f"P={g.precision:.2f} R={g.recall:.2f} F1={g.f1:.2f} "
+                f"ttd={ttd}  pred={list(g.predicted_points)}"
+            )
+        lines.append(
+            f"aggregate: precision {self.mean_precision:.2f}, "
+            f"recall {self.mean_recall:.2f}, single-point recall "
+            f"{self.single_point_recall:.2f}, control FPs "
+            f"{self.control_false_positives}"
+        )
+        verdict = (
+            "PASS" if self.passed else "FAIL: " + "; ".join(self.problems())
+        )
+        return "\n".join(lines + [verdict])

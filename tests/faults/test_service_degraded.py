@@ -10,15 +10,13 @@ healthy operation.
 
 from __future__ import annotations
 
-import http.client
-import json
-
 import numpy as np
 import pytest
 
 from repro.errors import ServeError
 from repro.faults import FaultPlan, FaultRule, arm
-from repro.serve import ModelRegistry, PredictionServer, PredictionService
+from repro.serve import ModelRegistry, PredictionService
+from tests.helpers.served import ServedSystem
 
 
 def _train_plan(rate: float = 1.0) -> FaultPlan:
@@ -32,17 +30,10 @@ def _service(tiny_spec) -> PredictionService:
     return PredictionService(tiny_spec, registry=registry, max_wait_s=0.001)
 
 
-def _http(port, method, path, payload=None, raw_body=None):
-    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
-    body = raw_body
-    if body is None and payload is not None:
-        body = json.dumps(payload).encode()
-    conn.request(method, path, body=body,
-                 headers={"Content-Type": "application/json"})
-    response = conn.getresponse()
-    decoded = json.loads(response.read())
-    conn.close()
-    return response.status, decoded
+def _http(server, method, path, payload=None, raw_body=None):
+    status, _, body = server.request(method, path, payload=payload,
+                                     raw_body=raw_body)
+    return status, body
 
 
 def test_training_fault_degrades_to_mean_baseline_then_recovers(
@@ -100,20 +91,19 @@ def test_caller_mistakes_still_fail_during_degradation(tiny_spec, tiny_records):
 
 
 def test_http_surface_reports_degradation_and_faults(tiny_spec, tiny_records):
-    server = PredictionServer(_service(tiny_spec))
-    server.serve_in_background()
-    try:
+    with _service(tiny_spec) as service, \
+            ServedSystem(service=service) as server:
         plan = _train_plan()
         with arm(plan):
             status, body = _http(
-                server.port, "POST", "/predict", {"jobs": tiny_records[:2]}
+                server, "POST", "/predict", {"jobs": tiny_records[:2]}
             )
             assert status == 200
             assert body["degraded"] is True
             assert body["served_by"] == "mean-baseline"
             assert body["n"] == 2
 
-            status, health = _http(server.port, "GET", "/healthz")
+            status, health = _http(server, "GET", "/healthz")
             assert status == 200
             assert health["status"] == "degraded"
             # The armed injector surfaces its schedule state for audits.
@@ -122,25 +112,21 @@ def test_http_surface_reports_degradation_and_faults(tiny_spec, tiny_records):
 
             # Caller mistakes stay 400s while degraded ...
             status, body = _http(
-                server.port, "POST", "/predict",
+                server, "POST", "/predict",
                 {"model": "XGBoost", "jobs": tiny_records[:1]},
             )
             assert status == 400 and "unknown model" in body["error"]
             # ... and a burst of malformed bodies never kills the server.
             for raw in (b"{not json", b"[]", b'{"jobs": "nope"}', b""):
-                status, body = _http(
-                    server.port, "POST", "/predict", raw_body=raw
-                )
+                status, body = _http(server, "POST", "/predict", raw_body=raw)
                 assert status == 400, raw
                 assert "error" in body
 
         # Disarmed: trains for real, flag drops, snapshot disappears.
         status, body = _http(
-            server.port, "POST", "/predict", {"jobs": tiny_records[:2]}
+            server, "POST", "/predict", {"jobs": tiny_records[:2]}
         )
         assert status == 200 and body["degraded"] is False
-        status, health = _http(server.port, "GET", "/healthz")
+        status, health = _http(server, "GET", "/healthz")
         assert health["status"] == "ok"
         assert "faults" not in health
-    finally:
-        server.close()

@@ -1,0 +1,1 @@
+"""Shared fixtures and harness shims used across the test suites."""

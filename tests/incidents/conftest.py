@@ -1,0 +1,50 @@
+"""Incident-suite fixtures: a tiny scenario and the injector leak guard.
+
+Like the chaos suite, every test here must leave the process disarmed —
+the injector is a module global, so a leaked armed plan would poison
+unrelated tests. The autouse guard turns a leak into a loud failure at
+the test that caused it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injector import active_injector
+from repro.spec import ScenarioSpec
+
+TINY = ScenarioSpec(
+    "emmy", seed=3, num_nodes=24, num_users=10, horizon_days=2, max_traces=10
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> ScenarioSpec:
+    return TINY
+
+
+@pytest.fixture(scope="session")
+def incidents_cache(tmp_path_factory):
+    """Artifact-cache root shared across incident tests."""
+    return tmp_path_factory.mktemp("incidents-cache")
+
+
+@pytest.fixture(scope="session")
+def tiny_service(tiny_spec, incidents_cache):
+    """One warmed service shared by the harness tests (caller-owned)."""
+    from repro.serve import PredictionService
+
+    service = PredictionService(
+        tiny_spec, cache_dir=incidents_cache, max_wait_s=0.001
+    )
+    service.warm(("BDT",))
+    yield service
+    service.close()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    """Fail the test (not its neighbors) if it leaves a plan armed."""
+    assert active_injector() is None, "a previous test leaked an armed injector"
+    yield
+    assert active_injector() is None, "test left a fault injector armed"

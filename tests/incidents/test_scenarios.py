@@ -1,0 +1,120 @@
+"""The scenario registry: catalog shape, derived metadata, round-trips.
+
+These tests pin the *contract* of the shipped catalog — the benchmark's
+gates (≥8 scenarios, a fault-free control, single and compound kinds,
+latency-only degradation) and the determinism convention every armed
+rule must follow (a forced call inside its window, so the fired-point
+set is a pure function of the scenario).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import IncidentError
+from repro.faults.plan import INJECTION_POINTS, FaultPlan
+from repro.incidents.scenarios import (
+    SCENARIOS,
+    IncidentScenario,
+    LoadProfile,
+    get_scenario,
+    scenario_names,
+)
+
+
+def test_catalog_meets_the_benchmark_floor():
+    assert len(SCENARIOS) >= 8
+    kinds = {s.kind for s in SCENARIOS.values()}
+    assert kinds == {"control", "single", "compound"}
+    # Exactly one fault-free control, and it arms nothing.
+    controls = [s for s in SCENARIOS.values() if s.kind == "control"]
+    assert [s.name for s in controls] == ["control"]
+    assert controls[0].plan.rules == ()
+    # A latency-only incident (no error path at all) is in the mix.
+    latency = get_scenario("latency-degradation")
+    assert latency.fault_points == ("batcher.latency",)
+    assert latency.plan.rules[0].duration_s > 0
+
+
+def test_every_armed_point_is_a_known_injection_point():
+    for scenario in SCENARIOS.values():
+        for point in scenario.fault_points:
+            assert point in INJECTION_POINTS, (scenario.name, point)
+
+
+def test_catalog_names_and_seeds_are_unique():
+    names = [s.name for s in SCENARIOS.values()]
+    assert names == list(SCENARIOS)  # registry keyed by name
+    seeds = [s.plan.seed for s in SCENARIOS.values()]
+    assert len(set(seeds)) == len(seeds), "scenario seeds must not collide"
+
+
+def test_every_armed_rule_forces_a_call_inside_its_window():
+    """The digest-determinism convention: each rule fires its window's
+    first call unconditionally, so `which points fired` never depends
+    on rates or thread interleaving."""
+    for scenario in SCENARIOS.values():
+        for rule in scenario.plan.rules:
+            assert rule.force_calls, (scenario.name, rule.point)
+            first = rule.force_calls[0]
+            assert first == rule.start, (scenario.name, rule.point)
+            # And the plan agrees: that index is on the schedule.
+            schedule = scenario.plan.schedule(rule.point, first + 1)
+            assert first in schedule
+
+
+def test_kind_is_derived_from_rule_count():
+    assert get_scenario("control").kind == "control"
+    assert get_scenario("cache-corrupt").kind == "single"
+    assert get_scenario("compound-storm").kind == "compound"
+    singles = [s for s in SCENARIOS.values() if s.kind == "single"]
+    assert len(singles) >= 6  # one per failure family, at least
+
+
+def test_scenarios_round_trip_through_json():
+    for scenario in SCENARIOS.values():
+        data = json.loads(json.dumps(scenario.to_dict()))
+        clone = IncidentScenario.from_dict(data)
+        assert clone == scenario
+        # Derived fields travel in the dict but are recomputed on load.
+        assert data["kind"] == scenario.kind
+        assert data["fault_points"] == list(scenario.fault_points)
+
+
+def test_from_dict_rejects_unknown_fields():
+    data = get_scenario("control").to_dict()
+    data["severity"] = "bad"
+    with pytest.raises(IncidentError, match="unknown scenario fields"):
+        IncidentScenario.from_dict(data)
+
+
+def test_get_scenario_unknown_name_fails_loudly():
+    with pytest.raises(IncidentError, match="unknown incident scenario"):
+        get_scenario("nope")
+    assert set(scenario_names()) == set(SCENARIOS)
+
+
+def test_scenario_validation():
+    plan = FaultPlan(seed=1)
+    with pytest.raises(IncidentError, match="no spaces"):
+        IncidentScenario(name="has space", description="", plan=plan)
+    with pytest.raises(IncidentError, match="must be a FaultPlan"):
+        IncidentScenario(name="x", description="", plan={"seed": 1})
+    with pytest.raises(IncidentError, match="must be a LoadProfile"):
+        IncidentScenario(name="x", description="", plan=plan, load={})
+
+
+def test_load_profile_validation_and_round_trip():
+    load = LoadProfile(n_clients=2, requests_per_client=5, overlay_every=3)
+    assert load.total_requests == 10
+    assert LoadProfile.from_dict(load.to_dict()) == load
+    with pytest.raises(IncidentError, match="n_clients"):
+        LoadProfile(n_clients=0)
+    with pytest.raises(IncidentError, match="requests_per_client"):
+        LoadProfile(requests_per_client=0)
+    with pytest.raises(IncidentError, match="think_time_s"):
+        LoadProfile(think_time_s=-0.1)
+    with pytest.raises(IncidentError, match="unknown load-profile fields"):
+        LoadProfile.from_dict({"n_clients": 1, "qps": 100})

@@ -9,19 +9,14 @@ shims, and the lifecycle admin endpoints.
 
 from __future__ import annotations
 
-import http.client
 import json
 
 import numpy as np
 import pytest
 
 from repro.errors import ServeError
-from repro.serve import (
-    PredictRequest,
-    PredictResponse,
-    as_predict_request,
-    create_server,
-)
+from repro.serve import PredictRequest, PredictResponse, as_predict_request
+from tests.helpers.served import ServedSystem
 
 RECORD = {"user": "user001", "nodes": 2, "req_walltime_s": 600}
 
@@ -76,32 +71,22 @@ def test_predict_response_mapping_shim():
 
 @pytest.fixture(scope="module")
 def v1_server(tiny_spec, serve_cache, tmp_path_factory):
-    server = create_server(
+    with ServedSystem(
         tiny_spec,
         cache_dir=serve_cache,
         lifecycle_dir=tmp_path_factory.mktemp("v1-lifecycle"),
         warm=("online",),
         max_wait_ms=1.0,
-    )
-    server.serve_in_background()
-    yield server
-    server.close()
+    ) as system:
+        yield system
 
 
 def _request(server, method, path, payload=None):
-    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
-    body = None if payload is None else json.dumps(payload).encode()
-    conn.request(method, path, body=body,
-                 headers={"Content-Type": "application/json"})
-    response = conn.getresponse()
-    raw = response.read()
-    conn.close()
-    return response.status, dict(response.headers), raw
+    return server.request(method, path, payload=payload, raw_response=True)
 
 
 def _json(server, method, path, payload=None):
-    status, headers, raw = _request(server, method, path, payload)
-    return status, headers, json.loads(raw)
+    return server.request(method, path, payload=payload)
 
 
 def test_v1_healthz_and_legacy_shim(v1_server):
@@ -164,14 +149,12 @@ def test_v1_predict_carries_the_lineage_version(v1_server, tiny_records):
 
 def test_v1_bulk_headers(v1_server, tiny_records):
     body = "\n".join(json.dumps(r) for r in tiny_records[:3]).encode()
-    conn = http.client.HTTPConnection("127.0.0.1", v1_server.port, timeout=30)
-    conn.request("POST", "/v1/predict/bulk?model=online", body=body,
-                 headers={"Content-Type": "application/x-ndjson"})
-    response = conn.getresponse()
-    lines = response.read().decode().splitlines()
-    headers = dict(response.headers)
-    conn.close()
-    assert response.status == 200 and len(lines) == 3
+    status, headers, raw = v1_server.request(
+        "POST", "/v1/predict/bulk?model=online", raw_body=body,
+        headers={"Content-Type": "application/x-ndjson"}, raw_response=True,
+    )
+    lines = raw.decode().splitlines()
+    assert status == 200 and len(lines) == 3
     assert headers["X-Version"] == "1" and "Deprecation" not in headers
 
 
@@ -218,9 +201,7 @@ def test_admin_promote_validation(v1_server):
 def test_lifecycle_endpoints_disabled_without_lifecycle(
     tiny_spec, serve_cache
 ):
-    server = create_server(tiny_spec, cache_dir=serve_cache)
-    server.serve_in_background()
-    try:
+    with ServedSystem(tiny_spec, cache_dir=serve_cache) as server:
         status, _, err = _json(server, "POST", "/v1/feedback",
                                {"jobs": [dict(RECORD, power_w=100.0)]})
         assert status == 400 and "lifecycle" in err["error"]
@@ -229,5 +210,3 @@ def test_lifecycle_endpoints_disabled_without_lifecycle(
         assert status == 400 and "lifecycle" in err["error"]
         status, _, err = _json(server, "GET", "/v1/admin/history")
         assert status == 400 and "lifecycle" in err["error"]
-    finally:
-        server.close()

@@ -1,0 +1,269 @@
+"""Edge cases for the lifecycle's two watchdogs: drift windows, torn tails.
+
+``DriftDetector`` folds exact window means out of metric snapshot
+deltas; the tests pin its boundary behavior — short windows, the
+first-window reference, zero-error references, and the exact ``>=`` /
+``>`` threshold edges — on a *private* registry so nothing leaks into
+the process-wide one. ``LineageJournal`` must survive torn tails: a
+partially written record (no trailing newline yet) is held, never
+counted as damage, and folded in once the rest of the bytes land.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.lifecycle import (
+    ERROR_BUCKETS,
+    FEATURE_BUCKETS,
+    DriftDetector,
+    LineageJournal,
+)
+
+SCENARIO, MODEL = "scn", "online"
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def detector(registry):
+    return DriftDetector(
+        SCENARIO,
+        MODEL,
+        metrics=registry,
+        min_window=4,
+        error_floor=0.5,
+        error_ratio=2.0,
+        feature_tolerance=0.25,
+        features=("nodes",),
+    )
+
+
+def _feed(registry, errors=(), nodes=()):
+    """Observe feedback samples exactly as the lifecycle manager would."""
+    err = registry.histogram(
+        "repro_feedback_abs_error", "test", buckets=ERROR_BUCKETS,
+        labelnames=("scenario", "model"),
+    )
+    for value in errors:
+        err.observe(value, scenario=SCENARIO, model=MODEL)
+    feat = registry.histogram(
+        "repro_feedback_feature", "test", buckets=FEATURE_BUCKETS,
+        labelnames=("scenario", "feature"),
+    )
+    for value in nodes:
+        feat.observe(value, scenario=SCENARIO, feature="nodes")
+
+
+def _gauge(registry):
+    return registry.snapshot()["repro_drift_active"][(SCENARIO, MODEL)]
+
+
+# -- window boundaries ---------------------------------------------------
+
+
+def test_empty_window_is_not_a_window(detector):
+    assert detector.check() is None
+    assert detector.latched is False
+
+
+def test_window_completes_exactly_at_min_window(detector, registry):
+    _feed(registry, errors=[0.25] * 3)
+    assert detector.check() is None  # 3 < min_window=4: still open
+    _feed(registry, errors=[0.25])
+    # 4th sample completes the window — which becomes the silent
+    # reference, not a drift verdict.
+    assert detector.check() is None
+    assert detector.latched is False and _gauge(registry) == 0
+    # An identical follow-up window matches the reference: no drift.
+    _feed(registry, errors=[0.25] * 4)
+    assert detector.check() is None
+
+
+def test_min_window_must_be_positive(registry):
+    with pytest.raises(ServeError, match="min_window"):
+        DriftDetector(SCENARIO, MODEL, metrics=registry, min_window=0)
+
+
+# -- error rule edges ----------------------------------------------------
+
+
+def test_error_floor_fires_on_exact_equality(detector, registry):
+    _feed(registry, errors=[0.25] * 4)
+    detector.check()  # reference: mean 0.25
+    # Window mean exactly error_floor=0.5: the rule is >=, so it fires.
+    _feed(registry, errors=[0.5] * 4)
+    event = detector.check()
+    assert event is not None and "error" in event["rules"]
+    assert event["window"]["error_mean"] == 0.5
+    assert event["reference"]["error_mean"] == 0.25
+    assert detector.latched is True and _gauge(registry) == 1
+
+
+def test_error_ratio_fires_on_exact_multiple(registry):
+    detector = DriftDetector(
+        SCENARIO, MODEL, metrics=registry, min_window=4,
+        error_floor=10.0, error_ratio=2.0, features=(),
+    )
+    _feed(registry, errors=[0.125] * 4)
+    detector.check()  # reference: mean 0.125
+    _feed(registry, errors=[0.25] * 4)  # exactly 2.0x the reference
+    event = detector.check()
+    assert event is not None and event["rules"] == ["error"]
+
+
+def test_zero_error_reference_cannot_trip_the_ratio_rule(registry):
+    """A perfect reference makes any ratio infinite; the floor still rules."""
+    detector = DriftDetector(
+        SCENARIO, MODEL, metrics=registry, min_window=4,
+        error_floor=0.5, error_ratio=1.5, features=(),
+    )
+    _feed(registry, errors=[0.0] * 4)
+    detector.check()  # reference: mean 0.0
+    _feed(registry, errors=[0.25] * 4)  # any nonzero is "infinitely" worse
+    assert detector.check() is None  # ...but stays under the floor
+    _feed(registry, errors=[0.5] * 4)
+    event = detector.check()
+    assert event is not None and event["rules"] == ["error"]
+
+
+# -- feature rule edges --------------------------------------------------
+
+
+def test_feature_tolerance_is_strictly_greater_than(detector, registry):
+    _feed(registry, errors=[0.25] * 4, nodes=[4.0] * 4)
+    detector.check()  # reference: nodes mean 4.0
+    # |5 - 4| == tolerance * base exactly (1.0): strict >, no fire.
+    _feed(registry, errors=[0.25] * 4, nodes=[5.0] * 4)
+    assert detector.check() is None
+    # |5.5 - 4| > 1.0: fires, and names the feature.
+    _feed(registry, errors=[0.25] * 4, nodes=[5.5] * 4)
+    event = detector.check()
+    assert event is not None and event["rules"] == ["feature:nodes"]
+
+
+def test_zero_feature_reference_never_fires(detector, registry):
+    # No feature samples at all: the reference base is 0.0 and the
+    # guard keeps the rule quiet no matter what later windows show.
+    _feed(registry, errors=[0.25] * 4)
+    detector.check()
+    _feed(registry, errors=[0.25] * 4, nodes=[100.0] * 4)
+    assert detector.check() is None
+
+
+# -- latch / reset -------------------------------------------------------
+
+
+def test_reset_clears_latch_and_starts_a_fresh_reference(registry):
+    detector = DriftDetector(
+        SCENARIO, MODEL, metrics=registry, min_window=4,
+        error_floor=10.0, error_ratio=2.0, features=(),
+    )
+    _feed(registry, errors=[0.125] * 4)
+    detector.check()  # reference: mean 0.125
+    _feed(registry, errors=[0.25] * 4)
+    assert detector.check() is not None and detector.latched
+    detector.reset()
+    assert detector.latched is False and _gauge(registry) == 0
+    # Post-reset the old 0.125 reference is gone: the first window is
+    # the new baseline (silent), and a second identical window sits at
+    # ratio 1.0 — against the *old* reference it would still be 2.0x.
+    _feed(registry, errors=[0.25] * 4)
+    assert detector.check() is None
+    _feed(registry, errors=[0.25] * 4)
+    assert detector.check() is None
+
+
+# -- journal torn-tail recovery ------------------------------------------
+
+
+def _record(**fields) -> bytes:
+    return (json.dumps(fields, sort_keys=True) + "\n").encode()
+
+
+def test_torn_tail_is_held_not_counted_as_damage(tmp_path):
+    journal = LineageJournal(tmp_path / "j.jsonl", fsync=False)
+    journal.append("register", "m", version=2, trained_at_key="k")
+    line = _record(event="promote", model="m", version=2, from_version=1)
+    # A torn write: the first half of the record lands without its
+    # newline. The reader must hold it, apply nothing, damage nothing.
+    with journal.path.open("ab") as fh:
+        fh.write(line[: len(line) // 2])
+    assert journal.refresh(force=True) == 0
+    assert journal.damaged_lines == 0
+    assert journal.active_version("m") == 1
+    # The rest of the bytes land: the held tail completes and applies.
+    with journal.path.open("ab") as fh:
+        fh.write(line[len(line) // 2:])
+    assert journal.refresh(force=True) == 1
+    assert journal.active_version("m") == 2
+    assert journal.damaged_lines == 0
+
+
+def test_multi_record_partial_write_applies_whole_lines_only(tmp_path):
+    journal = LineageJournal(tmp_path / "j.jsonl", fsync=False)
+    full = (
+        _record(event="register", model="m", version=2, trained_at_key="a")
+        + _record(event="register", model="m", version=3, trained_at_key="b")
+    )
+    torn = _record(event="promote", model="m", version=3, from_version=1)
+    with journal.path.open("ab") as fh:
+        fh.write(full + torn[:-10])  # two whole lines + a torn third
+    assert journal.refresh(force=True) == 2
+    assert journal.registered_versions("m") == {2: "a", 3: "b"}
+    assert journal.active_version("m") == 1  # the torn promote is pending
+    with journal.path.open("ab") as fh:
+        fh.write(torn[-10:])
+    assert journal.refresh(force=True) == 1
+    assert journal.active_version("m") == 3
+
+
+def test_garbage_lines_are_skipped_and_counted(tmp_path):
+    journal = LineageJournal(tmp_path / "j.jsonl", fsync=False)
+    with journal.path.open("ab") as fh:
+        fh.write(b"{not json at all\n")
+        fh.write(_record(event="promote", model="m", version=2))
+        fh.write(b'["an array, not an event object"]\n')
+    assert journal.refresh(force=True) == 1
+    assert journal.damaged_lines == 2
+    assert journal.active_version("m") == 2
+    # Appends keep working after damage, and history only holds the
+    # records that parsed.
+    journal.append("rollback", "m", version=1, from_version=2)
+    assert journal.active_version("m") == 1
+    assert [e["event"] for e in journal.history("m")] == [
+        "promote", "rollback",
+    ]
+
+
+def test_external_truncation_resets_and_replays(tmp_path):
+    journal = LineageJournal(tmp_path / "j.jsonl", fsync=False)
+    journal.append("register", "m", version=2, trained_at_key="k")
+    journal.append("promote", "m", version=2, from_version=1)
+    assert journal.active_version("m") == 2
+    # An external actor rewrites the journal shorter (e.g. a manual
+    # repair): the reader notices the shrink and replays from scratch.
+    journal.path.write_bytes(_record(event="promote", model="m", version=5))
+    journal.refresh(force=True)
+    assert journal.active_version("m") == 5
+    assert journal.damaged_lines == 0
+
+
+def test_second_reader_sees_interleaved_whole_lines(tmp_path):
+    writer = LineageJournal(tmp_path / "j.jsonl", fsync=False)
+    reader = LineageJournal(tmp_path / "j.jsonl", fsync=False)
+    writer.append("register", "m", version=2, trained_at_key="k")
+    writer.append("promote", "m", version=2, from_version=1)
+    # Past the poll throttle, a forced refresh folds both lines in.
+    assert reader.refresh(force=True) == 2
+    assert reader.active_version("m") == 2
+    assert [e["event"] for e in reader.history("m")] == [
+        "register", "promote",
+    ]

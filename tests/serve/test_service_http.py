@@ -7,7 +7,6 @@ are *bit-identical* to calling the fitted predictor directly.
 
 from __future__ import annotations
 
-import http.client
 import json
 import threading
 
@@ -15,7 +14,8 @@ import numpy as np
 import pytest
 
 from repro.errors import ScenarioError, ServeError
-from repro.serve import PredictionServer, PredictionService
+from repro.serve import PredictionService
+from tests.helpers.served import ServedSystem
 
 
 @pytest.fixture(scope="module")
@@ -35,21 +35,15 @@ def direct(service, tiny_spec, tiny_records):
 
 @pytest.fixture(scope="module")
 def server(service):
-    srv = PredictionServer(service)
-    srv.serve_in_background()
-    yield srv
-    srv.close()
+    # The shared harness fronts the module-scoped service; stop() tears
+    # down only the HTTP server, leaving the service to its own fixture.
+    with ServedSystem(service=service) as system:
+        yield system
 
 
 def _http(server, method, path, payload=None):
-    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
-    body = None if payload is None else json.dumps(payload).encode()
-    conn.request(method, path, body=body,
-                 headers={"Content-Type": "application/json"})
-    response = conn.getresponse()
-    decoded = json.loads(response.read())
-    conn.close()
-    return response.status, decoded
+    status, _, body = server.request(method, path, payload=payload)
+    return status, body
 
 
 # -- in-process ----------------------------------------------------------
@@ -187,27 +181,19 @@ def test_http_error_mapping(server, tiny_records):
         assert status == 400, payload
         assert "error" in body
 
-    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
-    conn.request("POST", "/predict", body=b"{not json",
-                 headers={"Content-Type": "application/json"})
-    response = conn.getresponse()
-    assert response.status == 400
-    assert "invalid JSON" in json.loads(response.read())["error"]
-    conn.close()
+    status, _, body = server.request("POST", "/predict", raw_body=b"{not json")
+    assert status == 400
+    assert "invalid JSON" in body["error"]
 
 
 # -- /predict/bulk (NDJSON) ----------------------------------------------
 
 
 def _bulk(server, body: bytes, path="/predict/bulk?model=BDT"):
-    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
-    conn.request("POST", path, body=body,
-                 headers={"Content-Type": "application/x-ndjson"})
-    response = conn.getresponse()
-    data = response.read()
-    headers = dict(response.getheaders())
-    conn.close()
-    return response.status, headers, data
+    return server.request(
+        "POST", path, raw_body=body,
+        headers={"Content-Type": "application/x-ndjson"}, raw_response=True,
+    )
 
 
 def test_http_bulk_round_trip_is_bit_identical(server, tiny_records, direct):
@@ -273,14 +259,9 @@ def test_closed_service_refuses_predicts(tiny_spec, serve_cache):
 
 def _scrape(server) -> tuple[str, str]:
     """GET /metrics raw; returns (content_type, body text)."""
-    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
-    conn.request("GET", "/metrics")
-    response = conn.getresponse()
-    body = response.read().decode("utf-8")
-    content_type = response.getheader("Content-Type")
-    conn.close()
-    assert response.status == 200
-    return content_type, body
+    status, headers, body = server.get("/metrics", raw_response=True)
+    assert status == 200
+    return headers["Content-Type"], body.decode("utf-8")
 
 
 def test_metrics_endpoint_serves_valid_exposition(server, tiny_records):

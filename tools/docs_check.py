@@ -12,9 +12,11 @@ coverage in docs/PIPELINE.md, and that every module listed in the
 package docstring's layer map has a module docstring; that every
 top-level module under ``src/repro`` appears in
 docs/ARCHITECTURE.md's module index; that the serving surface
-(``repro.serve.__all__``) is covered by docs/SERVICE.md; and that the
+(``repro.serve.__all__``) is covered by docs/SERVICE.md; that the
 model-lifecycle surface (``repro.serve.lifecycle.__all__``) is covered
-by docs/LIFECYCLE.md. Run via ``make docs-check``.
+by docs/LIFECYCLE.md; and that the incident-benchmark surface
+(``repro.incidents.__all__``) is covered by docs/INCIDENTS.md. Run via
+``make docs-check``.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ OBS_DOC = REPO_ROOT / "docs" / "OBSERVABILITY.md"
 ARCH_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
 SERVICE_DOC = REPO_ROOT / "docs" / "SERVICE.md"
 LIFECYCLE_DOC = REPO_ROOT / "docs" / "LIFECYCLE.md"
+INCIDENTS_DOC = REPO_ROOT / "docs" / "INCIDENTS.md"
 PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
 
 
@@ -128,10 +131,19 @@ def check_lifecycle_doc() -> list[str]:
     return [name for name in module.__all__ if name not in text]
 
 
+def check_incidents_doc() -> list[str]:
+    """The incident-benchmark surface must be covered by docs/INCIDENTS.md."""
+    if not INCIDENTS_DOC.is_file():
+        return ["docs/INCIDENTS.md is missing entirely"]
+    text = INCIDENTS_DOC.read_text()
+    module = importlib.import_module("repro.incidents")
+    return [name for name in module.__all__ if name not in text]
+
+
 def main() -> int:
     problems: list[str] = []
     for module_name in ("repro", "repro.pipeline", "repro.faults", "repro.obs",
-                        "repro.serve"):
+                        "repro.serve", "repro.incidents"):
         for name in check_docstrings(module_name):
             problems.append(f"missing docstring: {name}")
     for name in check_api_doc():
@@ -150,6 +162,8 @@ def main() -> int:
         problems.append(
             f"absent from docs/LIFECYCLE.md: repro.serve.lifecycle.{name}"
         )
+    for name in check_incidents_doc():
+        problems.append(f"absent from docs/INCIDENTS.md: repro.incidents.{name}")
 
     if problems:
         print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)

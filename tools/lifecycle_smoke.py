@@ -32,12 +32,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import shutil
 import sys
 import time
-import urllib.error
-import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -49,18 +46,6 @@ SPEC_KWARGS = dict(
 )
 
 
-def http(method: str, url: str, body: dict | None = None):
-    data = json.dumps(body).encode() if body is not None else None
-    req = urllib.request.Request(url, data=data, method=method)
-    if data is not None:
-        req.add_header("Content-Type", "application/json")
-    try:
-        with urllib.request.urlopen(req, timeout=30) as resp:
-            return resp.status, dict(resp.headers), json.loads(resp.read())
-    except urllib.error.HTTPError as exc:
-        return exc.code, dict(exc.headers), json.loads(exc.read())
-
-
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--cache-dir", type=Path,
@@ -69,8 +54,8 @@ def main() -> int:
                         "failure so CI can upload the journal)")
     args = parser.parse_args()
 
+    from repro.incidents import ServedSystem
     from repro.pipeline import build_dataset
-    from repro.serve import create_server
     from repro.spec import ScenarioSpec
 
     if args.cache_dir.exists():
@@ -89,9 +74,9 @@ def main() -> int:
         for i in range(min(len(jobs), 40))
     ]
 
-    server = create_server(
+    server = ServedSystem(
         spec, cache_dir=args.cache_dir, warm=("online",), lifecycle=True
-    )
+    ).start()
     manager = server.service.lifecycle
     journal_path = manager.journal.path
     failures: list[str] = []
@@ -102,24 +87,26 @@ def main() -> int:
         if not ok:
             failures.append(what)
 
-    server.serve_in_background()
-    base = f"http://{server.address}"
+    def http(method: str, path: str, body: dict | None = None):
+        return server.request(method, path, payload=body)
+
     try:
-        print(f"serving {spec.label} on {base}  (journal: {journal_path})")
+        print(f"serving {spec.label} on {server.base_url}  "
+              f"(journal: {journal_path})")
 
         print("step 1: deprecation shims")
-        status, headers, _ = http("GET", f"{base}/models")
+        status, headers, _ = http("GET", "/models")
         check(status == 200, "legacy /models still answers")
         check(headers.get("Deprecation") == "true",
               "legacy /models carries Deprecation: true")
         check("successor-version" in headers.get("Link", ""),
               "legacy /models links its /v1 successor")
-        status, headers, _ = http("GET", f"{base}/v1/models")
+        status, headers, _ = http("GET", "/v1/models")
         check(status == 200 and "Deprecation" not in headers,
               "/v1/models answers without deprecation headers")
 
         print("step 2: feedback ingest")
-        status, _, out = http("POST", f"{base}/v1/feedback",
+        status, _, out = http("POST", "/v1/feedback",
                               {"jobs": records})
         check(status == 200 and out.get("accepted") == len(records),
               f"/v1/feedback accepted {len(records)} records")
@@ -132,7 +119,7 @@ def main() -> int:
             {**r, "power_w": r["power_w"] * 10.0, "nodes": r["nodes"] * 20}
             for r in records
         ]
-        status, _, out = http("POST", f"{base}/v1/feedback",
+        status, _, out = http("POST", "/v1/feedback",
                               {"jobs": shifted})
         check(status == 200, "/v1/feedback took the shifted window")
         check(bool(out.get("drift")), "drift rules fired on the response")
@@ -152,7 +139,7 @@ def main() -> int:
         deadline = time.monotonic() + 30
         before = None
         while time.monotonic() < deadline:
-            status, _, out = http("POST", f"{base}/v1/predict", predict_body)
+            status, _, out = http("POST", "/v1/predict", predict_body)
             if status != 200:
                 break
             before = out
@@ -167,14 +154,14 @@ def main() -> int:
               f"shadow evaluated mirrored traffic ({report})")
 
         print("step 5: promote")
-        status, _, out = http("POST", f"{base}/v1/admin/promote",
+        status, _, out = http("POST", "/v1/admin/promote",
                               {"model": "online", "version": candidate,
                                "who": "smoke", "why": "drift + shadow"})
         check(status == 200 and out.get("active") == candidate,
               f"promote flipped active to v{candidate}")
-        status, _, models = http("GET", f"{base}/v1/models")
+        status, _, models = http("GET", "/v1/models")
         row = next(r for r in models["models"] if r["model"] == "online")
-        status, _, hist = http("GET", f"{base}/v1/admin/history?model=online")
+        status, _, hist = http("GET", "/v1/admin/history?model=online")
         promotes = [e for e in hist["events"] if e["event"] == "promote"]
         check(bool(promotes) and promotes[-1]["version"] == row["active"],
               "/v1/models and the audit trail agree on the active version")
@@ -183,21 +170,21 @@ def main() -> int:
               "journal records who/why")
         check((promotes[-1].get("evidence") or {}).get("n", 0) > 0,
               "journal carries the shadow evidence")
-        status, _, after = http("POST", f"{base}/v1/predict", predict_body)
+        status, _, after = http("POST", "/v1/predict", predict_body)
         check(status == 200 and after["version"] == candidate,
               f"post-promote responses served by v{candidate}")
 
         print("step 6: rollback bit-identity")
-        status, _, out = http("POST", f"{base}/v1/admin/rollback",
+        status, _, out = http("POST", "/v1/admin/rollback",
                               {"model": "online", "who": "smoke",
                                "why": "smoke rollback"})
         check(status == 200 and out.get("active") == 1,
               "rollback restored v1")
-        status, _, restored = http("POST", f"{base}/v1/predict", predict_body)
+        status, _, restored = http("POST", "/v1/predict", predict_body)
         check(status == 200
               and restored["predictions"] == before["predictions"],
               "rolled-back predictions are bit-identical to pre-promote")
-        status, _, models = http("GET", f"{base}/v1/models")
+        status, _, models = http("GET", "/v1/models")
         row = next(r for r in models["models"] if r["model"] == "online")
         check(row["active"] == 1 and row["candidate"] is None,
               "lineage shows v1 active and the candidate retired")
