@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint coverage bench bench-check bench-smoke serve-bench serve-bench-check serve-smoke lifecycle-smoke bench-stream bench-stream-check stream-smoke chaos-soak chaos-smoke incidents-smoke incidents-bench incidents-bench-check docs-check pipeline clean-cache all
+.PHONY: test lint coverage bench bench-check bench-smoke serve-bench serve-bench-check serve-smoke lifecycle-smoke bench-stream bench-stream-check stream-smoke gpu-smoke gpu-baseline chaos-soak chaos-smoke incidents-smoke incidents-bench incidents-bench-check incidents-sweep docs-check pipeline clean-cache all
 
 all: lint test docs-check
 
@@ -55,6 +55,14 @@ stream-smoke:        ## CI smoke: small --stream build vs monolithic,
                      ## in stream-smoke-manifest.json
 	$(PYTHON) tools/stream_smoke.py
 
+gpu-smoke:           ## CI gate: GPU scenario byte-identity (stream vs
+                     ## monolithic) + both heterogeneous tracks graded
+                     ## against the committed SCORECARD_gpu.json
+	$(PYTHON) tools/gpu_smoke.py --check
+
+gpu-baseline:        ## rerun the gpu smoke and rewrite SCORECARD_gpu.json
+	$(PYTHON) tools/gpu_smoke.py --update
+
 chaos-soak:          ## fault-injection soak: 0 lost requests, all points fire
 	$(PYTHON) tools/chaos_soak.py --duration 20
 
@@ -71,6 +79,10 @@ incidents-bench:     ## run the full incident catalog, rewrite SCORECARD_inciden
 
 incidents-bench-check: ## verify the committed scorecard still reproduces
 	$(PYTHON) tools/incidents_bench.py --check
+
+incidents-sweep:     ## the slow-marked incident catalog sweep (weekly CI;
+                     ## tier-1 skips these via the pyproject -m filter)
+	$(PYTHON) -m pytest -m slow -q
 
 docs-check:          ## every public symbol has a docstring and an API.md entry
 	$(PYTHON) tools/docs_check.py

@@ -17,7 +17,14 @@ from repro.analysis.job_level import (
 )
 from repro.analysis.full_report import full_report
 from repro.analysis.phase_detection import PhaseAnalysis, analyze_phases, detect_phases
-from repro.analysis.prediction import default_models, run_prediction
+from repro.analysis.prediction import (
+    default_models,
+    failure_models,
+    run_failure_classification,
+    run_gpu_prediction,
+    run_prediction,
+    run_track,
+)
 from repro.analysis.stragglers import (
     NodeFactorEstimate,
     StragglerReport,
@@ -61,7 +68,11 @@ __all__ = [
     "ClusterVariability",
     "cluster_variability",
     "default_models",
+    "failure_models",
     "run_prediction",
+    "run_track",
+    "run_gpu_prediction",
+    "run_failure_classification",
     "PhaseAnalysis",
     "detect_phases",
     "analyze_phases",

@@ -131,5 +131,62 @@ def full_report(
             add(f"| {name} | {_pct(s.mean)} | {_pct(s.frac_below_5pct)} | "
                 f"{_pct(s.frac_below_10pct)} |")
         add("")
+        lines.extend(_track_sections(dataset, n_repeats))
 
     return "\n".join(lines)
+
+
+def _track_sections(dataset: JobDataset, n_repeats: int) -> list[str]:
+    """Extra evaluation-track tables for systems that model them.
+
+    A CPU-only dataset (emmy/meggie) has neither GPU nor exit-state
+    columns, so its report is unchanged; heterogeneous systems
+    (docs/SCENARIOS.md) gain one table per applicable track.
+    """
+    from repro.analysis.prediction import (
+        run_failure_classification,
+        run_gpu_prediction,
+    )
+
+    lines: list[str] = []
+    add = lines.append
+    jobs = dataset.jobs
+    if "gpu_power_w" in jobs:
+        try:
+            results = run_gpu_prediction(dataset, n_repeats=n_repeats)
+        except AnalysisError:
+            results = None  # too few GPU jobs to split; skip the table
+        if results:
+            add("## GPU board-power prediction (gpu_power track)")
+            add("")
+            n_gpu = int((jobs["gpus"] > 0).sum())
+            add(f"Over the {n_gpu} jobs holding boards; features add the "
+                "allocated board count.")
+            add("")
+            add("| model | mean err | <5% err | <10% err |")
+            add("|---|---|---|---|")
+            for name, result in results.items():
+                s = result.summary
+                add(f"| {name} | {_pct(s.mean)} | {_pct(s.frac_below_5pct)} "
+                    f"| {_pct(s.frac_below_10pct)} |")
+            add("")
+    if "failed" in jobs:
+        try:
+            results = run_failure_classification(dataset, n_repeats=n_repeats)
+        except AnalysisError:
+            results = None
+        if results:
+            base_rate = float(jobs["failed"].astype(float).mean())
+            add("## Failure-probability classification (failures track)")
+            add("")
+            add(f"Base failure rate {_pct(base_rate)}; errors are Brier "
+                "(squared-probability) scores — lower is better, and "
+                f"always predicting the base rate scores "
+                f"{base_rate * (1 - base_rate):.4f}.")
+            add("")
+            add("| model | mean Brier |")
+            add("|---|---|")
+            for name, result in results.items():
+                add(f"| {name} | {result.summary.mean:.4f} |")
+            add("")
+    return lines

@@ -4,6 +4,11 @@ Wires the paper's three models and evaluation protocol onto a dataset's
 job table. Features: user id, number of nodes, requested walltime —
 everything available *before* the job starts (actual runtime is
 deliberately excluded, as in the paper).
+
+The heterogeneous systems add two more tracks on the same protocol
+(docs/SCENARIOS.md): :func:`run_gpu_prediction` regresses GPU-job board
+power, :func:`run_failure_classification` regresses failure probability
+(graded by Brier error, not percentage error).
 """
 
 from __future__ import annotations
@@ -12,15 +17,25 @@ from typing import Callable, Mapping
 
 from repro.errors import AnalysisError
 from repro.ml import (
+    FAILURE_TRACK,
+    GPU_POWER_TRACK,
     DecisionTreeRegressor,
     FLDARegressor,
     KNNRegressor,
     PredictionResult,
+    Track,
     evaluate_models,
 )
 from repro.telemetry.dataset import JobDataset
 
-__all__ = ["default_models", "run_prediction"]
+__all__ = [
+    "default_models",
+    "failure_models",
+    "run_prediction",
+    "run_track",
+    "run_gpu_prediction",
+    "run_failure_classification",
+]
 
 
 def default_models() -> dict[str, Callable[[], object]]:
@@ -40,6 +55,19 @@ def default_models() -> dict[str, Callable[[], object]]:
     }
 
 
+def failure_models() -> dict[str, Callable[[], object]]:
+    """Probability models for the failure track.
+
+    The same regressors, pointed at a 0/1 target: BDT leaf means and
+    KNN neighbour means are empirical failure rates. FLDA is dropped —
+    quantile-binning a two-valued target degenerates.
+    """
+    return {
+        "BDT": lambda: DecisionTreeRegressor(min_samples_leaf=5),
+        "KNN": lambda: KNNRegressor(k=15, use_categorical=False, weighting="uniform"),
+    }
+
+
 def run_prediction(
     dataset: JobDataset,
     models: Mapping[str, Callable[[], object]] | None = None,
@@ -56,4 +84,59 @@ def run_prediction(
         models or default_models(),
         n_repeats=n_repeats,
         seed=seed,
+    )
+
+
+def run_track(
+    dataset: JobDataset,
+    track: Track,
+    models: Mapping[str, Callable[[], object]] | None = None,
+    n_repeats: int = 10,
+    seed: int = 0,
+) -> dict[str, PredictionResult]:
+    """The paper's repeated-split protocol on one :class:`~repro.ml.Track`.
+
+    Selects the track's rows from the dataset's job table, then runs
+    :func:`repro.ml.evaluate_models` with the track's target, feature
+    spec, and per-prediction error metric.
+    """
+    rows = track.select(dataset.jobs)
+    if len(rows) < track.min_rows:
+        raise AnalysisError(
+            f"track {track.name!r} needs >= {track.min_rows} eligible jobs, "
+            f"got {len(rows)} (of {dataset.num_jobs})"
+        )
+    return evaluate_models(
+        rows,
+        models or default_models(),
+        n_repeats=n_repeats,
+        seed=seed,
+        feature_spec=track.feature_spec(),
+        target_column=track.target_column,
+        error_fn=track.error_fn,
+    )
+
+
+def run_gpu_prediction(
+    dataset: JobDataset,
+    models: Mapping[str, Callable[[], object]] | None = None,
+    n_repeats: int = 10,
+    seed: int = 0,
+) -> dict[str, PredictionResult]:
+    """GPU-job board-power regression over the jobs holding boards."""
+    return run_track(
+        dataset, GPU_POWER_TRACK, models=models, n_repeats=n_repeats, seed=seed
+    )
+
+
+def run_failure_classification(
+    dataset: JobDataset,
+    models: Mapping[str, Callable[[], object]] | None = None,
+    n_repeats: int = 10,
+    seed: int = 0,
+) -> dict[str, PredictionResult]:
+    """Failure-probability classification; errors are Brier scores."""
+    return run_track(
+        dataset, FAILURE_TRACK, models=models or failure_models(),
+        n_repeats=n_repeats, seed=seed,
     )

@@ -14,6 +14,9 @@ Subcommands
                 ``serve history`` / ``serve replay`` verbs administer
                 the journaled version lineage offline.
 ``specs``     — print Table 1.
+``systems``   — the registered system catalog: ``list`` prints one
+                line per system with workload profile, node count, and
+                GPU inventory (docs/SCENARIOS.md).
 ``pipeline``  — the cached, parallel experiment runner
                 (``run`` / ``run-all`` / ``status`` / ``clean``); see
                 docs/PIPELINE.md.
@@ -46,6 +49,11 @@ __all__ = ["main", "build_parser"]
 
 _SPEC_DEFAULTS = ScenarioSpec()
 
+# Mirrors repro.cluster.known_systems() — spelled out here so building
+# the parser never imports the (numpy-heavy) cluster package; a test
+# pins the two lists together.
+_SYSTEM_CHOICES = ("alex", "emmy", "meggie", "woody")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -59,7 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
         # One flag per ScenarioSpec field, defaults taken from the spec
         # itself so the CLI can never drift from the canonical scenario
         # description.
-        p.add_argument("--system", choices=("emmy", "meggie"),
+        p.add_argument("--system", choices=_SYSTEM_CHOICES,
                        default=_SPEC_DEFAULTS.system)
         p.add_argument("--seed", type=int, default=_SPEC_DEFAULTS.seed)
         p.add_argument("--num-nodes", type=int, default=_SPEC_DEFAULTS.num_nodes,
@@ -186,6 +194,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="feedback records per batch")
 
     sub.add_parser("specs", help="print the Table 1 system specifications")
+
+    systems = sub.add_parser(
+        "systems",
+        help="the registered system catalog (docs/SCENARIOS.md)",
+    )
+    ssub = systems.add_subparsers(dest="systems_command", required=True)
+    slist = ssub.add_parser(
+        "list",
+        help="one line per system: profile, nodes, GPU inventory",
+    )
+    slist.add_argument("--json", action="store_true",
+                       help="machine-readable catalog instead of the table")
 
     obs = sub.add_parser(
         "obs",
@@ -339,6 +359,45 @@ def _cmd_specs() -> int:
         }
     )
     print(format_table(table))
+    return 0
+
+
+def _cmd_systems(args: argparse.Namespace) -> int:
+    if args.systems_command == "list":
+        return _cmd_systems_list(args)
+    raise AssertionError(f"unhandled systems command {args.systems_command!r}")
+
+
+def _cmd_systems_list(args: argparse.Namespace) -> int:
+    from repro.cluster import get_spec, known_systems
+
+    specs = [get_spec(name) for name in known_systems()]
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "system": s.name,
+                    "profile": s.workload_profile,
+                    "nodes": s.num_nodes,
+                    "node_tdp_watts": s.node_tdp_watts,
+                    "gpu_nodes": s.gpu_node_count,
+                    "gpus_per_node": s.gpus_per_node,
+                    "total_gpus": s.total_gpus,
+                    "gpu_model": s.gpu_model,
+                    "gpu_tdp_watts": s.gpu_tdp_watts,
+                }
+                for s in specs
+            ],
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"{'system':<8} {'profile':<8} {'nodes':>6} {'gpu nodes':>10} "
+          f"{'gpus/node':>10} {'total gpus':>11}  gpu model")
+    for s in specs:
+        gpu_model = s.gpu_model or "-"
+        print(f"{s.name:<8} {s.workload_profile:<8} {s.num_nodes:>6} "
+              f"{s.gpu_node_count:>10} {s.gpus_per_node:>10} "
+              f"{s.total_gpus:>11}  {gpu_model}")
     return 0
 
 
@@ -681,12 +740,14 @@ def _cmd_pipeline_status(args: argparse.Namespace) -> int:
                       f"`pipeline clean --stage {e.stage}` removes it)")
                 continue
             label = e.meta.get("label", "?")
+            system = (e.meta.get("system")
+                      or e.meta.get("config", {}).get("system", "?"))
             n = e.meta.get("n_items", e.meta.get("n_jobs", "?"))
             secs = e.meta.get("seconds")
             rate = ""
             if secs and isinstance(n, (int, float)):
                 rate = f"  {n / secs:,.0f} items/s"
-            print(f"  {e.key[:12]}…  {label:16s} {n} items  "
+            print(f"  {e.key[:12]}…  {label:16s} [{system}] {n} items  "
                   f"{e.size_bytes / 1e6:.1f} MB{rate}")
     print(f"total: {cache.size_bytes() / 1e6:.1f} MB")
     return 0
@@ -886,6 +947,8 @@ def main(argv: list[str] | None = None) -> int:
 def _dispatch(args) -> int:
     if args.command == "specs":
         return _cmd_specs()
+    if args.command == "systems":
+        return _cmd_systems(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "analyze":

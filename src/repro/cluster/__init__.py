@@ -6,10 +6,20 @@ manufacturing variability, a RAPL measurement model with one-minute
 averaged sampling, and a LINPACK reference workload.
 """
 
+from repro.cluster.gpu import GPU_IDLE_FRACTION, GPU_NOISE_SIGMA, GpuPowerModel
 from repro.cluster.linpack import linpack_power_draw
 from repro.cluster.node import Node, build_nodes
 from repro.cluster.rapl import RaplModel, RaplSample
-from repro.cluster.specs import EMMY, MEGGIE, SystemSpec, get_spec, known_systems
+from repro.cluster.specs import (
+    ALEX,
+    EMMY,
+    MEGGIE,
+    WOODY,
+    WORKLOAD_PROFILES,
+    SystemSpec,
+    get_spec,
+    known_systems,
+)
 from repro.cluster.system import Cluster
 from repro.cluster.variability import VariabilityModel
 
@@ -17,6 +27,9 @@ __all__ = [
     "SystemSpec",
     "EMMY",
     "MEGGIE",
+    "ALEX",
+    "WOODY",
+    "WORKLOAD_PROFILES",
     "get_spec",
     "known_systems",
     "Node",
@@ -26,4 +39,7 @@ __all__ = [
     "RaplModel",
     "RaplSample",
     "linpack_power_draw",
+    "GpuPowerModel",
+    "GPU_IDLE_FRACTION",
+    "GPU_NOISE_SIGMA",
 ]

@@ -1,0 +1,76 @@
+"""Seeded GPU board-power model, the accelerator-side sibling of RAPL.
+
+The CPU side of a node is measured by :class:`repro.cluster.rapl.RaplModel`
+against the node TDP; accelerators are measured here against the board
+power limit (``SystemSpec.gpu_tdp_watts``). The model is deliberately
+simple and fully seeded, mirroring the two-stage GPU power framework of
+arXiv:2604.02158: a job declares the fraction of board power its kernels
+sustain (``gpu_fraction``), each physical GPU applies its node's
+manufacturing-variability factor, and a small lognormal-ish measurement
+noise rides on top. Idle boards still draw — HBM refresh and fans —
+captured as a fixed fraction of the limit.
+
+Everything is vectorized over GPUs so the telemetry sampler can fold the
+per-job draw into one fused RNG pass (the layout contract that keeps the
+chunked/streaming build bit-identical with the monolithic one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.specs import SystemSpec
+from repro.errors import ClusterError
+
+__all__ = ["GpuPowerModel", "GPU_IDLE_FRACTION", "GPU_NOISE_SIGMA"]
+
+# Idle board draw (HBM refresh, fans, uncore) as a fraction of the board
+# power limit; A100 boards idle around 8-12% of their 400 W cap.
+GPU_IDLE_FRACTION = 0.10
+
+# Relative 1-sigma of the per-sample measurement noise on board power.
+GPU_NOISE_SIGMA = 0.03
+
+
+class GpuPowerModel:
+    """Board-power model for one system's accelerators.
+
+    Parameters
+    ----------
+    spec:
+        The system whose GPUs are modeled; must have ``has_gpus``.
+    noise_sigma:
+        Relative standard deviation of per-sample measurement noise.
+    """
+
+    def __init__(self, spec: SystemSpec, noise_sigma: float = GPU_NOISE_SIGMA) -> None:
+        if not spec.has_gpus:
+            raise ClusterError(f"{spec.name}: system has no GPUs to model")
+        self.spec = spec
+        self.tdp_watts = float(spec.gpu_tdp_watts)
+        self.idle_watts = GPU_IDLE_FRACTION * self.tdp_watts
+        self.noise_sigma = float(noise_sigma)
+
+    def nominal(self, gpu_fraction: float) -> float:
+        """Noise- and variability-free draw of one board (clipped)."""
+        draw = self.tdp_watts * float(gpu_fraction)
+        return float(np.clip(draw, self.idle_watts, self.tdp_watts))
+
+    def sample(
+        self,
+        gpu_fraction,
+        factors,
+        z,
+    ) -> np.ndarray:
+        """Measured per-board draw for pre-drawn standard normals ``z``.
+
+        ``gpu_fraction`` broadcasts against ``factors`` (per-GPU
+        variability multipliers) and ``z`` (standard normals, one per
+        GPU). Taking ``z`` rather than an RNG keeps the draw layout in
+        the caller's hands — the fused telemetry pass owns the stream.
+        """
+        fraction = np.asarray(gpu_fraction, dtype=float)
+        factors = np.asarray(factors, dtype=float)
+        z = np.asarray(z, dtype=float)
+        draw = self.tdp_watts * fraction * factors * (1.0 + self.noise_sigma * z)
+        return np.clip(draw, self.idle_watts, self.tdp_watts)

@@ -28,6 +28,9 @@ class Node:
     tdp_watts: float
     power_factor: float
     idle_watts: float
+    # Accelerators physically installed in this node (0 on CPU-only
+    # systems and outside a mixed partition's GPU island).
+    gpus: int = 0
 
     def __post_init__(self) -> None:
         if self.tdp_watts <= 0:
@@ -38,6 +41,8 @@ class Node:
             raise ClusterError(
                 f"node {self.node_id}: idle power must be in [0, TDP)"
             )
+        if self.gpus < 0:
+            raise ClusterError(f"node {self.node_id}: gpus must be >= 0")
 
     def effective_power(self, nominal_watts) -> np.ndarray:
         """Apply this node's variability factor and clip to [idle, TDP]."""
@@ -67,6 +72,7 @@ def build_nodes(
             tdp_watts=spec.node_tdp_watts,
             power_factor=float(f),
             idle_watts=idle,
+            gpus=spec.gpus_on(i),
         )
         for i, f in enumerate(factors)
     ]

@@ -1,4 +1,5 @@
-"""System specifications — Table 1 of the paper, as data.
+"""System specifications — Table 1 of the paper, as data, plus
+heterogeneous extensions.
 
 Two medium-scale production clusters at FAU/RRZE:
 
@@ -10,6 +11,15 @@ Two medium-scale production clusters at FAU/RRZE:
 The paper's Sec. 2 text says Emmy "consists of 568 compute nodes" while
 Table 1 lists 560; we follow Table 1 (the table is what every subsequent
 per-system computation in the paper uses).
+
+Beyond the paper, the registry carries heterogeneous GPU/ML systems
+(docs/SCENARIOS.md) in the spirit of Chu et al. (arXiv:2409.08949):
+
+* **Alex** — an A100-class ML training cluster: every node carries
+  8 accelerators, the workload catalog is ML training jobs.
+* **Woody** — a mixed partition: a GPU island (the first ``gpu_nodes``
+  node ids) inside an otherwise CPU-only system, serving both the HPC
+  and the ML job catalogs.
 """
 
 from __future__ import annotations
@@ -18,7 +28,20 @@ from dataclasses import dataclass
 
 from repro.errors import ClusterError
 
-__all__ = ["SystemSpec", "EMMY", "MEGGIE", "get_spec", "known_systems"]
+__all__ = [
+    "SystemSpec",
+    "EMMY",
+    "MEGGIE",
+    "ALEX",
+    "WOODY",
+    "get_spec",
+    "known_systems",
+    "WORKLOAD_PROFILES",
+]
+
+# Which job catalog a system draws from: "hpc" is the paper's generic
+# application mix, "ml" the training-job catalog, "mixed" both.
+WORKLOAD_PROFILES = ("hpc", "ml", "mixed")
 
 
 @dataclass(frozen=True)
@@ -46,6 +69,19 @@ class SystemSpec:
     # Fraction of node power drawn by DRAM under a memory-heavy load;
     # used by the RAPL model to split PKG vs DRAM domains.
     dram_power_fraction: float = 0.18
+    # -- heterogeneous extensions (all default to "no GPUs", so the
+    # paper's CPU-only systems are untouched) -------------------------
+    # Accelerators per GPU-carrying node (0 = CPU-only system).
+    gpus_per_node: int = 0
+    # How many node ids (the *first* gpu_nodes of them) carry GPUs;
+    # None means every node does, when gpus_per_node > 0.
+    gpu_nodes: int | None = None
+    gpu_model: str = ""
+    # Board power limit of one accelerator; the GPU power model draws
+    # against this the way the RAPL model draws against node TDP.
+    gpu_tdp_watts: float = 0.0
+    # Which job catalog this system runs (see WORKLOAD_PROFILES).
+    workload_profile: str = "hpc"
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -54,6 +90,21 @@ class SystemSpec:
             raise ClusterError(f"{self.name}: node TDP must be positive")
         if not 0 <= self.dram_power_fraction < 1:
             raise ClusterError(f"{self.name}: dram_power_fraction must be in [0, 1)")
+        if self.gpus_per_node < 0:
+            raise ClusterError(f"{self.name}: gpus_per_node must be >= 0")
+        if self.gpus_per_node > 0 and self.gpu_tdp_watts <= 0:
+            raise ClusterError(f"{self.name}: GPU systems need gpu_tdp_watts > 0")
+        if self.gpu_nodes is not None:
+            if self.gpus_per_node == 0:
+                raise ClusterError(f"{self.name}: gpu_nodes set without gpus_per_node")
+            if not 0 < self.gpu_nodes <= self.num_nodes:
+                raise ClusterError(
+                    f"{self.name}: gpu_nodes must be in (0, num_nodes]"
+                )
+        if self.workload_profile not in WORKLOAD_PROFILES:
+            raise ClusterError(
+                f"{self.name}: workload_profile must be one of {WORKLOAD_PROFILES}"
+            )
 
     @property
     def total_tdp_watts(self) -> float:
@@ -68,6 +119,29 @@ class SystemSpec:
     def linpack_node_power_watts(self) -> float:
         """Measured LINPACK draw divided across nodes."""
         return self.linpack_power_kw * 1e3 / self.num_nodes
+
+    # -- GPU inventory ----------------------------------------------------
+
+    @property
+    def has_gpus(self) -> bool:
+        """Whether any node of this system carries accelerators."""
+        return self.gpus_per_node > 0
+
+    @property
+    def gpu_node_count(self) -> int:
+        """How many nodes carry GPUs (0 for CPU-only systems)."""
+        if self.gpus_per_node == 0:
+            return 0
+        return self.num_nodes if self.gpu_nodes is None else self.gpu_nodes
+
+    @property
+    def total_gpus(self) -> int:
+        """Accelerators across the whole system."""
+        return self.gpu_node_count * self.gpus_per_node
+
+    def gpus_on(self, node_id: int) -> int:
+        """Accelerator count of one node id (GPU island = lowest ids)."""
+        return self.gpus_per_node if node_id < self.gpu_node_count else 0
 
 
 EMMY = SystemSpec(
@@ -112,7 +186,67 @@ MEGGIE = SystemSpec(
     inflow_temperature_c=(28.0, 30.0),
 )
 
-_REGISTRY: dict[str, SystemSpec] = {EMMY.name: EMMY, MEGGIE.name: MEGGIE}
+# Heterogeneous systems beyond the paper (docs/SCENARIOS.md). Numbers
+# are modeled on FAU's Alex A100 cluster and a hypothetical mixed
+# partition; LINPACK figures are GPU-dominated for Alex.
+
+ALEX = SystemSpec(
+    name="alex",
+    num_nodes=82,
+    node_tdp_watts=360.0,
+    processor="2x AMD EPYC 7713",
+    microarchitecture="Zen3",
+    process_node_nm=7,
+    sockets_per_node=2,
+    cores_per_socket=64,
+    memory_gb=1024,
+    memory_type="DDR4-3200",
+    interconnect="HDR InfiniBand",
+    topology="fat-tree",
+    batch_system="slurm",
+    smt_enabled=True,
+    turbo_enabled=True,
+    linpack_tflops=4390.0,
+    linpack_power_kw=310.0,
+    inflow_temperature_c=(24.0, 26.0),
+    gpus_per_node=8,
+    gpu_model="NVIDIA A100-SXM4-40GB",
+    gpu_tdp_watts=400.0,
+    workload_profile="ml",
+)
+
+WOODY = SystemSpec(
+    name="woody",
+    num_nodes=128,
+    node_tdp_watts=240.0,
+    processor="2x Intel Xeon Gold 6326",
+    microarchitecture="IceLake",
+    process_node_nm=10,
+    sockets_per_node=2,
+    cores_per_socket=16,
+    memory_gb=256,
+    memory_type="DDR4-3200",
+    interconnect="HDR100 InfiniBand",
+    topology="1:4 blocking",
+    batch_system="slurm",
+    smt_enabled=False,
+    turbo_enabled=True,
+    linpack_tflops=610.0,
+    linpack_power_kw=95.0,
+    inflow_temperature_c=(25.0, 27.0),
+    gpus_per_node=4,
+    gpu_nodes=32,
+    gpu_model="NVIDIA A40",
+    gpu_tdp_watts=300.0,
+    workload_profile="mixed",
+)
+
+_REGISTRY: dict[str, SystemSpec] = {
+    EMMY.name: EMMY,
+    MEGGIE.name: MEGGIE,
+    ALEX.name: ALEX,
+    WOODY.name: WOODY,
+}
 
 
 def known_systems() -> list[str]:

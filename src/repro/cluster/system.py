@@ -36,21 +36,41 @@ class Cluster:
             if num_nodes <= 0:
                 raise ClusterError("num_nodes override must be positive")
             # Scaled-down replica used by tests/benches: same per-node
-            # characteristics, fewer nodes.
+            # characteristics, fewer nodes. A mixed partition's GPU
+            # island scales proportionally so the replica keeps the
+            # same heterogeneity (never dropping to zero GPU nodes).
+            overrides: dict = {"num_nodes": num_nodes}
+            if spec.gpu_nodes is not None:
+                overrides["gpu_nodes"] = min(
+                    num_nodes,
+                    max(1, round(spec.gpu_nodes * num_nodes / spec.num_nodes)),
+                )
             spec = SystemSpec(
                 **{
                     **{f: getattr(spec, f) for f in spec.__dataclass_fields__},
-                    "num_nodes": num_nodes,
+                    **overrides,
                 }
             )
         self.spec = spec
         rng = RngFactory(seed).get(f"cluster.{spec.name}.variability")
         self.nodes: list[Node] = build_nodes(spec, rng, variability)
         self._factors = np.asarray([n.power_factor for n in self.nodes])
+        self._gpu_counts = np.asarray([n.gpus for n in self.nodes], dtype=np.int64)
+        if spec.has_gpus:
+            # Per-node GPU variability comes from its own seeded stream
+            # so CPU-only byte-identity (emmy/meggie goldens) and the
+            # CPU factor sequence are untouched by the GPU inventory.
+            gpu_rng = RngFactory(seed).get(f"cluster.{spec.name}.gpu")
+            raw = (variability or VariabilityModel()).draw_factors(
+                spec.num_nodes, gpu_rng
+            )
+            self._gpu_factors = np.where(self._gpu_counts > 0, raw, 1.0)
+        else:
+            self._gpu_factors = np.ones(spec.num_nodes)
 
     @classmethod
     def from_name(cls, name: str, seed: int = 0, num_nodes: int | None = None) -> "Cluster":
-        """Build a cluster from a built-in spec name ('emmy' / 'meggie')."""
+        """Build a cluster from a registered spec name (see known_systems)."""
         return cls(get_spec(name), seed=seed, num_nodes=num_nodes)
 
     # -- convenience accessors -------------------------------------------
@@ -77,6 +97,25 @@ class Cluster:
         v = self._factors.view()
         v.flags.writeable = False
         return v
+
+    @property
+    def gpu_counts(self) -> np.ndarray:
+        """Accelerators installed per node id (read-only view)."""
+        v = self._gpu_counts.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def gpu_factors(self) -> np.ndarray:
+        """Per-node GPU variability multiplier (1.0 on GPU-less nodes)."""
+        v = self._gpu_factors.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def total_gpus(self) -> int:
+        """Accelerators across the instantiated nodes."""
+        return int(self._gpu_counts.sum())
 
     def node(self, node_id: int) -> Node:
         if not 0 <= node_id < self.num_nodes:

@@ -60,6 +60,7 @@ def generate_dataset(
 def evaluate(
     scenario: _SpecLike = None,
     *,
+    track: str = "power",
     models: Mapping[str, Callable[[], object]] | None = None,
     n_repeats: int = 10,
     cache_dir=None,
@@ -68,18 +69,36 @@ def evaluate(
     """Run the paper's prediction protocol for one scenario.
 
     Builds the scenario's dataset through the artifact cache, then runs
-    :func:`repro.analysis.run_prediction` (BDT/KNN/FLDA by default).
+    the requested evaluation track (``repro.ml.known_tracks()``):
+
+    * ``"power"`` (default) — :func:`repro.analysis.run_prediction`,
+      the paper's per-node CPU power protocol (BDT/KNN/FLDA);
+    * ``"gpu_power"`` — GPU-job board-power regression (GPU systems);
+    * ``"failures"`` — failure-probability classification, graded by
+      Brier error (ML/mixed systems).
+
     Returns ``{model name: PredictionResult}``.
     """
     scenario_kwargs, passthrough = _split_kwargs(kwargs)
     spec = as_scenario(scenario, **scenario_kwargs)
-    from repro.analysis import run_prediction
+    from repro.analysis import (
+        run_failure_classification,
+        run_gpu_prediction,
+        run_prediction,
+    )
+    from repro.ml import get_track
+
+    runner = {
+        "power": run_prediction,
+        "gpu_power": run_gpu_prediction,
+        "failures": run_failure_classification,
+    }[get_track(track).name]
     from repro.pipeline import build_dataset
 
     dataset = build_dataset(
         **spec.dataset_kwargs(), cache_dir=cache_dir, **passthrough
     )
-    return run_prediction(dataset, models=models, n_repeats=n_repeats, seed=spec.seed)
+    return runner(dataset, models=models, n_repeats=n_repeats, seed=spec.seed)
 
 
 def create_server(

@@ -24,7 +24,13 @@ from repro.ml.baselines import (
 from repro.ml.encoding import FeatureSpec, encode_features
 from repro.ml.flda import FLDARegressor
 from repro.ml.knn import KNNRegressor
-from repro.ml.metrics import absolute_percentage_error, error_summary, per_group_error
+from repro.ml.metrics import (
+    absolute_percentage_error,
+    brier_error,
+    classification_summary,
+    error_summary,
+    per_group_error,
+)
 from repro.ml.online import OnlinePowerPredictor, OnlineResult, evaluate_online
 from repro.ml.pipeline import (
     FittedPredictor,
@@ -34,6 +40,14 @@ from repro.ml.pipeline import (
     prediction_features,
 )
 from repro.ml.split import train_validation_split, repeated_splits
+from repro.ml.tracks import (
+    FAILURE_TRACK,
+    GPU_POWER_TRACK,
+    POWER_TRACK,
+    Track,
+    get_track,
+    known_tracks,
+)
 from repro.ml.tree import DecisionTreeRegressor
 
 __all__ = [
@@ -52,8 +66,16 @@ __all__ = [
     "train_validation_split",
     "repeated_splits",
     "absolute_percentage_error",
+    "brier_error",
+    "classification_summary",
     "error_summary",
     "per_group_error",
+    "Track",
+    "POWER_TRACK",
+    "GPU_POWER_TRACK",
+    "FAILURE_TRACK",
+    "known_tracks",
+    "get_track",
     "PredictionResult",
     "FittedPredictor",
     "fit_predictor",

@@ -15,7 +15,9 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.stats.distributions import ECDF
 
-__all__ = ["absolute_percentage_error", "error_summary", "per_group_error", "ErrorSummary"]
+__all__ = ["absolute_percentage_error", "brier_error", "classification_summary",
+           "error_summary", "per_group_error", "ErrorSummary",
+           "ClassificationSummary"]
 
 
 def absolute_percentage_error(actual, predicted) -> np.ndarray:
@@ -29,6 +31,26 @@ def absolute_percentage_error(actual, predicted) -> np.ndarray:
     if np.any(actual <= 0):
         raise ValidationError("actual values must be positive for percentage error")
     return np.abs(actual - predicted) / actual
+
+
+def brier_error(actual, predicted) -> np.ndarray:
+    """Per-prediction squared probability error for a 0/1 target.
+
+    The classification-track counterpart of
+    :func:`absolute_percentage_error`: ``actual`` holds 0/1 outcomes,
+    ``predicted`` probabilities (clipped into [0, 1] — regressors can
+    overshoot slightly). Lives in [0, 1]; 0.25 is the score of always
+    answering 0.5.
+    """
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if actual.shape != predicted.shape:
+        raise ValidationError(
+            f"shape mismatch: actual {actual.shape} vs predicted {predicted.shape}"
+        )
+    if np.any((actual != 0.0) & (actual != 1.0)):
+        raise ValidationError("actual values must be 0/1 for Brier error")
+    return (np.clip(predicted, 0.0, 1.0) - actual) ** 2
 
 
 @dataclass(frozen=True)
@@ -63,6 +85,46 @@ def error_summary(errors) -> ErrorSummary:
         frac_below_5pct=float(ecdf(0.05)),
         frac_below_10pct=float(ecdf(0.10)),
         n=int(e.size),
+    )
+
+
+@dataclass(frozen=True)
+class ClassificationSummary:
+    """Threshold-free and thresholded quality of probability predictions."""
+
+    brier: float
+    accuracy: float
+    base_rate: float
+    n: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "brier": self.brier,
+            "accuracy": self.accuracy,
+            "base_rate": self.base_rate,
+            "n": self.n,
+        }
+
+
+def classification_summary(actual, predicted) -> ClassificationSummary:
+    """Summarize probability predictions of a 0/1 outcome.
+
+    ``brier`` is the mean squared probability error, ``accuracy`` the
+    hit rate at the 0.5 threshold, ``base_rate`` the outcome prevalence
+    (the score to beat: always predicting the base rate gives Brier
+    ``base_rate * (1 - base_rate)``).
+    """
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    errors = brier_error(actual, predicted)
+    if errors.size == 0:
+        raise ValidationError("classification_summary requires a non-empty sample")
+    hits = (np.clip(predicted, 0.0, 1.0) >= 0.5) == (actual >= 0.5)
+    return ClassificationSummary(
+        brier=float(errors.mean()),
+        accuracy=float(hits.mean()),
+        base_rate=float(actual.mean()),
+        n=int(errors.size),
     )
 
 

@@ -40,9 +40,11 @@ def prediction_features(spec: FeatureSpec | None = None) -> list[str]:
     return list(spec.categorical_columns) + list(spec.numeric_columns)
 
 
-def _check_feature_columns(jobs: Table, spec: FeatureSpec, need_target: bool) -> None:
-    if need_target and TARGET_COLUMN not in jobs:
-        raise ValidationError(f"job table lacks the target column {TARGET_COLUMN!r}")
+def _check_feature_columns(
+    jobs: Table, spec: FeatureSpec, target: str | None
+) -> None:
+    if target is not None and target not in jobs:
+        raise ValidationError(f"job table lacks the target column {target!r}")
     for col in prediction_features(spec):
         if col not in jobs:
             raise ValidationError(f"job table lacks feature column {col!r}")
@@ -83,6 +85,9 @@ class FittedPredictor:
     feature_spec: FeatureSpec
     encoders: dict[str, CategoryEncoder]
     n_train: int
+    # Class-attribute default so predictors pickled before the column
+    # became configurable still unpickle to the power target.
+    target_column: str = TARGET_COLUMN
 
     @property
     def known_users(self) -> frozenset[str]:
@@ -100,7 +105,7 @@ class FittedPredictor:
         :class:`~repro.serve.flat_bdt.FlatBDTServable` all call it, so
         their features are identical by construction.
         """
-        _check_feature_columns(jobs, self.feature_spec, need_target=False)
+        _check_feature_columns(jobs, self.feature_spec, target=None)
         X, _ = encode_features(jobs, self.feature_spec, encoders=self.encoders)
         return X
 
@@ -134,18 +139,21 @@ def fit_predictor(
     factory: Callable[[], object],
     model_name: str = "model",
     feature_spec: FeatureSpec | None = None,
+    target_column: str = TARGET_COLUMN,
 ) -> FittedPredictor:
     """Encode ``jobs`` and fit one fresh estimator on every row.
 
     The single train path: :func:`evaluate_models` calls it per split,
     the serve model registry calls it on a full job table.
+    ``target_column`` selects what the estimator regresses — per-node
+    power by default; the GPU and failure tracks point it elsewhere.
     """
     spec = feature_spec if feature_spec is not None else FeatureSpec()
-    _check_feature_columns(jobs, spec, need_target=True)
+    _check_feature_columns(jobs, spec, target=target_column)
     if len(jobs) == 0:
         raise ValidationError("cannot fit a predictor on an empty job table")
     X, encoders = encode_features(jobs, spec)
-    y = jobs[TARGET_COLUMN].astype(float)
+    y = jobs[target_column].astype(float)
     model = factory()
     model.fit(X, y, categorical=spec.categorical_indices)
     return FittedPredictor(
@@ -154,6 +162,7 @@ def fit_predictor(
         feature_spec=spec,
         encoders=encoders,
         n_train=len(jobs),
+        target_column=target_column,
     )
 
 
@@ -164,16 +173,23 @@ def evaluate_models(
     train_fraction: float = 0.8,
     seed: int = 0,
     feature_spec: FeatureSpec | None = None,
+    target_column: str = TARGET_COLUMN,
+    error_fn: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
 ) -> dict[str, PredictionResult]:
     """Run the paper's protocol for several models on one job table.
 
     ``models`` maps display name → zero-arg factory returning a fresh
-    estimator (a fresh model is fitted per repeat).
+    estimator (a fresh model is fitted per repeat). ``error_fn`` maps
+    ``(actual, predicted)`` to per-prediction errors; the default is the
+    paper's absolute percentage error, which requires a strictly
+    positive target — classification-style tracks pass e.g. a Brier
+    (squared-probability) error instead.
     """
     spec = feature_spec if feature_spec is not None else FeatureSpec()
-    _check_feature_columns(jobs, spec, need_target=True)
+    _check_feature_columns(jobs, spec, target=target_column)
+    per_prediction_error = error_fn or absolute_percentage_error
 
-    y_all = jobs[TARGET_COLUMN].astype(float)
+    y_all = jobs[target_column].astype(float)
     users_all = jobs["user"]
 
     results: dict[str, PredictionResult] = {}
@@ -185,11 +201,12 @@ def evaluate_models(
         pooled_users: list[np.ndarray] = []
         for train_idx, val_idx in splits:
             predictor = fit_predictor(
-                jobs.take(train_idx), factory, model_name=name, feature_spec=spec
+                jobs.take(train_idx), factory, model_name=name,
+                feature_spec=spec, target_column=target_column,
             )
             predictions = predictor.predict_table(jobs.take(val_idx))
             pooled_errors.append(
-                absolute_percentage_error(y_all[val_idx], predictions)
+                per_prediction_error(y_all[val_idx], predictions)
             )
             pooled_users.append(users_all[val_idx])
         results[name] = PredictionResult(

@@ -68,7 +68,7 @@ from repro.pipeline.config import (
 )
 from repro.scheduler.simulator import SchedulerConfig, Simulator
 from repro.telemetry.dataset import build_inputs, join_jobs
-from repro.telemetry.schema import JOB_COLUMNS, save_jobs_npz
+from repro.telemetry.schema import job_columns, save_jobs_npz
 from repro.telemetry.stream import TelemetryStream
 from repro.units import MINUTE
 from repro.workload.generator import WorkloadGenerator
@@ -454,7 +454,7 @@ def _compact_jobs(payload: tuple[list[str], str]) -> None:
     shard_dirs, out_path = payload
     tables = [read_npz(Path(d) / _JOBS_NAME) for d in shard_dirs]
     jobs = concat([t for t in tables if len(t)])
-    save_jobs_npz(jobs.select(list(JOB_COLUMNS)), out_path)
+    save_jobs_npz(jobs.select(job_columns(jobs)), out_path)
 
 
 def _compact_samples(payload: tuple[list[str], str]) -> None:

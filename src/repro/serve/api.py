@@ -42,8 +42,9 @@ class PredictRequest:
     ----------
     records:
         The job records to predict for (each needs ``user``, ``nodes``,
-        ``req_walltime_s``). Stored as a tuple so requests are hashable
-        and immutable.
+        ``req_walltime_s``; the ``GPU`` track model additionally needs
+        ``gpus``, the per-node board count). Stored as a tuple so
+        requests are hashable and immutable.
     model:
         Model name from :data:`repro.serve.registry.SERVE_MODELS`.
     scenario:

@@ -205,8 +205,6 @@ class FlatBDTServable:
     (artifact format unchanged) and re-wraps on load.
     """
 
-    model_name = "BDT"
-
     def __init__(self, predictor) -> None:
         from repro.ml.tree import DecisionTreeRegressor
 
@@ -218,11 +216,19 @@ class FlatBDTServable:
         self.predictor = predictor
         self.flat = FlatBDT.from_tree(predictor.model)
         self.n_train = predictor.n_train
+        # Keep the wrapped predictor's identity ("BDT", or a track model
+        # like "GPU"/"FAIL") so responses report the right served_by.
+        self.model_name = getattr(predictor, "model_name", "BDT")
 
     @property
     def known_users(self) -> frozenset[str]:
         """Users the wrapped predictor's encoders saw at fit time."""
         return self.predictor.known_users
+
+    @property
+    def feature_spec(self):
+        """The wrapped predictor's feature spec (drives request validation)."""
+        return self.predictor.feature_spec
 
     def describe(self) -> dict[str, Any]:
         """Shape summary for /models-style introspection."""

@@ -67,12 +67,20 @@ _MODEL_VERSIONS: dict[str, int] = {
     "BDT": 1,
     "KNN": 1,
     "FLDA": 1,
+    "GPU": 1,
+    "FAIL": 1,
     "online": 1,
 }
 
-#: The model names the serving layer can train (paper models + the
-#: deployment-order hierarchical-mean predictor).
+#: The model names the serving layer can train: the paper models on the
+#: per-node power track, the heterogeneous tracks' BDTs (``GPU`` board
+#: power, ``FAIL`` failure probability — docs/SCENARIOS.md), and the
+#: deployment-order hierarchical-mean predictor.
 SERVE_MODELS: tuple[str, ...] = tuple(_MODEL_VERSIONS)
+
+# Models backed by a fitted DecisionTreeRegressor: these get the
+# array-backed FlatBDT inference swap in _specialize.
+_TREE_BACKED = ("BDT", "GPU", "FAIL")
 
 _ONLINE_FIELDS = ("user", "nodes", "req_walltime_s")
 
@@ -411,7 +419,7 @@ class ModelRegistry:
         :class:`~repro.ml.pipeline.FittedPredictor` pickle — old caches
         load fine and the offline oracle opens the same artifact.
         """
-        if model != "BDT":
+        if model not in _TREE_BACKED:
             return servable
         from repro.serve.flat_bdt import FlatBDTServable
 
@@ -480,6 +488,26 @@ class ModelRegistry:
             dataset = self._build_dataset(spec)
             if model == "online":
                 servable = _fit_online(dataset.jobs)
+            elif model in ("GPU", "FAIL"):
+                from repro.analysis.prediction import default_models, failure_models
+                from repro.ml import FAILURE_TRACK, GPU_POWER_TRACK, fit_predictor
+
+                # Track BDTs: same estimator family, the track's target
+                # and features. track.select raises a clear error when
+                # the scenario's system doesn't model the columns.
+                track = GPU_POWER_TRACK if model == "GPU" else FAILURE_TRACK
+                factory = (
+                    default_models()["BDT"]
+                    if model == "GPU"
+                    else failure_models()["BDT"]
+                )
+                servable = fit_predictor(
+                    track.select(dataset.jobs),
+                    factory,
+                    model_name=model,
+                    feature_spec=track.feature_spec(),
+                    target_column=track.target_column,
+                )
             else:
                 from repro.analysis.prediction import default_models
                 from repro.ml import fit_predictor

@@ -210,22 +210,68 @@ class PredictionService:
             return self.lifecycle.active_version(model)
         return 1
 
+    @staticmethod
+    def _check_model_scenario(spec: ScenarioSpec, model: str) -> None:
+        """Reject track models on systems that don't model their target.
+
+        A caller mistake (a 400, not a degrade case): answering a GPU
+        board-power request for emmy from the CPU mean-power baseline
+        would be silently wrong, so it fails loudly instead.
+        """
+        if model not in ("GPU", "FAIL"):
+            return
+        from repro.cluster import get_spec
+
+        system = get_spec(spec.system)
+        if model == "GPU" and not system.has_gpus:
+            raise ServeError(
+                f"model 'GPU' needs a GPU system; {spec.system!r} has no "
+                "GPUs (see docs/SCENARIOS.md)"
+            )
+        if model == "FAIL" and system.workload_profile == "hpc":
+            raise ServeError(
+                f"model 'FAIL' needs a failure-modeling system; "
+                f"{spec.system!r} runs the HPC profile (see docs/SCENARIOS.md)"
+            )
+
+    @staticmethod
+    def _required_fields(servable) -> tuple[str, ...]:
+        """The record fields this servable's features need.
+
+        Estimator servables expose their fitted
+        :class:`~repro.ml.FeatureSpec` — the GPU track adds ``gpus``
+        there, so its requests require it; baseline/online servables
+        fall back to the classic three fields.
+        """
+        spec = getattr(servable, "feature_spec", None)
+        if spec is None:
+            return _REQUIRED_FIELDS
+        from repro.ml import prediction_features
+
+        return tuple(prediction_features(spec))
+
     def _validate(self, records: Sequence[Mapping], servable) -> None:
+        required = self._required_fields(servable)
+        spec = getattr(servable, "feature_spec", None)
+        numeric = list(
+            spec.numeric_columns if spec is not None else ("nodes", "req_walltime_s")
+        )
         for i, record in enumerate(records):
-            missing = [f for f in _REQUIRED_FIELDS if f not in record]
+            missing = [f for f in required if f not in record]
             if missing:
                 raise ServeError(f"request {i} lacks fields {missing}")
             try:
-                nodes = int(record["nodes"])
-                walltime = float(record["req_walltime_s"])
+                values = {f: float(record[f]) for f in numeric}
             except (TypeError, ValueError):
                 raise ServeError(
-                    f"request {i}: nodes and req_walltime_s must be numeric"
+                    f"request {i}: fields {numeric} must be numeric"
                 ) from None
-            if nodes < 1:
+            if "nodes" in values and values["nodes"] < 1:
                 raise ServeError(f"request {i}: nodes must be >= 1")
-            if walltime <= 0:
+            if "req_walltime_s" in values and values["req_walltime_s"] <= 0:
                 raise ServeError(f"request {i}: req_walltime_s must be positive")
+            if "gpus" in values and values["gpus"] < 0:
+                raise ServeError(f"request {i}: gpus must be >= 0")
         known = servable.known_users
         if known is not None:
             unknown = sorted(
@@ -338,6 +384,7 @@ class PredictionService:
             raise ServeError("predict needs at least one record")
         spec = self.resolve_scenario(request.scenario)
         self.registry.check_model_name(model)
+        self._check_model_scenario(spec, model)
         version = self._resolve_version(spec, model, request.version)
         try:
             servable = self.registry.get(spec, model, version=version)

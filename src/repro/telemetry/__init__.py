@@ -9,7 +9,7 @@ of key applications (the paper logged those for one month).
 """
 
 from repro.telemetry.dataset import JobDataset, generate_dataset
-from repro.telemetry.sampler import PowerSampler
+from repro.telemetry.sampler import GpuSampler, PowerSampler
 from repro.telemetry.samples_schema import (
     SAMPLE_COLUMNS,
     load_samples,
@@ -17,16 +17,23 @@ from repro.telemetry.samples_schema import (
     save_samples,
     traces_from_samples,
 )
-from repro.telemetry.schema import JOB_COLUMNS, load_jobs_csv, save_jobs_csv
+from repro.telemetry.schema import (
+    JOB_COLUMNS,
+    OPTIONAL_JOB_COLUMNS,
+    load_jobs_csv,
+    save_jobs_csv,
+)
 from repro.telemetry.swf import jobspecs_from_swf, load_swf, save_swf
 from repro.telemetry.trace import JobPowerTrace
 
 __all__ = [
     "PowerSampler",
+    "GpuSampler",
     "JobPowerTrace",
     "JobDataset",
     "generate_dataset",
     "JOB_COLUMNS",
+    "OPTIONAL_JOB_COLUMNS",
     "SAMPLE_COLUMNS",
     "samples_table",
     "save_samples",

@@ -37,7 +37,7 @@ from repro.frames import Table
 from repro.rng import RngFactory
 from repro.scheduler import accounting_table, simulate
 from repro.scheduler.job import ScheduledJob
-from repro.telemetry.sampler import PowerSampler
+from repro.telemetry.sampler import GpuSampler, PowerSampler
 from repro.telemetry.trace import JobPowerTrace
 from repro.units import MINUTE
 from repro.workload.applications import KEY_APPS
@@ -150,11 +150,20 @@ class TelemetrySample:
     # gap-fill with the deterministic noise-free level. Older cached
     # pickles lack the field — read it as ``getattr(s, "n_gaps", 0)``.
     n_gaps: int = 0
+    # GPU-side measurements (repro.telemetry.sampler.GpuSampler), only
+    # on systems with accelerators; None elsewhere — and on older
+    # cached pickles, which resolve these through the class defaults.
+    gpu_power: np.ndarray | None = None  # summed board watts per job
+    gpu_count: np.ndarray | None = None  # allocated boards per job
 
     def __post_init__(self) -> None:
         n = len(self.pernode_power)
         for name in ("power_sum", "energy", "instrumented", "is_debug"):
             if len(getattr(self, name)) != n:
+                raise TelemetryError(f"telemetry array {name!r} has mismatched length")
+        for name in ("gpu_power", "gpu_count"):
+            value = getattr(self, name)
+            if value is not None and len(value) != n:
                 raise TelemetryError(f"telemetry array {name!r} has mismatched length")
 
     @property
@@ -207,7 +216,9 @@ def generate_dataset(
     Parameters
     ----------
     system:
-        ``"emmy"`` or ``"meggie"``.
+        Any registered system name (:func:`repro.cluster.known_systems`):
+        the paper's ``"emmy"``/``"meggie"`` or the heterogeneous
+        ``"alex"``/``"woody"`` (docs/SCENARIOS.md).
     num_nodes, num_users, horizon_s:
         Scale-down overrides for tests/benches; defaults reproduce the
         full 5-month production configuration.
@@ -254,6 +265,11 @@ def sample_telemetry(
     rngs = RngFactory(seed).child(f"telemetry.{cluster.name}")
     sampler = PowerSampler(cluster, rngs.get("aggregate"))
     trace_sampler = PowerSampler(cluster, rngs.get("traces"))
+    # GPU boards are measured from their own stream, so the CPU streams
+    # above replay the exact draws of a CPU-only build.
+    gpu_sampler = (
+        GpuSampler(cluster, rngs.get("gpu")) if cluster.spec.has_gpus else None
+    )
 
     # Aggregates for every job come from the fused batch sweep — one RNG
     # draw and one clip pass over all node slots, bit-identical to the
@@ -301,6 +317,10 @@ def sample_telemetry(
             trace_allocations[spec.job_id] = job.node_ids.copy()
             instrumented[i] = True
 
+    gpu_power = gpu_count = None
+    if gpu_sampler is not None:
+        gpu_power, gpu_count = gpu_sampler.sample_batch(scheduled)
+
     return TelemetrySample(
         pernode_power=pernode_power,
         power_sum=power_sum,
@@ -310,6 +330,8 @@ def sample_telemetry(
         traces=traces,
         trace_allocations=trace_allocations,
         n_gaps=int(len(gap_idx)),
+        gpu_power=gpu_power,
+        gpu_count=gpu_count,
     )
 
 
@@ -320,6 +342,13 @@ def join_jobs(scheduled: list[ScheduledJob], sample: TelemetrySample) -> Table:
     streaming pipeline, which joins each spilled chunk independently:
     every derived column is per-job, so a chunk's table equals the
     matching slice of the monolithic one.
+
+    On heterogeneous systems the table carries the *optional* schema
+    columns too (``repro.telemetry.schema.OPTIONAL_JOB_COLUMNS``): GPU
+    allocation/power/energy when the sample measured boards, and
+    exit-state columns when the system's workload models failures. The
+    paper's CPU systems emit exactly the original column set, keeping
+    their artifacts byte-identical.
     """
     jobs = accounting_table(scheduled)
     jobs = jobs.with_column("pernode_power_w", sample.pernode_power)
@@ -330,7 +359,35 @@ def join_jobs(scheduled: list[ScheduledJob], sample: TelemetrySample) -> Table:
     )
     jobs = jobs.with_column("is_debug", sample.is_debug)
     jobs = jobs.with_column("instrumented", sample.instrumented)
+    gpu_power = getattr(sample, "gpu_power", None)
+    if gpu_power is not None:
+        jobs = jobs.with_column("gpus", sample.gpu_count.astype(np.int64))
+        jobs = jobs.with_column("gpu_power_w", gpu_power)
+        jobs = jobs.with_column(
+            "gpu_energy_j", gpu_power * jobs["runtime_s"].astype(float)
+        )
+    if scheduled and _models_failures(scheduled[0].spec.system):
+        exit_code = np.fromiter(
+            (getattr(job.spec, "exit_code", 0) for job in scheduled),
+            dtype=np.int64,
+            count=len(scheduled),
+        )
+        jobs = jobs.with_column("exit_code", exit_code)
+        jobs = jobs.with_column("failed", exit_code != 0)
     return jobs
+
+
+def _models_failures(system: str) -> bool:
+    """Whether a system's workload carries exit-state columns.
+
+    Keyed on the registered spec's workload profile — the ML and mixed
+    catalogs model failures (docs/SCENARIOS.md); unregistered ad-hoc
+    system names behave like the paper's CPU systems.
+    """
+    try:
+        return get_spec(system).workload_profile != "hpc"
+    except Exception:  # noqa: BLE001 — unknown system ⇒ legacy columns
+        return False
 
 
 def join_dataset(

@@ -34,6 +34,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.cluster.gpu import GpuPowerModel
 from repro.cluster.rapl import RaplModel
 from repro.cluster.system import Cluster
 from repro.errors import TelemetryError
@@ -41,7 +42,7 @@ from repro.faults.injector import maybe_fire
 from repro.scheduler.job import ScheduledJob
 from repro.units import MINUTE
 
-__all__ = ["PowerSampler"]
+__all__ = ["PowerSampler", "GpuSampler"]
 
 # Fraction of TDP a node draws when the job leaves it nearly idle.
 _FLOOR_FRACTION = 0.20
@@ -174,3 +175,72 @@ class PowerSampler:
                 f"job {spec.job_id}: unexpected matrix shape {measured.shape}"
             )
         return measured
+
+
+class GpuSampler:
+    """Samples measured GPU board power for scheduled jobs.
+
+    The accelerator-side sibling of :class:`PowerSampler`, against its
+    own generator stream (``telemetry.<system>.gpu``) so CPU-only
+    byte identity is untouched. The draw layout is one standard normal
+    per *allocated board*, in job order — a job allocated ``g`` boards
+    consumes exactly ``g`` draws, and CPU jobs (``spec.gpus == 0``)
+    consume none — so chunked sweeps concatenate bit-identically to the
+    monolithic one, exactly like the aggregate fast path.
+
+    A board is "allocated" when its node is: a job requesting ``gpus``
+    per node gets ``min(gpus, installed)`` on each of its nodes, which
+    on a mixed partition lets an ML job scheduled onto CPU-only nodes
+    run GPU-starved (fewer boards than requested) — deterministically,
+    since placement is.
+    """
+
+    def __init__(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        self.cluster = cluster
+        self.model = GpuPowerModel(cluster.spec)
+        self._rng = rng
+
+    def sample_batch(
+        self, jobs: Sequence[ScheduledJob]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused GPU sweep: ``(gpu_power_w, gpus)`` per job.
+
+        ``gpu_power_w`` is the job's total measured board draw (watts,
+        summed over its allocated boards, averaged over the runtime —
+        the temporal profile is mean-normalized, as on the CPU side);
+        ``gpus`` the allocated board count. Both are zero for CPU jobs.
+        """
+        m = len(jobs)
+        power = np.zeros(m)
+        count = np.zeros(m, dtype=np.int64)
+        if m == 0:
+            return power, count
+        installed = self.cluster.gpu_counts
+        gpu_factors = self.cluster.gpu_factors
+        alloc_factors: list[np.ndarray] = []
+        fractions: list[float] = []
+        rows: list[int] = []
+        for i, job in enumerate(jobs):
+            spec = job.spec
+            requested = getattr(spec, "gpus", 0)
+            if requested <= 0:
+                continue
+            alloc = np.minimum(installed[job.node_ids], requested)
+            n_boards = int(alloc.sum())
+            count[i] = n_boards
+            if n_boards == 0:
+                continue
+            alloc_factors.append(np.repeat(gpu_factors[job.node_ids], alloc))
+            fractions.append(spec.gpu_fraction)
+            rows.append(i)
+        if not rows:
+            return power, count
+        boards = np.concatenate(alloc_factors)
+        z = self._rng.standard_normal(len(boards))
+        pos = 0
+        for i, factors, fraction in zip(rows, alloc_factors, fractions):
+            n = len(factors)
+            draw = self.model.sample(fraction, factors, z[pos : pos + n])
+            power[i] = draw.sum()
+            pos += n
+        return power, count

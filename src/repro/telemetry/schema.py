@@ -16,8 +16,8 @@ import numpy as np
 from repro.errors import SchemaError
 from repro.frames import Table, read_csv, read_npz, write_csv, write_npz
 
-__all__ = ["JOB_COLUMNS", "validate_jobs", "save_jobs_csv", "load_jobs_csv",
-           "save_jobs_npz", "load_jobs_npz"]
+__all__ = ["JOB_COLUMNS", "OPTIONAL_JOB_COLUMNS", "job_columns", "validate_jobs",
+           "save_jobs_csv", "load_jobs_csv", "save_jobs_npz", "load_jobs_npz"]
 
 # Required columns of a job-level table and their dtype kinds
 # ('i' integer, 'f' float, 'U' string, 'b' bool).
@@ -41,13 +41,46 @@ JOB_COLUMNS: dict[str, str] = {
     "instrumented": "b",
 }
 
+# Optional columns (GPU telemetry, job exit states) present only for
+# systems that model them. A table either has all columns of a feature
+# group or none — partial groups fail validation — and the persisted
+# column order is JOB_COLUMNS followed by the present optional columns
+# in this dict's order, so the bytes don't depend on join order.
+OPTIONAL_JOB_COLUMNS: dict[str, str] = {
+    "gpus": "i",
+    "gpu_power_w": "f",
+    "gpu_energy_j": "f",
+    "exit_code": "i",
+    "failed": "b",
+}
+
+_OPTIONAL_GROUPS: tuple[tuple[str, ...], ...] = (
+    ("gpus", "gpu_power_w", "gpu_energy_j"),
+    ("exit_code", "failed"),
+)
+
+
+def job_columns(jobs: Table) -> list[str]:
+    """Schema column order for ``jobs``: required, then present optionals."""
+    return list(JOB_COLUMNS) + [c for c in OPTIONAL_JOB_COLUMNS if c in jobs]
+
 
 def validate_jobs(jobs: Table) -> None:
     """Raise :class:`SchemaError` unless ``jobs`` matches the schema."""
     missing = [c for c in JOB_COLUMNS if c not in jobs]
     if missing:
         raise SchemaError(f"job table is missing columns {missing}")
-    for name, kind in JOB_COLUMNS.items():
+    for group in _OPTIONAL_GROUPS:
+        present = [c for c in group if c in jobs]
+        if present and len(present) != len(group):
+            absent = [c for c in group if c not in jobs]
+            raise SchemaError(
+                f"optional column group {group} is partial: missing {absent}"
+            )
+    schema = {**JOB_COLUMNS, **OPTIONAL_JOB_COLUMNS}
+    for name, kind in schema.items():
+        if name not in jobs:
+            continue
         actual = jobs[name].dtype.kind
         ok = actual == kind or (kind == "i" and actual == "b") or (
             kind == "b" and actual in "bi"
@@ -62,15 +95,15 @@ def validate_jobs(jobs: Table) -> None:
 
 def _booleans_to_int(jobs: Table) -> Table:
     """CSV has no bool dtype; store flags as 0/1 integers."""
-    for name, kind in JOB_COLUMNS.items():
-        if kind == "b":
+    for name, kind in {**JOB_COLUMNS, **OPTIONAL_JOB_COLUMNS}.items():
+        if kind == "b" and name in jobs:
             jobs = jobs.with_column(name, jobs[name].astype(np.int64))
     return jobs
 
 
 def _ints_to_bool(jobs: Table) -> Table:
-    for name, kind in JOB_COLUMNS.items():
-        if kind == "b" and jobs[name].dtype.kind != "b":
+    for name, kind in {**JOB_COLUMNS, **OPTIONAL_JOB_COLUMNS}.items():
+        if kind == "b" and name in jobs and jobs[name].dtype.kind != "b":
             jobs = jobs.with_column(name, jobs[name].astype(bool))
     return jobs
 
@@ -78,7 +111,7 @@ def _ints_to_bool(jobs: Table) -> Table:
 def save_jobs_csv(jobs: Table, path: str | os.PathLike) -> None:
     """Write a schema-validated job table to CSV."""
     validate_jobs(jobs)
-    write_csv(_booleans_to_int(jobs.select(list(JOB_COLUMNS))), Path(path))
+    write_csv(_booleans_to_int(jobs.select(job_columns(jobs))), Path(path))
 
 
 def load_jobs_csv(path: str | os.PathLike) -> Table:
@@ -91,7 +124,7 @@ def load_jobs_csv(path: str | os.PathLike) -> Table:
 def save_jobs_npz(jobs: Table, path: str | os.PathLike) -> None:
     """Binary (exact-dtype) variant of :func:`save_jobs_csv`."""
     validate_jobs(jobs)
-    write_npz(jobs.select(list(JOB_COLUMNS)), Path(path))
+    write_npz(jobs.select(job_columns(jobs)), Path(path))
 
 
 def load_jobs_npz(path: str | os.PathLike) -> Table:

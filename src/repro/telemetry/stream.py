@@ -24,7 +24,7 @@ from repro.cluster.system import Cluster
 from repro.rng import RngFactory
 from repro.scheduler.job import ScheduledJob
 from repro.telemetry.dataset import TelemetrySample
-from repro.telemetry.sampler import PowerSampler
+from repro.telemetry.sampler import GpuSampler, PowerSampler
 from repro.telemetry.trace import JobPowerTrace
 from repro.units import MINUTE
 from repro.workload.applications import KEY_APPS
@@ -44,6 +44,11 @@ class TelemetryStream:
         rngs = RngFactory(seed).child(f"telemetry.{cluster.name}")
         self._sampler = PowerSampler(cluster, rngs.get("aggregate"))
         self._trace_sampler = PowerSampler(cluster, rngs.get("traces"))
+        # The GPU stream mirrors sample_telemetry: its own child stream,
+        # created only on GPU systems, continued across chunks.
+        self._gpu_sampler = (
+            GpuSampler(cluster, rngs.get("gpu")) if cluster.spec.has_gpus else None
+        )
         self._window_lo = 0.30 * self.horizon_s
         self._window_hi = min(self.horizon_s, self._window_lo + self.horizon_s / 5.0)
         self._n_traces = 0
@@ -105,6 +110,10 @@ class TelemetryStream:
                 instrumented[i] = True
                 self._n_traces += 1
 
+        gpu_power = gpu_count = None
+        if self._gpu_sampler is not None:
+            gpu_power, gpu_count = self._gpu_sampler.sample_batch(scheduled)
+
         self._n_gaps += int(len(gap_idx))
         return TelemetrySample(
             pernode_power=pernode_power,
@@ -115,22 +124,33 @@ class TelemetryStream:
             traces=traces,
             trace_allocations=trace_allocations,
             n_gaps=int(len(gap_idx)),
+            gpu_power=gpu_power,
+            gpu_count=gpu_count,
         )
 
     # -- checkpointing ---------------------------------------------------
 
     def state(self) -> dict[str, Any]:
-        """Picklable checkpoint: both generator streams plus the counters."""
-        return {
+        """Picklable checkpoint: every generator stream plus the counters."""
+        state = {
             "aggregate": self._sampler._rng.bit_generator.state,
             "traces": self._trace_sampler._rng.bit_generator.state,
             "n_traces": self._n_traces,
             "n_gaps": self._n_gaps,
         }
+        if self._gpu_sampler is not None:
+            state["gpu"] = self._gpu_sampler._rng.bit_generator.state
+        return state
 
     def restore_state(self, state: dict[str, Any]) -> None:
-        """Continue exactly where :meth:`state` was captured."""
+        """Continue exactly where :meth:`state` was captured.
+
+        Checkpoints written before the GPU substrate lack the ``"gpu"``
+        key; those runs are CPU-only, where the stream doesn't exist.
+        """
         self._sampler._rng.bit_generator.state = state["aggregate"]
         self._trace_sampler._rng.bit_generator.state = state["traces"]
+        if self._gpu_sampler is not None and "gpu" in state:
+            self._gpu_sampler._rng.bit_generator.state = state["gpu"]
         self._n_traces = state["n_traces"]
         self._n_gaps = state["n_gaps"]

@@ -18,8 +18,16 @@ Every distributional target (means, correlations, concentration shares)
 comes from a number printed in the paper; see DESIGN.md §4.
 """
 
-from repro.workload.applications import Application, CATALOG, app_names, get_app
+from repro.workload.applications import (
+    CATALOG,
+    ML_CATALOG,
+    Application,
+    app_names,
+    catalog_for,
+    get_app,
+)
 from repro.workload.arrivals import ArrivalProcess
+from repro.workload.failures import EXIT_CODES, FailureModel
 from repro.workload.generator import JobSpec, WorkloadGenerator, WorkloadParams, default_params
 from repro.workload.jobclass import JobClass
 from repro.workload.phases import TemporalProfile, make_profile
@@ -29,7 +37,9 @@ from repro.workload.users import User, UserPopulation
 __all__ = [
     "Application",
     "CATALOG",
+    "ML_CATALOG",
     "app_names",
+    "catalog_for",
     "get_app",
     "User",
     "UserPopulation",
@@ -42,4 +52,6 @@ __all__ = [
     "WorkloadGenerator",
     "WorkloadParams",
     "default_params",
+    "FailureModel",
+    "EXIT_CODES",
 ]

@@ -23,7 +23,15 @@ from dataclasses import dataclass
 
 from repro.errors import WorkloadError
 
-__all__ = ["Application", "CATALOG", "KEY_APPS", "get_app", "app_names"]
+__all__ = [
+    "Application",
+    "CATALOG",
+    "ML_CATALOG",
+    "KEY_APPS",
+    "get_app",
+    "app_names",
+    "catalog_for",
+]
 
 
 @dataclass(frozen=True)
@@ -33,6 +41,9 @@ class Application:
     ``power_fraction`` maps system name → nominal per-node draw as a
     fraction of node TDP; ``share`` is the application's share of total
     core-hours; ``domain`` labels the workload family from Sec. 2.
+    ``gpu_fraction`` is the fraction of accelerator board power the
+    application's kernels sustain — 0 marks a CPU-only code, > 0 an ML
+    training family whose job classes request every GPU of their nodes.
     """
 
     name: str
@@ -44,6 +55,7 @@ class Application:
     # spatial models.
     burstiness: float
     imbalance: float
+    gpu_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0 < self.share <= 1:
@@ -57,6 +69,13 @@ class Application:
             raise WorkloadError(f"{self.name}: burstiness must be in [0, 1]")
         if not 0 <= self.imbalance <= 1:
             raise WorkloadError(f"{self.name}: imbalance must be in [0, 1]")
+        if not 0 <= self.gpu_fraction <= 1:
+            raise WorkloadError(f"{self.name}: gpu_fraction must be in [0, 1]")
+
+    @property
+    def uses_gpus(self) -> bool:
+        """Whether job classes of this family request accelerators."""
+        return self.gpu_fraction > 0
 
     def fraction_on(self, system: str) -> float:
         try:
@@ -75,7 +94,7 @@ CATALOG: tuple[Application, ...] = (
         name="gromacs",
         domain="md",
         share=0.18,
-        power_fraction={"emmy": 0.830, "meggie": 0.660},
+        power_fraction={"emmy": 0.830, "meggie": 0.660, "woody": 0.640},
         burstiness=0.15,
         imbalance=0.25,
     ),
@@ -83,7 +102,7 @@ CATALOG: tuple[Application, ...] = (
         name="md0",
         domain="md",
         share=0.12,
-        power_fraction={"emmy": 0.890, "meggie": 0.645},
+        power_fraction={"emmy": 0.890, "meggie": 0.645, "woody": 0.615},
         burstiness=0.10,
         imbalance=0.20,
     ),
@@ -91,7 +110,7 @@ CATALOG: tuple[Application, ...] = (
         name="chem0",
         domain="chemistry",
         share=0.15,
-        power_fraction={"emmy": 0.750, "meggie": 0.620},
+        power_fraction={"emmy": 0.750, "meggie": 0.620, "woody": 0.600},
         burstiness=0.45,
         imbalance=0.40,
     ),
@@ -99,7 +118,7 @@ CATALOG: tuple[Application, ...] = (
         name="mat0",
         domain="materials",
         share=0.15,
-        power_fraction={"emmy": 0.790, "meggie": 0.650},
+        power_fraction={"emmy": 0.790, "meggie": 0.650, "woody": 0.625},
         burstiness=0.35,
         imbalance=0.35,
     ),
@@ -107,7 +126,7 @@ CATALOG: tuple[Application, ...] = (
         name="fastest",
         domain="cfd",
         share=0.13,
-        power_fraction={"emmy": 0.850, "meggie": 0.675},
+        power_fraction={"emmy": 0.850, "meggie": 0.675, "woody": 0.655},
         burstiness=0.20,
         imbalance=0.45,
     ),
@@ -115,7 +134,7 @@ CATALOG: tuple[Application, ...] = (
         name="starccm",
         domain="cfd",
         share=0.12,
-        power_fraction={"emmy": 0.710, "meggie": 0.600},
+        power_fraction={"emmy": 0.710, "meggie": 0.600, "woody": 0.585},
         burstiness=0.25,
         imbalance=0.50,
     ),
@@ -123,7 +142,7 @@ CATALOG: tuple[Application, ...] = (
         name="wrf",
         domain="weather",
         share=0.08,
-        power_fraction={"emmy": 0.670, "meggie": 0.580},
+        power_fraction={"emmy": 0.670, "meggie": 0.580, "woody": 0.565},
         burstiness=0.50,
         imbalance=0.55,
     ),
@@ -131,7 +150,7 @@ CATALOG: tuple[Application, ...] = (
         name="misc",
         domain="other",
         share=0.07,
-        power_fraction={"emmy": 0.550, "meggie": 0.530},
+        power_fraction={"emmy": 0.550, "meggie": 0.530, "woody": 0.520},
         burstiness=0.30,
         imbalance=0.30,
     ),
@@ -140,16 +159,88 @@ CATALOG: tuple[Application, ...] = (
 # The five applications Fig 4 compares across both systems.
 KEY_APPS: tuple[str, ...] = ("gromacs", "md0", "fastest", "starccm", "wrf")
 
-_BY_NAME = {app.name: app for app in CATALOG}
+# ML-training catalog for the heterogeneous systems (docs/SCENARIOS.md),
+# after Chu et al.'s ML-vs-generic workload characterization
+# (arXiv:2409.08949): host power_fraction is the CPU side (data loading,
+# preprocessing, optimizer offload), gpu_fraction the sustained share of
+# board power. Shares sum to 1 within this catalog; "mlmisc" (notebooks,
+# evaluation, tensorboard) plays the role "misc" plays in the HPC
+# catalog and must stay the last entry — the population model uses the
+# final entry as the low-power fallback app.
+ML_CATALOG: tuple[Application, ...] = (
+    Application(
+        name="llm0",
+        domain="nlp",
+        share=0.30,
+        power_fraction={"alex": 0.460, "woody": 0.430},
+        burstiness=0.55,
+        imbalance=0.20,
+        gpu_fraction=0.92,
+    ),
+    Application(
+        name="resnet",
+        domain="vision",
+        share=0.24,
+        power_fraction={"alex": 0.500, "woody": 0.470},
+        burstiness=0.65,
+        imbalance=0.30,
+        gpu_fraction=0.78,
+    ),
+    Application(
+        name="gnn0",
+        domain="graph",
+        share=0.16,
+        power_fraction={"alex": 0.540, "woody": 0.505},
+        burstiness=0.60,
+        imbalance=0.45,
+        gpu_fraction=0.58,
+    ),
+    Application(
+        name="rl0",
+        domain="rl",
+        share=0.14,
+        power_fraction={"alex": 0.620, "woody": 0.580},
+        burstiness=0.70,
+        imbalance=0.40,
+        gpu_fraction=0.45,
+    ),
+    Application(
+        name="mlmisc",
+        domain="other",
+        share=0.16,
+        power_fraction={"alex": 0.380, "woody": 0.360},
+        burstiness=0.35,
+        imbalance=0.25,
+        gpu_fraction=0.22,
+    ),
+)
+
+_BY_NAME = {app.name: app for app in CATALOG + ML_CATALOG}
+
+
+def catalog_for(profile: str) -> tuple[Application, ...]:
+    """The application catalog of one workload profile.
+
+    ``"hpc"`` is the paper's generic mix, ``"ml"`` the training-job
+    catalog, ``"mixed"`` both (HPC first, so the last entry stays the
+    ML fallback app).
+    """
+    if profile == "hpc":
+        return CATALOG
+    if profile == "ml":
+        return ML_CATALOG
+    if profile == "mixed":
+        return CATALOG + ML_CATALOG
+    raise WorkloadError(f"unknown workload profile {profile!r}")
 
 
 def app_names() -> list[str]:
-    """All application names, catalog order."""
-    return [app.name for app in CATALOG]
+    """All application names, catalog order (HPC then ML)."""
+    return [app.name for app in CATALOG + ML_CATALOG]
 
 
 def get_app(name: str) -> Application:
-    """Catalog lookup by name."""
+    """Catalog lookup by name (both catalogs)."""
     try:
         return _BY_NAME[name]
     except KeyError:

@@ -1,0 +1,122 @@
+"""Deterministic job failure / exit-state generative model.
+
+Chu et al. (arXiv:2409.08949) find ML training jobs fail far more often
+than generic HPC jobs — OOM kills, node faults, and plain application
+errors — and that failed jobs still burn real node- and GPU-hours
+before dying. This module models that: each planned job draws an exit
+state from one seeded stream, and failed jobs get their runtime
+*truncated* to the failure point, so the scheduler releases their nodes
+mid-run and the telemetry layer records genuine partial-run power.
+
+The model is applied at the **plan** level, after the arrival sort, in
+:meth:`repro.workload.generator.WorkloadGenerator.plan_instances` —
+once per workload, from its own RNG child stream. Both the monolithic
+and the chunked/streaming dataset builders materialize the same plan,
+so exit states are bit-identical across build paths by construction,
+and a model with all rates at zero draws **nothing** (the paper's
+CPU systems keep their byte-identical golden outputs).
+
+Exit codes follow batch-system convention: 0 success, 1 application
+error, 137 (128+SIGKILL) OOM kill, 271 node fault (Slurm's NODE_FAIL
+exit-code family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_APP_ERROR",
+    "EXIT_OOM",
+    "EXIT_NODE_FAULT",
+    "EXIT_CODES",
+    "FailureModel",
+]
+
+EXIT_OK = 0
+EXIT_APP_ERROR = 1
+EXIT_OOM = 137
+EXIT_NODE_FAULT = 271
+
+EXIT_CODES = (EXIT_OK, EXIT_APP_ERROR, EXIT_OOM, EXIT_NODE_FAULT)
+
+# Failed jobs never report less than a minute of runtime: the batch
+# system's accounting granularity.
+_MIN_FAILED_RUNTIME_S = 60
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Per-job failure probabilities of one workload.
+
+    ``p_app_error`` is the total probability of an application-level
+    failure (of which ``oom_share`` are OOM kills — early, memory-ramp
+    deaths); ``p_node_fault`` the probability of losing a node under
+    the job (uniformly through the run). All zero ⇒ :meth:`active` is
+    False and :meth:`apply` draws nothing.
+    """
+
+    p_app_error: float = 0.0
+    p_node_fault: float = 0.0
+    oom_share: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.p_app_error < 1:
+            raise WorkloadError("p_app_error must be in [0, 1)")
+        if not 0 <= self.p_node_fault < 1:
+            raise WorkloadError("p_node_fault must be in [0, 1)")
+        if self.p_app_error + self.p_node_fault >= 1:
+            raise WorkloadError("total failure probability must stay below 1")
+        if not 0 <= self.oom_share <= 1:
+            raise WorkloadError("oom_share must be in [0, 1]")
+
+    @property
+    def active(self) -> bool:
+        """Whether this model can produce any failure at all."""
+        return self.p_app_error > 0 or self.p_node_fault > 0
+
+    def apply(
+        self, runtime_s: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw exit states and truncated runtimes for planned jobs.
+
+        Returns ``(exit_code, runtime_s)`` — int64 arrays aligned with
+        the input. Exactly ``2 * len(runtime_s)`` uniforms are consumed
+        (one classifying draw, one truncation-point draw per job,
+        whether or not it fails), so the stream layout is independent of
+        the failure outcomes themselves.
+        """
+        runtime_s = np.asarray(runtime_s, dtype=np.int64)
+        n = len(runtime_s)
+        exit_code = np.zeros(n, dtype=np.int64)
+        if not self.active or n == 0:
+            return exit_code, runtime_s.copy()
+        u = rng.random(n)
+        frac = rng.random(n)
+        app_fail = u < self.p_app_error
+        node_fault = (~app_fail) & (u < self.p_app_error + self.p_node_fault)
+        # Within application failures, the lowest-u slice are OOM kills
+        # — a deterministic sub-classification of the same draw.
+        oom = app_fail & (u < self.p_app_error * self.oom_share)
+        exit_code[app_fail] = EXIT_APP_ERROR
+        exit_code[oom] = EXIT_OOM
+        exit_code[node_fault] = EXIT_NODE_FAULT
+        failed = app_fail | node_fault
+        # Truncation point: node faults strike uniformly through the
+        # run; generic app errors skew late (the job got somewhere
+        # before hitting the bad input); OOM kills die early, during
+        # the memory ramp.
+        t = frac.copy()
+        t[app_fail] = np.sqrt(frac[app_fail])
+        t[oom] = 0.35 * frac[oom]
+        truncated = np.maximum(
+            (t * runtime_s).astype(np.int64), _MIN_FAILED_RUNTIME_S
+        )
+        out_runtime = runtime_s.copy()
+        out_runtime[failed] = np.minimum(truncated[failed], runtime_s[failed])
+        return exit_code, out_runtime

@@ -15,8 +15,9 @@ import numpy as np
 from repro.errors import WorkloadError
 from repro.rng import RngFactory
 from repro.units import DAY, HOUR
-from repro.workload.applications import get_app
+from repro.workload.applications import catalog_for, get_app
 from repro.workload.arrivals import ArrivalProcess
+from repro.workload.failures import FailureModel
 from repro.workload.jobclass import JobClass
 from repro.workload.phases import TemporalProfile, make_profile
 from repro.workload.spatial import SpatialModel, make_spatial_model
@@ -93,6 +94,13 @@ class JobSpec:
     profile: TemporalProfile
     spatial: SpatialModel
     is_debug: bool = False
+    # Heterogeneous extensions (docs/SCENARIOS.md): accelerators
+    # requested per node, nominal GPU board-power fraction, and the
+    # batch-system exit state (repro.workload.failures — 0 = success;
+    # failed jobs carry their *truncated* partial runtime).
+    gpus: int = 0
+    gpu_fraction: float = 0.0
+    exit_code: int = 0
 
     def __post_init__(self) -> None:
         if self.runtime_s > self.req_walltime_s:
@@ -101,6 +109,13 @@ class JobSpec:
             )
         if self.runtime_s <= 0 or self.nodes < 1 or self.submit_s < 0:
             raise WorkloadError(f"job {self.job_id}: invalid geometry")
+        if self.gpus < 0 or not 0 <= self.gpu_fraction <= 1:
+            raise WorkloadError(f"job {self.job_id}: invalid GPU geometry")
+
+    @property
+    def failed(self) -> bool:
+        """Whether this job ended in a non-zero exit state."""
+        return self.exit_code != 0
 
     @property
     def node_seconds(self) -> int:
@@ -157,6 +172,16 @@ class WorkloadParams:
     weekly_amplitude: float = 0.25
     holiday_depth: float = 0.5
     campaign_spread: float = 0.12
+    # Heterogeneous/ML extensions (docs/SCENARIOS.md): which application
+    # catalog the population draws from, accelerators per GPU node (ML
+    # classes request all of them), and the failure model's rates. The
+    # defaults keep the paper's CPU systems exactly as before — zero
+    # rates mean the failure stream is never touched.
+    catalog_profile: str = "hpc"
+    gpus_per_node: int = 0
+    p_fail_app: float = 0.0
+    p_fail_node: float = 0.0
+    oom_share: float = 0.35
 
     def __post_init__(self) -> None:
         if self.num_users < 2:
@@ -165,6 +190,10 @@ class WorkloadParams:
             raise WorkloadError("target_offered_load must be in (0, 1.2]")
         if self.horizon_s < DAY:
             raise WorkloadError("horizon must be at least one day")
+        if self.gpus_per_node < 0:
+            raise WorkloadError("gpus_per_node must be >= 0")
+        # Probability fields are validated by the FailureModel itself.
+        FailureModel(self.p_fail_app, self.p_fail_node, self.oom_share)
 
 
 def default_params(
@@ -177,6 +206,12 @@ def default_params(
     spread (σ/µ = 26%). Meggie: fewer, heavier users with larger jobs,
     strong power–size coupling (ρ_len=0.12, ρ_size=0.42), narrower power
     spread (σ/µ = 18%) but more per-user diversity (Fig 12).
+
+    Alex: the ML training cluster — fewer users, mostly single-node
+    8-GPU jobs with long walltimes, epoch-shaped power, and the high
+    failure rates Chu et al. report for ML workloads. Woody: the mixed
+    CPU/GPU partition — the HPC catalog plus ML jobs on its GPU island,
+    with intermediate failure rates (docs/SCENARIOS.md).
     """
     system = system.lower()
     if system == "emmy":
@@ -224,6 +259,58 @@ def default_params(
             p_debug_diverse=0.20,
             p_debug_focused=0.10,
         )
+    elif system == "alex":
+        params = WorkloadParams(
+            system="alex",
+            num_users=60,
+            target_offered_load=0.72,
+            nodes_median=1.4,
+            nodes_sigma_log=0.7,
+            max_nodes=16,
+            wall_median_h=9.0,
+            wall_sigma_log=0.8,
+            a_len=0.05,
+            a_size=0.03,
+            debug_max_nodes=1,
+            debug_wall_hi_h=2.0,
+            pareto_alpha=1.2,
+            debug_scale_boost=0.30,
+            debug_power_lo=0.30,
+            debug_power_hi=0.55,
+            class_jitter_sigma=0.10,
+            diverse_fraction=0.45,
+            p_debug_diverse=0.22,
+            p_debug_focused=0.10,
+            catalog_profile="ml",
+            gpus_per_node=8,
+            p_fail_app=0.10,
+            p_fail_node=0.015,
+        )
+    elif system == "woody":
+        params = WorkloadParams(
+            system="woody",
+            num_users=80,
+            target_offered_load=0.78,
+            nodes_median=2.8,
+            nodes_sigma_log=0.85,
+            max_nodes=32,
+            wall_median_h=6.0,
+            wall_sigma_log=0.85,
+            a_len=0.04,
+            a_size=0.03,
+            debug_max_nodes=2,
+            debug_wall_hi_h=4.0,
+            pareto_alpha=1.4,
+            debug_scale_boost=0.25,
+            class_jitter_sigma=0.08,
+            diverse_fraction=0.55,
+            p_debug_diverse=0.20,
+            p_debug_focused=0.08,
+            catalog_profile="mixed",
+            gpus_per_node=4,
+            p_fail_app=0.05,
+            p_fail_node=0.010,
+        )
     else:
         raise WorkloadError(f"no default params for system {system!r}")
     overrides = {}
@@ -251,9 +338,13 @@ class WorkloadPlan:
 
     classes: list  # list[JobClass]; index space of ``class_pos``
     submit_s: np.ndarray  # int64, sorted by (submit, user_id)
-    runtime_s: np.ndarray  # int64
+    runtime_s: np.ndarray  # int64 (already truncated for failed jobs)
     power_fraction: np.ndarray  # float64
     class_pos: np.ndarray  # int64 index into ``classes``
+    # Per-job batch exit states (repro.workload.failures); None on
+    # workloads whose failure model is inactive — old cached plans
+    # unpickle to None through the class default.
+    exit_code: np.ndarray | None = None
 
     @property
     def n_jobs(self) -> int:
@@ -293,21 +384,29 @@ class WorkloadPlan:
                 "class_id": c.class_id, "nodes": c.nodes,
                 "req_walltime_s": c.req_walltime_s, "profile": c.profile,
                 "spatial": c.spatial, "is_debug": c.is_debug,
+                "gpus": c.gpus, "gpu_fraction": c.gpu_fraction,
             }
             for c in classes
         ]
         new = object.__new__
         specs: list[JobSpec] = []
         append = specs.append
+        # Workloads without an active failure model fall back to the
+        # JobSpec class default (exit_code = 0) — zip against an empty
+        # tail costs nothing there.
+        if self.exit_code is not None:
+            exit_codes = self.exit_code[lo:hi].tolist()
+        else:
+            exit_codes = None
         # tolist() up front: plain ints/floats avoid a numpy-scalar
         # conversion per field in the hot construction loop.
-        for i, submit, runtime, power, ci in zip(
+        for offset, (i, submit, runtime, power, ci) in enumerate(zip(
             range(lo, hi),
             submit_s.tolist(),
             runtime_s.tolist(),
             self.power_fraction[lo:hi].tolist(),
             class_pos.tolist(),
-        ):
+        )):
             spec = new(JobSpec)
             d = spec.__dict__
             d.update(templates[ci])
@@ -315,6 +414,8 @@ class WorkloadPlan:
             d["runtime_s"] = runtime
             d["submit_s"] = submit
             d["power_fraction"] = power
+            if exit_codes is not None:
+                d["exit_code"] = exit_codes[offset]
             append(spec)
         return specs
 
@@ -349,6 +450,7 @@ class WorkloadGenerator:
             rng=self._rngs.get("users"),
             pareto_alpha=self.params.pareto_alpha,
             diverse_fraction=self.params.diverse_fraction,
+            catalog=catalog_for(self.params.catalog_profile),
         )
 
     def build_classes(self, population: UserPopulation) -> list[JobClass]:
@@ -477,6 +579,17 @@ class WorkloadGenerator:
             fraction *= debug_mult * rng.lognormal(0.0, 0.035)
         fraction = float(np.clip(fraction, 0.25, 0.98))
 
+        # ML training classes request every accelerator of their nodes
+        # and carry a class-persistent GPU power level; CPU-only apps
+        # (all of emmy/meggie) never reach these draws.
+        if app.uses_gpus and p.gpus_per_node > 0:
+            gpus = p.gpus_per_node
+            gpu_fraction = float(
+                np.clip(app.gpu_fraction * rng.lognormal(0.0, 0.06), 0.05, 1.0)
+            )
+        else:
+            gpus, gpu_fraction = 0, 0.0
+
         return JobClass(
             class_id=class_id,
             user_id=user.user_id,
@@ -486,10 +599,14 @@ class WorkloadGenerator:
             req_walltime_s=max(wall_s, 600),
             power_fraction=fraction,
             within_sigma=p.within_class_sigma,
-            profile=make_profile(app.burstiness, rng, mode=p.temporal_mode),
+            profile=make_profile(
+                app.burstiness, rng, mode=p.temporal_mode, ml=app.uses_gpus
+            ),
             spatial=make_spatial_model(app.imbalance, rng, scale=p.spatial_scale),
             n_instances=n_instances,
             is_debug=is_debug,
+            gpus=gpus,
+            gpu_fraction=gpu_fraction,
         )
 
     def _calibrate_instances(self, classes: list[JobClass], rng: np.random.Generator) -> None:
@@ -575,10 +692,22 @@ class WorkloadGenerator:
         # (submit, user_id) tuple key it replaces: equal pairs keep
         # class-generation order, so the permutation is identical.
         order = np.lexsort((user_key, submit_s))
+        runtime_sorted = runtime_s[order]
+        # Exit states draw from their own child stream, *after* the
+        # sort, so the draw order is the submit order (stable across
+        # chunked materialization) and an inactive model — every CPU
+        # system — touches neither the stream nor the runtimes.
+        failures = FailureModel(p.p_fail_app, p.p_fail_node, p.oom_share)
+        exit_code = None
+        if failures.active:
+            exit_code, runtime_sorted = failures.apply(
+                runtime_sorted, self._rngs.get("failures")
+            )
         return WorkloadPlan(
             classes=classes,
             submit_s=submit_s[order],
-            runtime_s=runtime_s[order],
+            runtime_s=runtime_sorted,
             power_fraction=power_fraction[order],
             class_pos=class_pos[order],
+            exit_code=exit_code,
         )

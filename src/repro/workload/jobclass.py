@@ -47,6 +47,11 @@ class JobClass:
     runtime_beta: tuple[float, float] = (4.0, 1.6)
     limit_hit_prob: float = 0.08
     is_debug: bool = False
+    # Accelerators requested per node (0 = CPU-only class) and the
+    # class's nominal GPU board-power fraction — the GPU-side sibling of
+    # ``power_fraction``, set for ML-training classes (docs/SCENARIOS.md).
+    gpus: int = 0
+    gpu_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -63,6 +68,14 @@ class JobClass:
             raise WorkloadError(f"class {self.class_id}: needs >= 1 instance")
         if not 0 <= self.limit_hit_prob < 1:
             raise WorkloadError(f"class {self.class_id}: bad limit_hit_prob")
+        if self.gpus < 0:
+            raise WorkloadError(f"class {self.class_id}: gpus must be >= 0")
+        if not 0 <= self.gpu_fraction <= 1:
+            raise WorkloadError(f"class {self.class_id}: gpu_fraction out of range")
+        if self.gpus > 0 and self.gpu_fraction == 0:
+            raise WorkloadError(
+                f"class {self.class_id}: GPU classes need gpu_fraction > 0"
+            )
 
     @property
     def expected_runtime_s(self) -> float:

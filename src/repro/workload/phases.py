@@ -27,7 +27,7 @@ from repro.errors import WorkloadError
 
 __all__ = ["TemporalProfile", "make_profile", "PROFILE_KINDS"]
 
-PROFILE_KINDS = ("flat", "dip", "burst", "multiphase")
+PROFILE_KINDS = ("flat", "dip", "burst", "multiphase", "epoch")
 
 # scipy is imported lazily (bound here on first use) so that importing
 # the workload layer — and therefore the CLI — never pays the ~1.8 s
@@ -78,6 +78,10 @@ class TemporalProfile:
             profile = base * _square_wave(
                 minutes, 1.0 + self.amp, self.duty, self.period_minutes, rng
             )
+        elif self.kind == "epoch":
+            profile = base * _epochs(
+                minutes, self.amp, self.duty, self.period_minutes, rng
+            )
         else:  # multiphase: low setup, high production, low teardown
             profile = base * _ramps(minutes, self.amp, rng)
         # Renormalize so the job mean equals the nominal class power.
@@ -121,8 +125,36 @@ def _ramps(n: int, amp: float, rng: np.random.Generator) -> np.ndarray:
     return out
 
 
+def _epochs(
+    n: int, amp: float, duty: float, period: int, rng: np.random.Generator
+) -> np.ndarray:
+    """ML-training epochs: compute plateaus with periodic checkpoint dips.
+
+    One period is one epoch: a sustained compute plateau, a short
+    data-loading ramp at the epoch boundary, and a deep checkpoint dip
+    (``duty`` of the period at ``1 - amp``) when the state is flushed to
+    the parallel filesystem. The run opens with a low-power staging
+    segment — container pull, dataset cache warm-up, checkpoint
+    *restore* after a restart — matching Chu et al.'s observation that
+    ML jobs spend their early minutes far below steady-state power.
+    """
+    t = np.arange(n) % period
+    dip_len = max(1, int(round(duty * period)))
+    ramp_len = max(1, int(round(0.10 * period)))
+    out = np.ones(n)
+    # Checkpoint flush at the end of each epoch.
+    out[t >= period - dip_len] = 1.0 - amp
+    # Data-loading ramp opening each epoch: climbs back to the plateau.
+    ramp = t < ramp_len
+    out[ramp] = 0.85 + 0.15 * (t[ramp] + 1) / ramp_len
+    # Initial staging / checkpoint-restore segment at job start.
+    staging = max(1, int(n * rng.uniform(0.02, 0.08)))
+    out[:staging] = 1.0 - 0.8 * amp
+    return out
+
+
 def make_profile(
-    burstiness: float, rng: np.random.Generator, mode: str = "mixed"
+    burstiness: float, rng: np.random.Generator, mode: str = "mixed", ml: bool = False
 ) -> TemporalProfile:
     """Draw a profile for a job class given its application burstiness.
 
@@ -130,6 +162,11 @@ def make_profile(
     behavior. The resulting population reproduces the paper's "limited
     temporal variance" finding: dips carry most of the σ_t, genuine
     above-mean bursts stay rare.
+
+    ``ml=True`` draws an epoch-shaped training profile instead (compute
+    plateaus, checkpoint dips, staging ramp — docs/SCENARIOS.md);
+    burstiness then scales the checkpoint depth. The flat ablation mode
+    still wins, so the temporal-ablation studies cover ML systems too.
     """
     if not 0 <= burstiness <= 1:
         raise WorkloadError("burstiness must be in [0, 1]")
@@ -137,6 +174,17 @@ def make_profile(
         raise WorkloadError(f"unknown profile mode {mode!r}")
     if mode == "flat":
         return TemporalProfile(kind="flat", wander_sigma=rng.uniform(0.012, 0.035))
+    if ml:
+        # Epoch period tracks dataset size; checkpoint dips are deep
+        # (GPUs idle at the board floor while the state is flushed).
+        amp = rng.uniform(0.30, 0.45 + 0.25 * burstiness)
+        return TemporalProfile(
+            kind="epoch",
+            wander_sigma=rng.uniform(0.012, 0.030),
+            amp=float(np.clip(amp, 0.0, 0.9)),
+            duty=rng.uniform(0.04, 0.12),
+            period_minutes=int(rng.integers(15, 75)),
+        )
     if mode == "burst-only":
         return TemporalProfile(
             kind="burst",

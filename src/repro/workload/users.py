@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.workload.applications import CATALOG
+from repro.workload.applications import CATALOG, Application
 
 __all__ = ["User", "UserPopulation"]
 
@@ -69,6 +69,13 @@ class UserPopulation:
         Fraction of users whose portfolio spans many applications
         (including low-power misc jobs). Diversity drives the Fig 12
         per-user variability.
+    catalog:
+        The application catalog portfolios draw from; defaults to the
+        paper's HPC :data:`~repro.workload.applications.CATALOG`. The
+        heterogeneous systems pass the ML or mixed catalog
+        (:func:`~repro.workload.applications.catalog_for`). The *last*
+        catalog entry is the low-power fallback every diverse portfolio
+        includes ("misc" for HPC, "mlmisc" for ML/mixed).
     """
 
     def __init__(
@@ -77,6 +84,7 @@ class UserPopulation:
         rng: np.random.Generator,
         pareto_alpha: float = 1.1,
         diverse_fraction: float = 0.6,
+        catalog: tuple[Application, ...] | None = None,
     ) -> None:
         if num_users < 2:
             raise WorkloadError("population needs at least 2 users")
@@ -84,10 +92,15 @@ class UserPopulation:
             raise WorkloadError("pareto_alpha must be positive")
         if not 0 <= diverse_fraction <= 1:
             raise WorkloadError("diverse_fraction must be in [0, 1]")
+        if catalog is None:
+            catalog = CATALOG
+        if not catalog:
+            raise WorkloadError("application catalog must not be empty")
         self.num_users = num_users
-        app_list = [app.name for app in CATALOG]
-        weights = np.asarray([app.share for app in CATALOG])
+        app_list = [app.name for app in catalog]
+        weights = np.asarray([app.share for app in catalog])
         weights = weights / weights.sum()
+        fallback = app_list[-1]
 
         scales = 1.0 + rng.pareto(pareto_alpha, size=num_users)
         # Cap the heaviest account so one draw cannot absorb most of the
@@ -101,13 +114,14 @@ class UserPopulation:
             diverse = rng.random() < diverse_fraction
             if diverse:
                 # Broad portfolio: sample 3-6 distinct apps, always
-                # including misc (debug/pre/post-processing jobs).
+                # including the catalog's low-power fallback family
+                # (debug/pre/post-processing jobs).
                 k = int(rng.integers(3, min(7, len(app_list) + 1)))
                 chosen = list(
                     rng.choice(app_list, size=k, replace=False, p=weights)
                 )
-                if "misc" not in chosen:
-                    chosen[-1] = "misc"
+                if fallback not in chosen:
+                    chosen[-1] = fallback
             else:
                 # Focused domain scientist: 1-2 apps.
                 k = int(rng.integers(1, 3))

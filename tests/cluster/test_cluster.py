@@ -46,8 +46,17 @@ class TestSpecs:
         assert MEGGIE.linpack_node_power_watts < MEGGIE.node_tdp_watts * 1.5
 
     def test_registry(self):
-        assert known_systems() == ["emmy", "meggie"]
+        assert known_systems() == ["alex", "emmy", "meggie", "woody"]
         assert get_spec("EMMY") is EMMY
+
+    def test_gpu_inventory(self):
+        alex = get_spec("alex")
+        assert alex.has_gpus and alex.total_gpus == 82 * 8
+        assert alex.gpus_on(0) == 8 and alex.gpus_on(81) == 8
+        woody = get_spec("woody")
+        assert woody.gpu_node_count == 32
+        assert woody.gpus_on(31) == 4 and woody.gpus_on(32) == 0
+        assert not EMMY.has_gpus and EMMY.total_gpus == 0
 
     def test_unknown_system(self):
         with pytest.raises(ClusterError, match="unknown system"):

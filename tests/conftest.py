@@ -28,6 +28,15 @@ def meggie_small() -> JobDataset:
     )
 
 
+@pytest.fixture(scope="session")
+def alex_small() -> JobDataset:
+    """The GPU/ML training cluster, small horizon — carries the GPU and
+    exit-state job columns (docs/SCENARIOS.md)."""
+    return generate_dataset(
+        "alex", seed=3, num_users=24, horizon_s=12 * 86400, max_traces=0
+    )
+
+
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

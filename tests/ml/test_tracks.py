@@ -1,0 +1,92 @@
+"""Evaluation tracks and probability metrics (docs/SCENARIOS.md)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.frames import Table
+from repro.ml import (
+    FAILURE_TRACK,
+    GPU_POWER_TRACK,
+    POWER_TRACK,
+    brier_error,
+    classification_summary,
+    get_track,
+    known_tracks,
+)
+
+
+class TestRegistry:
+    def test_known_tracks(self):
+        assert known_tracks() == ["failures", "gpu_power", "power"]
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_track("GPU_Power") is GPU_POWER_TRACK
+        assert get_track("power") is POWER_TRACK
+
+    def test_unknown_track_raises(self):
+        with pytest.raises(ValidationError, match="unknown track 'nope'"):
+            get_track("nope")
+
+    def test_feature_spec_is_never_shared(self):
+        """Each call builds a fresh FeatureSpec — the PR-3 shared-default
+        bug class must not reappear through the track registry."""
+        for track in (POWER_TRACK, GPU_POWER_TRACK, FAILURE_TRACK):
+            assert track.feature_spec() is not track.feature_spec()
+
+    def test_gpu_track_definition(self):
+        assert GPU_POWER_TRACK.target_column == "gpu_power_w"
+        assert "gpus" in GPU_POWER_TRACK.numeric_features
+        assert GPU_POWER_TRACK.filter_column == "gpus"
+        assert FAILURE_TRACK.error_kind == "brier"
+
+
+class TestSelect:
+    def test_missing_columns_name_the_track(self):
+        jobs = Table({"nodes": np.array([1, 2]),
+                      "req_walltime_s": np.array([60, 60])})
+        with pytest.raises(ValidationError, match="track 'gpu_power'"):
+            GPU_POWER_TRACK.select(jobs)
+
+    def test_filter_keeps_only_board_holding_rows(self):
+        jobs = Table({
+            "nodes": np.array([1, 2, 1]),
+            "req_walltime_s": np.array([60, 60, 60]),
+            "gpus": np.array([0, 4, 8]),
+            "gpu_power_w": np.array([0.0, 900.0, 2000.0]),
+        })
+        rows = GPU_POWER_TRACK.select(jobs)
+        assert rows["gpus"].tolist() == [4, 8]
+
+    def test_power_track_selects_everything(self, alex_small):
+        rows = POWER_TRACK.select(alex_small.jobs)
+        assert len(rows) == alex_small.num_jobs
+
+
+class TestBrier:
+    def test_matches_squared_probability_error(self):
+        actual = np.array([0.0, 1.0, 1.0, 0.0])
+        predicted = np.array([0.1, 0.8, 0.4, 0.0])
+        np.testing.assert_allclose(
+            brier_error(actual, predicted), [0.01, 0.04, 0.36, 0.0]
+        )
+
+    def test_clips_predictions_into_probability_range(self):
+        out = brier_error(np.array([1.0]), np.array([1.7]))
+        assert out[0] == 0.0
+
+    def test_rejects_non_binary_actuals(self):
+        with pytest.raises(ValidationError):
+            brier_error(np.array([0.5]), np.array([0.5]))
+
+    def test_classification_summary(self):
+        actual = np.array([1.0, 0.0, 0.0, 1.0])
+        predicted = np.array([0.9, 0.2, 0.7, 0.6])
+        s = classification_summary(actual, predicted)
+        assert s.n == 4
+        assert s.base_rate == 0.5
+        assert s.accuracy == 0.75  # the 0.7 on a true 0 misclassifies
+        assert s.brier == pytest.approx(np.mean(
+            (np.array([0.9, 0.2, 0.7, 0.6]) - actual) ** 2
+        ))
+        assert set(s.as_dict()) == {"brier", "accuracy", "base_rate", "n"}

@@ -1,0 +1,110 @@
+"""GpuSampler: chunked-vs-monolithic bit identity and board allocation.
+
+The GPU stream's contract mirrors the CPU aggregate fast path: one
+standard normal per *allocated board*, in job order, and chunks holding
+no GPU jobs consume nothing — so any chunking of the scheduled stream
+concatenates bit-identically to one monolithic sweep.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler import simulate
+from repro.telemetry.dataset import build_inputs
+from repro.telemetry.sampler import GpuSampler
+from repro.workload.generator import WorkloadGenerator
+
+_CACHE: dict[str, tuple] = {}
+
+
+def _scheduled(system):
+    """Cluster + scheduled jobs, cached — hypothesis re-enters the test."""
+    if system not in _CACHE:
+        cluster, params = build_inputs(
+            system, seed=13, num_users=12, horizon_s=4 * 86400
+        )
+        specs = WorkloadGenerator(params, cluster.num_nodes, seed=13).generate()
+        _CACHE[system] = (cluster, simulate(specs, cluster.num_nodes))
+    return _CACHE[system]
+
+
+class TestBitIdentity:
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_chunked_concatenates_to_monolithic(self, data):
+        cluster, scheduled = _scheduled("alex")
+        cuts = sorted(data.draw(st.lists(
+            st.integers(0, len(scheduled)), max_size=4
+        )))
+        mono = GpuSampler(cluster, np.random.default_rng(21))
+        power, count = mono.sample_batch(scheduled)
+        chunked = GpuSampler(cluster, np.random.default_rng(21))
+        parts = []
+        for lo, hi in zip([0, *cuts], [*cuts, len(scheduled)]):
+            parts.append(chunked.sample_batch(scheduled[lo:hi]))
+        np.testing.assert_array_equal(
+            power, np.concatenate([p for p, _ in parts])
+        )
+        np.testing.assert_array_equal(
+            count, np.concatenate([c for _, c in parts])
+        )
+
+    def test_stream_state_matches_after_chunking(self):
+        cluster, scheduled = _scheduled("alex")
+        a = GpuSampler(cluster, np.random.default_rng(5))
+        b = GpuSampler(cluster, np.random.default_rng(5))
+        a.sample_batch(scheduled)
+        for job in scheduled:
+            b.sample_batch([job])
+        assert a._rng.standard_normal() == b._rng.standard_normal()
+
+    def test_gpu_free_chunk_consumes_no_draws(self):
+        """A chunk of CPU-only jobs must leave the stream untouched."""
+        cluster, scheduled = _scheduled("woody")
+        cpu_jobs = [j for j in scheduled if getattr(j.spec, "gpus", 0) == 0]
+        assert cpu_jobs, "woody's mixed catalog should schedule CPU jobs"
+        rng = np.random.default_rng(8)
+        power, count = GpuSampler(cluster, rng).sample_batch(cpu_jobs)
+        assert (power == 0).all() and (count == 0).all()
+        assert rng.standard_normal() == np.random.default_rng(8).standard_normal()
+
+    def test_empty_batch(self):
+        cluster, _ = _scheduled("alex")
+        power, count = GpuSampler(
+            cluster, np.random.default_rng(0)
+        ).sample_batch([])
+        assert power.shape == (0,) and count.shape == (0,)
+
+
+class TestAllocation:
+    def test_boards_capped_by_installed_inventory(self):
+        """min(requested, installed) per node: jobs placed on woody's
+        CPU-only nodes run GPU-starved, deterministically."""
+        cluster, scheduled = _scheduled("woody")
+        installed = cluster.gpu_counts
+        _, count = GpuSampler(
+            cluster, np.random.default_rng(1)
+        ).sample_batch(scheduled)
+        starved = 0
+        for i, job in enumerate(scheduled):
+            requested = getattr(job.spec, "gpus", 0)
+            expected = int(
+                np.minimum(installed[job.node_ids], requested).sum()
+            )
+            assert count[i] == expected
+            if requested > 0 and expected < requested * job.spec.nodes:
+                starved += 1
+        assert starved > 0, "expected some GPU jobs placed off the island"
+
+    def test_power_positive_iff_boards_allocated(self):
+        cluster, scheduled = _scheduled("alex")
+        power, count = GpuSampler(
+            cluster, np.random.default_rng(2)
+        ).sample_batch(scheduled)
+        np.testing.assert_array_equal(power > 0, count > 0)
+        boarded = count > 0
+        # Board power stays within the model's physical envelope.
+        per_board = power[boarded] / count[boarded]
+        assert (per_board <= cluster.spec.gpu_tdp_watts).all()
+        assert (per_board > 0).all()

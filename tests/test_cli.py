@@ -17,6 +17,20 @@ class TestParser:
         assert args.system == "meggie"
         assert args.num_nodes == 16
 
+    def test_system_choices_track_the_cluster_registry(self):
+        """The hardcoded (import-light) CLI choices must never drift
+        from repro.cluster.known_systems()."""
+        from repro.cli import _SYSTEM_CHOICES
+        from repro.cluster import known_systems
+
+        assert list(_SYSTEM_CHOICES) == known_systems()
+
+    def test_gpu_systems_are_accepted(self):
+        args = build_parser().parse_args(
+            ["generate", "--system", "alex", "--out", "x.npz"]
+        )
+        assert args.system == "alex"
+
 
 SCALE = [
     "--num-nodes", "16", "--num-users", "8",
@@ -29,6 +43,22 @@ class TestCommands:
         assert main(["specs"]) == 0
         out = capsys.readouterr().out
         assert "emmy" in out and "meggie" in out and "560" in out
+
+    def test_systems_list(self, capsys):
+        assert main(["systems", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "alex" in out and "woody" in out
+        assert "ml" in out and "mixed" in out
+        assert "656" in out  # alex: 82 nodes x 8 boards
+
+    def test_systems_list_json(self, capsys):
+        import json
+
+        assert main(["systems", "list", "--json"]) == 0
+        catalog = {e["system"]: e for e in json.loads(capsys.readouterr().out)}
+        assert catalog["woody"]["gpu_nodes"] == 32
+        assert catalog["woody"]["gpus_per_node"] == 4
+        assert catalog["emmy"]["total_gpus"] == 0
 
     def test_generate_csv(self, tmp_path, capsys):
         out = tmp_path / "jobs.csv"
@@ -85,6 +115,7 @@ class TestPipelineCommands:
         assert main(["pipeline", "status", *cache]) == 0
         out = capsys.readouterr().out
         assert "workload" in out and "dataset" in out
+        assert "[emmy]" in out  # each entry names its system
 
         # Targeted clean: only the matching stage goes away.
         assert main(["pipeline", "clean", "--stage", "workload", *cache]) == 0

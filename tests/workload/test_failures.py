@@ -1,0 +1,124 @@
+"""FailureModel: determinism, stream discipline, and plan-level wiring.
+
+The failure model's contract is byte-determinism across build paths: it
+consumes exactly ``2n`` uniforms per ``apply`` regardless of outcomes,
+runs once per workload at the plan level, and an all-zero model draws
+nothing at all (the paper's CPU systems keep their golden artifacts).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.failures import (
+    EXIT_APP_ERROR,
+    EXIT_CODES,
+    EXIT_NODE_FAULT,
+    EXIT_OK,
+    EXIT_OOM,
+    FailureModel,
+)
+from repro.workload.generator import WorkloadGenerator, default_params
+
+
+def _runtimes(rng, n):
+    return rng.integers(60, 7 * 86400, size=n)
+
+
+class TestValidation:
+    def test_rejects_out_of_range_probabilities(self):
+        with pytest.raises(WorkloadError):
+            FailureModel(p_app_error=-0.1)
+        with pytest.raises(WorkloadError):
+            FailureModel(p_node_fault=1.0)
+        with pytest.raises(WorkloadError):
+            FailureModel(p_app_error=0.6, p_node_fault=0.5)
+        with pytest.raises(WorkloadError):
+            FailureModel(oom_share=1.5)
+
+    def test_active_flag(self):
+        assert not FailureModel().active
+        assert FailureModel(p_app_error=0.1).active
+        assert FailureModel(p_node_fault=0.01).active
+
+
+class TestApply:
+    def test_inactive_model_draws_nothing(self):
+        """Zero rates must not touch the stream — CPU golden bytes."""
+        rng = np.random.default_rng(5)
+        runtimes = _runtimes(np.random.default_rng(0), 100)
+        exit_code, out = FailureModel().apply(runtimes, rng)
+        assert (exit_code == EXIT_OK).all()
+        np.testing.assert_array_equal(out, runtimes)
+        untouched = np.random.default_rng(5)
+        assert rng.random() == untouched.random()
+
+    def test_consumes_exactly_two_uniforms_per_job(self):
+        """The stream layout is outcome-independent: 2n draws, always."""
+        n = 257
+        runtimes = _runtimes(np.random.default_rng(1), n)
+        rng = np.random.default_rng(9)
+        FailureModel(p_app_error=0.2, p_node_fault=0.05).apply(runtimes, rng)
+        twin = np.random.default_rng(9)
+        twin.random(n)
+        twin.random(n)
+        assert rng.random() == twin.random()
+
+    def test_exit_codes_and_truncation(self):
+        runtimes = _runtimes(np.random.default_rng(2), 5000)
+        model = FailureModel(p_app_error=0.15, p_node_fault=0.03)
+        exit_code, out = model.apply(runtimes, np.random.default_rng(3))
+        assert set(np.unique(exit_code)) <= set(EXIT_CODES)
+        for code in (EXIT_APP_ERROR, EXIT_OOM, EXIT_NODE_FAULT):
+            assert (exit_code == code).any(), f"no draws of exit code {code}"
+        failed = exit_code != EXIT_OK
+        assert (out[failed] <= runtimes[failed]).all()
+        assert (out[failed] >= 1).all()
+        np.testing.assert_array_equal(out[~failed], runtimes[~failed])
+        # Rates land near the configured probabilities at this n.
+        assert abs(failed.mean() - 0.18) < 0.02
+
+    def test_oom_kills_die_early(self):
+        """OOMs strike during the memory ramp — well before app errors."""
+        runtimes = np.full(20000, 100_000, dtype=np.int64)
+        model = FailureModel(p_app_error=0.2, oom_share=0.35)
+        exit_code, out = model.apply(runtimes, np.random.default_rng(4))
+        frac = out / runtimes
+        assert frac[exit_code == EXIT_OOM].mean() < frac[
+            exit_code == EXIT_APP_ERROR
+        ].mean()
+
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_same_exit_states(self, seed, n):
+        runtimes = _runtimes(np.random.default_rng(seed), n)
+        model = FailureModel(p_app_error=0.1, p_node_fault=0.02)
+        a = model.apply(runtimes, np.random.default_rng(seed))
+        b = model.apply(runtimes, np.random.default_rng(seed))
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestPlanLevelWiring:
+    def test_chunked_instances_match_monolithic(self):
+        """Exit states are drawn once, at the plan level: materializing
+        the plan in chunks yields bit-identical JobSpecs."""
+        params = default_params("alex", num_users=16, horizon_s=6 * 86400)
+        gen = WorkloadGenerator(params, 82, seed=11)
+        whole = gen.generate()
+        plan = WorkloadGenerator(params, 82, seed=11).generate_plan()
+        chunked = []
+        step = 37
+        for lo in range(0, plan.n_jobs, step):
+            chunked.extend(plan.materialize(lo, min(lo + step, plan.n_jobs)))
+        assert [j.exit_code for j in whole] == [j.exit_code for j in chunked]
+        assert [j.runtime_s for j in whole] == [j.runtime_s for j in chunked]
+        assert any(j.exit_code != EXIT_OK for j in whole)
+
+    def test_hpc_systems_draw_no_failures(self):
+        params = default_params("emmy", num_users=8, horizon_s=3 * 86400)
+        jobs = WorkloadGenerator(params, 64, seed=7).generate()
+        assert all(j.exit_code == EXIT_OK for j in jobs)
+        assert all(not j.failed for j in jobs)

@@ -14,9 +14,11 @@ top-level module under ``src/repro`` appears in
 docs/ARCHITECTURE.md's module index; that the serving surface
 (``repro.serve.__all__``) is covered by docs/SERVICE.md; that the
 model-lifecycle surface (``repro.serve.lifecycle.__all__``) is covered
-by docs/LIFECYCLE.md; and that the incident-benchmark surface
-(``repro.incidents.__all__``) is covered by docs/INCIDENTS.md. Run via
-``make docs-check``.
+by docs/LIFECYCLE.md; that the incident-benchmark surface
+(``repro.incidents.__all__``) is covered by docs/INCIDENTS.md; and that
+the heterogeneous-scenario catalog (every registered system, every
+evaluation track, every exit-code constant) is covered by
+docs/SCENARIOS.md. Run via ``make docs-check``.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ ARCH_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
 SERVICE_DOC = REPO_ROOT / "docs" / "SERVICE.md"
 LIFECYCLE_DOC = REPO_ROOT / "docs" / "LIFECYCLE.md"
 INCIDENTS_DOC = REPO_ROOT / "docs" / "INCIDENTS.md"
+SCENARIOS_DOC = REPO_ROOT / "docs" / "SCENARIOS.md"
 PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
 
 
@@ -140,6 +143,29 @@ def check_incidents_doc() -> list[str]:
     return [name for name in module.__all__ if name not in text]
 
 
+def check_scenarios_doc() -> list[str]:
+    """The scenario catalog must be covered by docs/SCENARIOS.md.
+
+    Source docstrings and serve-time error messages point users at
+    docs/SCENARIOS.md for every heterogeneous extension, so the doc
+    must name every registered system, every evaluation track, and
+    every exit-code constant of the failure model.
+    """
+    if not SCENARIOS_DOC.is_file():
+        return ["docs/SCENARIOS.md is missing entirely"]
+    text = SCENARIOS_DOC.read_text()
+    cluster = importlib.import_module("repro.cluster")
+    tracks = importlib.import_module("repro.ml.tracks")
+    failures = importlib.import_module("repro.workload.failures")
+    missing = [f"system `{name}`" for name in cluster.known_systems()
+               if f"`{name}`" not in text]
+    missing += [f"track `{name}`" for name in tracks.known_tracks()
+                if f"`{name}`" not in text]
+    missing += [f"exit code {code}" for code in failures.EXIT_CODES
+                if f"`{code}`" not in text]
+    return missing
+
+
 def main() -> int:
     problems: list[str] = []
     for module_name in ("repro", "repro.pipeline", "repro.faults", "repro.obs",
@@ -164,6 +190,8 @@ def main() -> int:
         )
     for name in check_incidents_doc():
         problems.append(f"absent from docs/INCIDENTS.md: repro.incidents.{name}")
+    for name in check_scenarios_doc():
+        problems.append(f"absent from docs/SCENARIOS.md: {name}")
 
     if problems:
         print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)

@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""CI smoke for the heterogeneous GPU/ML scenario stack (docs/SCENARIOS.md).
+
+Three gates in one tool, run against a small GPU-cluster shard:
+
+1. **Byte-identity** — drives the real CLI twice (``repro pipeline run
+   --stream`` and the monolithic equivalent) into throwaway caches and
+   asserts the committed dataset artifacts are byte-identical (every
+   file except ``meta.json``). Same contract as ``stream_smoke.py``,
+   on a system whose builds exercise the GPU sampler and the failure
+   model.
+2. **Track grading** — loads the dataset and runs both heterogeneous
+   evaluation tracks (``gpu_power`` board-power regression and
+   ``failures`` Brier-graded classification) through the paper's
+   repeated-split protocol, gating each on a loose sanity ceiling.
+3. **Baseline check** (``--check``) — compares digests and metrics
+   against the committed ``SCORECARD_gpu.json`` (regenerate with
+   ``--update``), so metric drift shows up as a diff, not silently.
+
+The scorecard of the run lands in ``--json`` (default
+``gpu-smoke.json``); when any gate fails, a failure-artifact manifest
+(``gpu-smoke-artifacts.json``) lists everything kept for CI upload.
+
+Usage::
+
+    python tools/gpu_smoke.py                 # default small alex shard
+    python tools/gpu_smoke.py --check         # also diff vs committed baseline
+    python tools/gpu_smoke.py --update        # rewrite SCORECARD_gpu.json
+    make gpu-smoke                            # CI entry point
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "SCORECARD_gpu.json"
+
+# Loose sanity ceilings — a broken feature path or a degenerate model
+# blows well past these; normal seed-to-seed variation does not.
+GPU_MEAN_ERR_CEILING = 0.60  # mean absolute percentage error
+FAILURE_BRIER_CEILING = 0.25  # mean Brier score (chance at 50% = 0.25)
+METRIC_TOLERANCE = 1e-6  # baseline comparison (bit-deterministic builds)
+
+
+def _run_cli(cache_dir: Path, shard_flags: list[str], *,
+             stream: bool, chunk_jobs: int) -> None:
+    cmd = [sys.executable, "-m", "repro", "pipeline", "run",
+           "--cache-dir", str(cache_dir), *shard_flags]
+    if stream:
+        cmd += ["--stream", "--chunk-jobs", str(chunk_jobs)]
+    subprocess.run(cmd, check=True,
+                   env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+
+
+def dataset_digest(cache_dir: Path) -> tuple[str, list[str]]:
+    """SHA-256 over the single dataset entry's files (meta.json excluded)."""
+    stage_dir = cache_dir / "dataset"
+    entries = [p for p in stage_dir.iterdir() if p.is_dir()]
+    if len(entries) != 1:
+        raise SystemExit(
+            f"gpu-smoke: expected one dataset entry in {stage_dir}, "
+            f"found {len(entries)}"
+        )
+    names: list[str] = []
+    h = hashlib.sha256()
+    for path in sorted(entries[0].iterdir()):
+        if path.name == "meta.json":
+            continue
+        names.append(path.name)
+        h.update(path.name.encode())
+        h.update(path.read_bytes())
+    return h.hexdigest(), names
+
+
+def _grade_tracks(cache_dir: Path, args) -> dict:
+    """Run both heterogeneous tracks on the cached dataset."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis import run_failure_classification, run_gpu_prediction
+    from repro.pipeline import build_dataset
+
+    dataset = build_dataset(
+        system=args.system, seed=args.seed, num_users=args.num_users,
+        horizon_s=int(args.horizon_days * 86400),
+        max_traces=args.max_traces, cache_dir=cache_dir,
+    )
+    jobs = dataset.jobs
+    report = {
+        "n_jobs": dataset.num_jobs,
+        "n_gpu_jobs": int((jobs["gpus"] > 0).sum()),
+        "failure_rate": round(float(jobs["failed"].astype(float).mean()), 6),
+        "tracks": {},
+    }
+    gpu = run_gpu_prediction(dataset, n_repeats=args.repeats, seed=args.seed)
+    fail = run_failure_classification(
+        dataset, n_repeats=args.repeats, seed=args.seed
+    )
+    for track_name, results in (("gpu_power", gpu), ("failures", fail)):
+        report["tracks"][track_name] = {
+            name: {"mean_err": round(float(r.summary.mean), 6),
+                   "n": int(r.summary.n)}
+            for name, r in results.items()
+        }
+    return report
+
+
+def _check_ceilings(report: dict) -> list[str]:
+    problems = []
+    gpu_bdt = report["tracks"]["gpu_power"]["BDT"]["mean_err"]
+    if gpu_bdt > GPU_MEAN_ERR_CEILING:
+        problems.append(
+            f"gpu_power BDT mean err {gpu_bdt:.3f} > {GPU_MEAN_ERR_CEILING}"
+        )
+    fail_bdt = report["tracks"]["failures"]["BDT"]["mean_err"]
+    if fail_bdt > FAILURE_BRIER_CEILING:
+        problems.append(
+            f"failures BDT Brier {fail_bdt:.3f} > {FAILURE_BRIER_CEILING}"
+        )
+    return problems
+
+
+def _check_baseline(report: dict) -> list[str]:
+    if not BASELINE_PATH.exists():
+        return [f"no committed baseline at {BASELINE_PATH} "
+                "(run with --update to create it)"]
+    baseline = json.loads(BASELINE_PATH.read_text())
+    problems = []
+    if baseline.get("digest") != report["digest"]:
+        problems.append(
+            f"dataset digest drifted: baseline {baseline.get('digest')!r} "
+            f"vs current {report['digest']!r}"
+        )
+    for track, models in baseline.get("tracks", {}).items():
+        for model, entry in models.items():
+            current = (
+                report["tracks"].get(track, {}).get(model, {}).get("mean_err")
+            )
+            if current is None:
+                problems.append(f"baseline track {track}/{model} missing "
+                                "from current run")
+            elif abs(current - entry["mean_err"]) > METRIC_TOLERANCE:
+                problems.append(
+                    f"{track}/{model} mean err drifted: "
+                    f"baseline {entry['mean_err']} vs current {current}"
+                )
+    return problems
+
+
+def _write_failure_manifest(kept: list[Path], problems: list[str]) -> Path:
+    """Record what survived for CI's upload-on-failure step."""
+    manifest = Path("gpu-smoke-artifacts.json")
+    manifest.write_text(json.dumps(
+        {
+            "problems": problems,
+            "artifacts": [str(p) for p in kept if p.exists()],
+        },
+        indent=2, sort_keys=True,
+    ) + "\n")
+    return manifest
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--system", default="alex", choices=("alex", "woody"),
+                        help="GPU-carrying system to build (docs/SCENARIOS.md)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--num-users", type=int, default=24)
+    # Sized to span several chunks at the default --chunk-jobs and to
+    # clear both tracks' minimum row counts, while staying CI-cheap.
+    parser.add_argument("--horizon-days", type=float, default=12)
+    parser.add_argument("--max-traces", type=int, default=0)
+    parser.add_argument("--chunk-jobs", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json", type=Path, default=Path("gpu-smoke.json"),
+                        help="write the run's scorecard here")
+    parser.add_argument("--check", action="store_true",
+                        help="also compare against the committed "
+                        f"{BASELINE_PATH.name}")
+    parser.add_argument("--update", action="store_true",
+                        help=f"rewrite {BASELINE_PATH.name} from this run")
+    args = parser.parse_args(argv)
+
+    shard_flags = [
+        "--system", args.system, "--seed", str(args.seed),
+        "--num-users", str(args.num_users),
+        "--horizon-days", str(args.horizon_days),
+        "--max-traces", str(args.max_traces),
+    ]
+    tmp = Path(tempfile.mkdtemp(prefix="gpu-smoke-"))
+    problems: list[str] = []
+    try:
+        _run_cli(tmp / "stream", shard_flags, stream=True,
+                 chunk_jobs=args.chunk_jobs)
+        _run_cli(tmp / "mono", shard_flags, stream=False, chunk_jobs=0)
+        stream_digest, stream_files = dataset_digest(tmp / "stream")
+        mono_digest, mono_files = dataset_digest(tmp / "mono")
+        if stream_files != mono_files:
+            problems.append(f"file sets differ: streaming {stream_files} "
+                            f"vs monolithic {mono_files}")
+        elif stream_digest != mono_digest:
+            problems.append(f"BYTE MISMATCH: streaming {stream_digest} "
+                            f"vs monolithic {mono_digest}")
+
+        report = _grade_tracks(tmp / "mono", args)
+        report["system"] = args.system
+        report["seed"] = args.seed
+        report["digest"] = mono_digest
+        report["files"] = mono_files
+        args.json.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        problems += _check_ceilings(report)
+        if args.update:
+            BASELINE_PATH.write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"gpu-smoke: baseline rewritten at {BASELINE_PATH}")
+        elif args.check:
+            problems += _check_baseline(report)
+    finally:
+        if problems:
+            manifest = _write_failure_manifest([args.json], problems)
+            print(f"gpu-smoke: kept failure artifacts "
+                  f"(manifest {manifest})", file=sys.stderr)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    if problems:
+        for problem in problems:
+            print(f"gpu-smoke: {problem}", file=sys.stderr)
+        return 1
+    gpu = json.loads(args.json.read_text())
+    tracks = gpu["tracks"]
+    print(f"gpu-smoke: byte-identical over {gpu['files']} "
+          f"(sha256 {gpu['digest'][:16]}…, chunk_jobs={args.chunk_jobs})")
+    print(f"gpu-smoke: {gpu['n_jobs']} jobs ({gpu['n_gpu_jobs']} on boards, "
+          f"failure rate {gpu['failure_rate']:.1%}); "
+          f"gpu_power BDT err {tracks['gpu_power']['BDT']['mean_err']:.3f}, "
+          f"failures BDT Brier {tracks['failures']['BDT']['mean_err']:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

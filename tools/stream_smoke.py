@@ -65,7 +65,10 @@ def dataset_digest(cache_dir: Path) -> tuple[str, list[str]]:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--system", default="emmy", choices=("emmy", "meggie"))
+    parser.add_argument(
+        "--system", default="emmy",
+        choices=("alex", "emmy", "meggie", "woody"),
+    )
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--num-nodes", type=int, default=64)
     parser.add_argument("--num-users", type=int, default=32)
